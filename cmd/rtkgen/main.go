@@ -1,0 +1,119 @@
+// Command rtkgen generates the synthetic benchmark graphs used throughout
+// this repository (web/social analogs, labeled spam hosts, weighted
+// co-authorship networks) and writes them as SNAP-style edge lists.
+//
+// Usage:
+//
+//	rtkgen -kind web -n 10000 -seed 1 -out web.txt
+//	rtkgen -kind spam -scale 2 -out spam.txt -labels spam.labels
+//	rtkgen -kind coauthor -scale 1 -out dblp.txt -authors authors.tsv
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rtkgen: ")
+	var (
+		kind    = flag.String("kind", "web", "graph kind: web|social|er|rmat|spam|coauthor")
+		n       = flag.Int("n", 10000, "node count (web/social/er)")
+		m       = flag.Int("m", 0, "edge count (er; default 5n)")
+		scale   = flag.Int("scale", 1, "population scale factor (spam/coauthor)")
+		rmat    = flag.Int("rmatscale", 14, "log2 node count (rmat)")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		out     = flag.String("out", "", "output edge-list path (required)")
+		labels  = flag.String("labels", "", "label output path (spam)")
+		authors = flag.String("authors", "", "author metadata output path (coauthor)")
+	)
+	flag.Parse()
+	if *out == "" {
+		log.Fatal("-out is required")
+	}
+
+	var (
+		g   *graph.Graph
+		err error
+	)
+	switch *kind {
+	case "web":
+		g, err = gen.WebGraph(*n, *seed)
+	case "social":
+		g, err = gen.SocialGraph(*n, *seed)
+	case "er":
+		edges := *m
+		if edges == 0 {
+			edges = 5 * *n
+		}
+		g, err = gen.ErdosRenyi(*n, edges, *seed)
+	case "rmat":
+		g, err = gen.RMAT(*rmat, 8, 0.57, 0.19, 0.19, 0.05, *seed)
+	case "spam":
+		opts := gen.DefaultSpamWebOptions(*scale)
+		opts.Seed = *seed
+		var lbs []gen.Label
+		g, lbs, err = gen.SpamWeb(opts)
+		if err == nil && *labels != "" {
+			err = writeLabels(*labels, lbs)
+		}
+	case "coauthor":
+		opts := gen.DefaultCoauthorOptions(*scale)
+		opts.Seed = *seed
+		var as []gen.Author
+		g, as, err = gen.Coauthor(opts)
+		if err == nil && *authors != "" {
+			err = writeAuthors(*authors, as)
+		}
+	default:
+		log.Fatalf("unknown kind %q", *kind)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := graph.WriteEdgeList(f, g); err != nil {
+		log.Fatal(err)
+	}
+	stats := graph.ComputeStats(g)
+	fmt.Printf("wrote %s: %s\n", *out, stats)
+}
+
+func writeLabels(path string, labels []gen.Label) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	for i, l := range labels {
+		fmt.Fprintf(w, "%d\t%s\n", i, l)
+	}
+	return w.Flush()
+}
+
+func writeAuthors(path string, authors []gen.Author) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	fmt.Fprintln(w, "# id\tname\tpublications\tcoauthors\tprolific")
+	for i, a := range authors {
+		fmt.Fprintf(w, "%d\t%s\t%d\t%d\t%t\n", i, a.Name, a.Publications, a.Coauthors, a.Prolific)
+	}
+	return w.Flush()
+}

@@ -1,0 +1,13 @@
+// Package repro is a from-scratch Go reproduction of "Reverse Top-k Search
+// using Random Walk with Restart" (Yu, Mamoulis, Su — PVLDB 7(5), 2014).
+//
+// The library answers reverse top-k RWR proximity queries: given a query
+// node q and an integer k, find every node u that ranks q among its k
+// highest-proximity nodes under random walk with restart. See README.md
+// for the architecture, DESIGN.md for the system inventory and experiment
+// index, and EXPERIMENTS.md for the paper-vs-measured comparison.
+//
+// The root package carries the repository-level benchmarks (bench_test.go):
+// one benchmark per table/figure of the paper plus ablations of the design
+// choices (BCA propagation strategy, hub selection scheme, rounding).
+package repro

@@ -1,0 +1,72 @@
+// Author-popularity ranking in a co-authorship network (§5.4, Table 3).
+//
+// The size of an author's reverse top-k set — how many researchers count
+// this author among their k most important direct or indirect
+// collaborators — is a popularity signal that degree alone misses: the
+// paper's headline authors have reverse top-5 lists an order of magnitude
+// longer than their coauthor lists. This example reproduces the phenomenon
+// on a synthetic weighted co-authorship network with planted prolific
+// authors.
+//
+// Run with: go run ./examples/coauthor
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/lbindex"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	opts := gen.DefaultCoauthorOptions(1)
+	opts.Authors = 600 // keep the demo snappy; rtkbench -exp table3 runs larger
+	opts.Communities = 12
+	g, authors, err := gen.Coauthor(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("co-authorship network: %d authors, %d weighted edges\n", g.N(), g.M())
+
+	iopts := lbindex.DefaultOptions()
+	iopts.K = 50
+	iopts.HubBudget = 15
+	idx, _, err := lbindex.Build(g, iopts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := core.NewEngine(g, idx, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Reverse top-5 from every author; rank by answer size.
+	sizes := make([]int, g.N())
+	for u := graph.NodeID(0); int(u) < g.N(); u++ {
+		answer, _, err := eng.Query(u, 5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sizes[u] = len(answer)
+	}
+	order := make([]int, g.N())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return sizes[order[a]] > sizes[order[b]] })
+
+	fmt.Println("\nauthor         reverse_top5  coauthors  planted_prolific")
+	for _, i := range order[:10] {
+		fmt.Printf("%-14s %-13d %-10d %t\n",
+			authors[i].Name, sizes[i], authors[i].Coauthors, authors[i].Prolific)
+	}
+	fmt.Println("\nNote how the planted prolific authors' reverse top-5 lists exceed")
+	fmt.Println("their coauthor counts: non-coauthors regard them as key collaborators")
+	fmt.Println("through indirect paths — exactly Table 3's observation.")
+}

@@ -1,0 +1,91 @@
+// Link prediction with RWR proximity (Liben-Nowell & Kleinberg, cited in
+// the paper's §1 as a motivating application of node-to-node proximity).
+//
+// Protocol: hide a random sample of edges, rank candidate endpoints for
+// each probe node by RWR proximity on the remaining graph, and count how
+// often the hidden neighbor appears in the proximity top-10. RWR should
+// beat the random-guess baseline by a wide margin — it aggregates ALL
+// paths to the hidden neighbor, not just the direct edge we removed.
+//
+// Run with: go run ./examples/linkpredict
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rwr"
+	"repro/internal/vecmath"
+)
+
+func main() {
+	log.SetFlags(0)
+	rng := rand.New(rand.NewSource(5))
+
+	full, err := gen.SocialGraph(1500, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("social graph: %s\n", graph.ComputeStats(full))
+
+	// Hide one outgoing edge from each of 100 probe nodes.
+	type hidden struct{ from, to graph.NodeID }
+	var probes []hidden
+	seen := map[graph.NodeID]bool{}
+	for len(probes) < 100 {
+		u := graph.NodeID(rng.Intn(full.N()))
+		if seen[u] || full.OutDegree(u) < 3 {
+			continue
+		}
+		seen[u] = true
+		nbrs := full.OutNeighbors(u)
+		probes = append(probes, hidden{u, nbrs[rng.Intn(len(nbrs))]})
+	}
+	removed := map[[2]graph.NodeID]bool{}
+	for _, p := range probes {
+		removed[[2]graph.NodeID{p.from, p.to}] = true
+	}
+	b := graph.NewBuilder(full.N())
+	for u := graph.NodeID(0); int(u) < full.N(); u++ {
+		for _, v := range full.OutNeighbors(u) {
+			if !removed[[2]graph.NodeID{u, v}] {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	train, _, err := b.Build(graph.DanglingSelfLoop)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hidden %d edges; training graph has %d edges\n", len(probes), train.M())
+
+	// Rank candidates by RWR proximity from each probe node; existing
+	// neighbors and the node itself are excluded from the candidate set.
+	params := rwr.DefaultParams()
+	const topN = 10
+	hits := 0
+	for _, p := range probes {
+		res, err := rwr.ProximityVector(train, p.from, params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		scores := res.Vector
+		scores[p.from] = 0
+		for _, v := range train.OutNeighbors(p.from) {
+			scores[v] = 0
+		}
+		for _, e := range vecmath.TopKEntries(scores, topN) {
+			if graph.NodeID(e.Index) == p.to {
+				hits++
+				break
+			}
+		}
+	}
+	precision := float64(hits) / float64(len(probes))
+	baseline := float64(topN) / float64(full.N()) // random guessing
+	fmt.Printf("\nhidden edge recovered in proximity top-%d: %.0f%% of probes\n", topN, 100*precision)
+	fmt.Printf("random-guess baseline: %.2f%%  →  RWR lift ≈ %.0f×\n", 100*baseline, precision/baseline)
+}

@@ -1,0 +1,76 @@
+// Reverse top-k under SimRank — the paper's §7 future-work direction,
+// implemented in internal/simrank for small graphs.
+//
+// SimRank considers two nodes similar when similar nodes point at them
+// (symmetric, in-link driven), while RWR proximity follows out-links from
+// the source. This example runs BOTH reverse top-k queries on the same
+// co-purchase-style graph and shows how the two notions diverge: RWR
+// answers "whose purchases lead to q?", SimRank answers "who is bought in
+// the same contexts as q?".
+//
+// Run with: go run ./examples/simrank
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/lbindex"
+	"repro/internal/simrank"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A small product co-purchase graph: an edge a→b means "buyers of a
+	// also bought b". The copying model gives it the familiar
+	// popular-product skew.
+	g, err := gen.Copying(300, 4, 0.7, 0.2, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("co-purchase graph: %d products, %d links\n", g.N(), g.M())
+
+	q := graph.NodeID(42)
+	k := 5
+
+	// RWR reverse top-k (the paper's query).
+	opts := lbindex.DefaultOptions()
+	opts.K = 20
+	opts.HubBudget = 5
+	idx, _, err := lbindex.Build(g, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := core.NewEngine(g, idx, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rwrAnswer, _, err := eng.Query(q, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nRWR reverse top-%d of product %d (%d products):\n  %v\n", k, q, len(rwrAnswer), rwrAnswer)
+	fmt.Println("  → products whose buyers are funneled toward", q)
+
+	// SimRank reverse top-k (the future-work query).
+	m, err := simrank.Compute(g, simrank.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	srAnswer, err := m.ReverseTopK(q, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nSimRank reverse top-%d of product %d (%d products):\n  %v\n", k, q, len(srAnswer), srAnswer)
+	fmt.Println("  → products that consider", q, "one of their most similar peers")
+
+	// Show q's own most similar products for context.
+	fmt.Printf("\nproducts most similar to %d by SimRank:\n", q)
+	for _, e := range m.TopK(q, 5) {
+		fmt.Printf("  product %-5d score %.4f\n", e.Index, e.Value)
+	}
+}

@@ -1,0 +1,142 @@
+// Package clitest builds the repository's CLI tools and exercises the
+// generate → index → query pipeline end to end, the way a user would.
+package clitest
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTools compiles all four commands into a temp dir once per test run.
+func buildTools(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	for _, tool := range []string{"rtkgen", "rtkindex", "rtkquery", "rtkbench"} {
+		out := filepath.Join(dir, tool)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+tool)
+		cmd.Dir = repoRoot(t)
+		if msg, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", tool, err, msg)
+		}
+	}
+	return dir
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Dir(filepath.Dir(wd)) // internal/clitest → repo root
+}
+
+func runTool(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+	}
+	return string(out)
+}
+
+func TestGenerateIndexQueryPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	bins := buildTools(t)
+	work := t.TempDir()
+	graphPath := filepath.Join(work, "g.txt")
+	indexPath := filepath.Join(work, "g.idx")
+
+	out := runTool(t, filepath.Join(bins, "rtkgen"),
+		"-kind", "web", "-n", "500", "-seed", "3", "-out", graphPath)
+	if !strings.Contains(out, "n=500") {
+		t.Errorf("rtkgen output missing stats: %q", out)
+	}
+
+	out = runTool(t, filepath.Join(bins, "rtkindex"),
+		"-graph", graphPath, "-out", indexPath, "-K", "20", "-B", "5")
+	if !strings.Contains(out, "hubs:") || !strings.Contains(out, "wrote") {
+		t.Errorf("rtkindex output unexpected: %q", out)
+	}
+	if fi, err := os.Stat(indexPath); err != nil || fi.Size() == 0 {
+		t.Fatalf("index file missing or empty: %v", err)
+	}
+
+	out = runTool(t, filepath.Join(bins, "rtkquery"),
+		"-graph", graphPath, "-index", indexPath, "-q", "42", "-k", "10", "-update", "-save")
+	if !strings.Contains(out, "reverse top-10 of node 42") {
+		t.Errorf("rtkquery output unexpected: %q", out)
+	}
+	if !strings.Contains(out, "saved refined index") {
+		t.Errorf("rtkquery did not save: %q", out)
+	}
+
+	// Approximate mode answers must be reported too.
+	out = runTool(t, filepath.Join(bins, "rtkquery"),
+		"-graph", graphPath, "-index", indexPath, "-q", "42", "-k", "10", "-approx")
+	if !strings.Contains(out, "reverse top-10 of node 42") {
+		t.Errorf("rtkquery -approx output unexpected: %q", out)
+	}
+}
+
+// TestExamplesRun executes the fast runnable examples end to end (the
+// slower coauthor and webindex demos are exercised manually; quickstart,
+// simrank and spamdetect finish in seconds).
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs example binaries; skipped in -short mode")
+	}
+	for _, ex := range []struct{ name, marker string }{
+		{"quickstart", "brute-force check"},
+		{"simrank", "SimRank reverse top-5"},
+		{"spamdetect", "LIKELY SPAM"},
+	} {
+		cmd := exec.Command("go", "run", "./examples/"+ex.name)
+		cmd.Dir = repoRoot(t)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s: %v\n%s", ex.name, err, out)
+		}
+		if !strings.Contains(string(out), ex.marker) {
+			t.Errorf("%s output missing %q:\n%s", ex.name, ex.marker, out)
+		}
+	}
+}
+
+func TestGenerateLabeledKinds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	bins := buildTools(t)
+	work := t.TempDir()
+
+	spamPath := filepath.Join(work, "spam.txt")
+	labelPath := filepath.Join(work, "spam.labels")
+	runTool(t, filepath.Join(bins, "rtkgen"),
+		"-kind", "spam", "-scale", "1", "-out", spamPath, "-labels", labelPath)
+	labels, err := os.ReadFile(labelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(labels), "spam") || !strings.Contains(string(labels), "normal") {
+		t.Error("label file missing classes")
+	}
+
+	coPath := filepath.Join(work, "co.txt")
+	authorPath := filepath.Join(work, "authors.tsv")
+	runTool(t, filepath.Join(bins, "rtkgen"),
+		"-kind", "coauthor", "-scale", "1", "-out", coPath, "-authors", authorPath)
+	authors, err := os.ReadFile(authorPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(authors), "Author-00000") {
+		t.Error("author file missing entries")
+	}
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/lbindex"
+	"repro/internal/workload"
+)
+
+func TestQueryApproximateSubsetAndRecall(t *testing.T) {
+	g, err := gen.WebGraph(600, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := lbindex.DefaultOptions()
+	opts.K = 20
+	opts.HubBudget = 8
+	opts.Omega = 0
+	idx, _, err := lbindex.Build(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries, err := workload.Queries(g.N(), 25, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the index with one update-mode pass (the paper ties the
+	// hits-only approximation to the refined-index regime of Fig. 6);
+	// then freeze it for the comparison.
+	warm, err := NewEngine(g, idx, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range queries {
+		if _, _, err := warm.Query(q, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng, err := NewEngine(g, idx, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var exactTotal, approxTotal, inter int
+	for _, q := range queries {
+		approx, as, err := eng.QueryApproximate(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, es, err := eng.Query(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if as.Hits != as.Results {
+			t.Errorf("approximate results must all be hits: %+v", as)
+		}
+		if as.RefineSteps != 0 || as.Committed != 0 {
+			t.Errorf("approximate query refined or committed: %+v", as)
+		}
+		inExact := map[graph.NodeID]bool{}
+		for _, u := range exact {
+			inExact[u] = true
+		}
+		for _, u := range approx {
+			if !inExact[u] {
+				t.Errorf("q=%d: approximate answer %d not in exact answer", q, u)
+			} else {
+				inter++
+			}
+		}
+		exactTotal += len(exact)
+		approxTotal += len(approx)
+		_ = es
+	}
+	// §5.3's observation on web graphs: hits ≈ results, so recall is high.
+	recall := float64(inter) / float64(exactTotal)
+	if recall < 0.6 {
+		t.Errorf("approximate recall %.2f too low (hits %d of %d exact)", recall, approxTotal, exactTotal)
+	}
+}
+
+func TestQueryApproximateValidation(t *testing.T) {
+	g := toyGraph(t)
+	idx := buildIndex(t, g, 3, 1)
+	eng, err := NewEngine(g, idx, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := eng.QueryApproximate(-1, 2); err == nil {
+		t.Error("want range error")
+	}
+	if _, _, err := eng.QueryApproximate(0, 99); err == nil {
+		t.Error("want k error")
+	}
+}
+
+func TestQueryApproximateDoesNotTouchIndex(t *testing.T) {
+	g := toyGraph(t)
+	idx := buildIndex(t, g, 3, 1)
+	eng, err := NewEngine(g, idx, true) // even in update mode
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := eng.QueryApproximate(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if idx.Refinements() != 0 {
+		t.Errorf("approximate query committed %d refinements", idx.Refinements())
+	}
+}

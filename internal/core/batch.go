@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/lbindex"
+)
+
+// BatchResult pairs one query of a batch with its answer.
+type BatchResult struct {
+	Query  graph.NodeID
+	Answer []graph.NodeID
+	Stats  QueryStats
+	Err    error
+}
+
+// QueryBatch evaluates many reverse top-k queries concurrently against one
+// shared index, one engine per worker (engines are single-goroutine; the
+// index itself is safe for concurrent use). Results arrive in input order.
+// In update mode, refinements from concurrent queries all land in the
+// shared index — later queries in the batch benefit, exactly like a
+// sequential update-mode workload, just without a deterministic refinement
+// order.
+//
+// workers ≤ 0 selects GOMAXPROCS. practical toggles the paper-literal
+// decision mode on every worker engine.
+func QueryBatch(g *graph.Graph, idx *lbindex.Index, queries []graph.NodeID, k, workers int, update, practical bool) ([]BatchResult, error) {
+	if k <= 0 || k > idx.K() {
+		return nil, fmt.Errorf("core: k=%d outside [1,%d] supported by the index", k, idx.K())
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	results := make([]BatchResult, len(queries))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	var initErr error
+	var initMu sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			eng, err := NewEngine(g, idx, update)
+			if err != nil {
+				initMu.Lock()
+				if initErr == nil {
+					initErr = err
+				}
+				initMu.Unlock()
+				return
+			}
+			eng.SetPracticalDecisions(practical)
+			for i := range jobs {
+				q := queries[i]
+				answer, stats, err := eng.Query(q, k)
+				results[i] = BatchResult{Query: q, Answer: answer, Stats: stats, Err: err}
+			}
+		}()
+	}
+	for i := range queries {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	if initErr != nil {
+		return nil, initErr
+	}
+	return results, nil
+}

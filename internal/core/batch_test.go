@@ -1,0 +1,86 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/lbindex"
+	"repro/internal/workload"
+)
+
+func TestQueryBatchMatchesSequential(t *testing.T) {
+	g, err := gen.WebGraph(300, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := buildIndexFromGraph(t, g, 10, 5)
+	queries, err := workload.Queries(g.N(), 20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	results, err := QueryBatch(g, idx, queries, 5, 4, true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(queries) {
+		t.Fatalf("results = %d", len(results))
+	}
+	// Sequential reference on a fresh identical index.
+	refIdx := buildIndexFromGraph(t, g, 10, 5)
+	eng, err := NewEngine(g, refIdx, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("query %d: %v", i, r.Err)
+		}
+		if r.Query != queries[i] {
+			t.Errorf("result %d out of order", i)
+		}
+		want, _, err := eng.Query(queries[i], 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(r.Answer, want) {
+			t.Errorf("q=%d: batch %v, sequential %v", queries[i], r.Answer, want)
+		}
+	}
+}
+
+func TestQueryBatchValidation(t *testing.T) {
+	g := toyGraph(t)
+	idx := buildIndex(t, g, 3, 1)
+	if _, err := QueryBatch(g, idx, []graph.NodeID{0}, 0, 2, false, false); err == nil {
+		t.Error("want k error")
+	}
+	// Out-of-range query is reported per result, not as a batch error.
+	results, err := QueryBatch(g, idx, []graph.NodeID{0, 99}, 2, 2, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err != nil {
+		t.Errorf("valid query errored: %v", results[0].Err)
+	}
+	if results[1].Err == nil {
+		t.Error("out-of-range query should carry an error")
+	}
+}
+
+// buildIndexFromGraph mirrors buildIndex but for an arbitrary graph.
+func buildIndexFromGraph(t testing.TB, g *graph.Graph, k, hubBudget int) *lbindex.Index {
+	t.Helper()
+	opts := lbindex.DefaultOptions()
+	opts.K = k
+	opts.HubBudget = hubBudget
+	opts.Omega = 0
+	opts.Workers = 2
+	idx, _, err := lbindex.Build(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idx
+}

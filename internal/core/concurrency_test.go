@@ -1,0 +1,88 @@
+package core
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/lbindex"
+)
+
+// TestConcurrentEnginesSharedIndex runs several engines — one per
+// goroutine, as documented — against one shared index with updates
+// enabled. The index must stay invariant-clean and queries must agree with
+// a single-threaded reference. Run with -race to exercise the locking.
+func TestConcurrentEnginesSharedIndex(t *testing.T) {
+	g, err := gen.WebGraph(400, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := lbindex.DefaultOptions()
+	opts.K = 20
+	opts.HubBudget = 5
+	opts.Omega = 0
+	opts.Workers = 2
+	idx, _, err := lbindex.Build(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference answers from a fresh single-threaded engine on a copy.
+	refIdx, _, err := lbindex.Build(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refEng, err := NewEngine(g, refIdx, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []graph.NodeID{3, 77, 150, 222, 301, 399}
+	want := make([][]graph.NodeID, len(queries))
+	for i, q := range queries {
+		want[i], _, err = refEng.Query(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const workers = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			eng, err := NewEngine(g, idx, true)
+			if err != nil {
+				errs <- err
+				return
+			}
+			for round := 0; round < 3; round++ {
+				for i, q := range queries {
+					got, _, err := eng.Query(q, 10)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if !reflect.DeepEqual(got, want[i]) {
+						t.Errorf("worker %d q=%d: got %v, want %v", worker, q, got, want[i])
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := idx.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if idx.Refinements() == 0 {
+		t.Log("note: no refinements were needed by this workload")
+	}
+}

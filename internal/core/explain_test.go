@@ -1,0 +1,107 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestExplainMatchesQuery(t *testing.T) {
+	g := toyGraph(t)
+	idx := buildIndex(t, g, 3, 1)
+	eng, err := NewEngine(g, idx, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := graph.NodeID(0); int(q) < g.N(); q++ {
+		ex, err := eng.Explain(q, 2, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var fromExplain []graph.NodeID
+		for _, d := range ex.Decisions {
+			if d.InAnswer {
+				fromExplain = append(fromExplain, d.Node)
+			}
+		}
+		want, _, err := eng.Query(q, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(fromExplain, want) {
+			t.Errorf("q=%d: explain answers %v, query answers %v", q, fromExplain, want)
+		}
+		// With includePruned, every node gets a decision.
+		if len(ex.Decisions) != g.N() {
+			t.Errorf("q=%d: %d decisions, want %d", q, len(ex.Decisions), g.N())
+		}
+	}
+}
+
+func TestExplainExcludesPrunedByDefault(t *testing.T) {
+	g := toyGraph(t)
+	idx := buildIndex(t, g, 3, 1)
+	eng, err := NewEngine(g, idx, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := eng.Explain(0, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range ex.Decisions {
+		if d.Outcome == OutcomePruned {
+			t.Errorf("pruned decision present without includePruned: %+v", d)
+		}
+	}
+}
+
+func TestExplainReadOnly(t *testing.T) {
+	g := toyGraph(t)
+	idx := buildIndex(t, g, 3, 1)
+	eng, err := NewEngine(g, idx, true) // update mode on purpose
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Explain(1, 2, false); err != nil {
+		t.Fatal(err)
+	}
+	if idx.Refinements() != 0 {
+		t.Errorf("Explain committed %d refinements", idx.Refinements())
+	}
+}
+
+func TestExplainValidationAndRender(t *testing.T) {
+	g := toyGraph(t)
+	idx := buildIndex(t, g, 3, 1)
+	eng, err := NewEngine(g, idx, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Explain(-1, 2, false); err == nil {
+		t.Error("want range error")
+	}
+	if _, err := eng.Explain(0, 9, false); err == nil {
+		t.Error("want k error")
+	}
+	ex, err := eng.Explain(1, 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteExplanation(&buf, ex); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "reverse top-2 of node 1") {
+		t.Errorf("render missing header: %q", out)
+	}
+	for _, o := range []Outcome{OutcomePruned, OutcomeExactHit, OutcomeUpperBoundHit, OutcomeRefinedIn, OutcomeRefinedOut, OutcomeFallback, Outcome(99)} {
+		if o.String() == "" {
+			t.Error("empty outcome name")
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/lbindex"
+	"repro/internal/workload"
+)
+
+func TestPracticalModeSupersetAndNearExact(t *testing.T) {
+	g, err := gen.WebGraph(500, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := lbindex.DefaultOptions()
+	opts.K = 20
+	opts.HubBudget = 8
+	opts.Omega = 0
+	opts.Workers = 2
+	build := func() *lbindex.Index {
+		idx, _, err := lbindex.Build(g, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return idx
+	}
+
+	exactEng, err := NewEngine(g, build(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	practEng, err := NewEngine(g, build(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	practEng.SetPracticalDecisions(true)
+
+	queries, err := workload.Queries(g.N(), 30, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jaccardSum float64
+	var exactFallbacks int
+	for _, q := range queries {
+		exact, es, err := exactEng.Query(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		practical, ps, err := practEng.Query(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exactFallbacks += ps.ExactFallbacks
+		// Practical decisions only ever keep undecided near-boundary
+		// candidates, so the practical answer must contain the exact one.
+		inPractical := map[graph.NodeID]bool{}
+		for _, u := range practical {
+			inPractical[u] = true
+		}
+		for _, u := range exact {
+			if !inPractical[u] {
+				t.Fatalf("q=%d: exact answer node %d missing from practical answer", q, u)
+			}
+		}
+		jaccardSum += workload.Jaccard(exact, practical)
+		_ = es
+	}
+	if exactFallbacks != 0 {
+		t.Errorf("practical mode ran %d exact fallbacks, want 0", exactFallbacks)
+	}
+	avg := jaccardSum / float64(len(queries))
+	// The extra inclusions are confined to sub-η-precision boundary gaps.
+	if avg < 0.9 {
+		t.Errorf("practical answers diverge too far from exact: avg Jaccard %.3f", avg)
+	}
+}

@@ -1,0 +1,244 @@
+// Package evolve implements the paper's stated future work (§7): reverse
+// top-k search on evolving graphs. "The key challenge is how to maintain
+// the index incrementally" — this package provides that maintenance:
+//
+//  1. ApplyEdits rebuilds the (immutable) graph with edge insertions,
+//     deletions and weight changes.
+//  2. AffectedOrigins bounds the blast radius of an edit: changing the
+//     out-edges of source node s changes column s of the transition
+//     matrix, and the proximity vector p_w of origin w changes only in
+//     proportion to how much random-walk mass w sends through s — i.e.
+//     p_w(s). One PMPN run per edited source (Theorem 2) yields these
+//     quantities for ALL origins exactly, and origins with p_w(s) below a
+//     staleness threshold θ keep their (slightly stale) index entries.
+//  3. Refresh recomputes the hub proximity matrix on the new graph and
+//     re-runs the indexing BCA for every affected origin, committing the
+//     results into the existing index.
+//
+// With θ = 0 the refresh is equivalent to a full rebuild (every origin
+// that can reach an edited source is refreshed); θ > 0 trades accuracy on
+// far-away origins for speed, with the error vanishing as p_w(s) → 0.
+package evolve
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/bca"
+	"repro/internal/graph"
+	"repro/internal/hub"
+	"repro/internal/lbindex"
+	"repro/internal/rwr"
+)
+
+// Edit describes one edge mutation. Weight is used for insertions into
+// weighted graphs (1 if zero); Remove deletes the edge if present.
+type Edit struct {
+	From, To graph.NodeID
+	Weight   float64
+	Remove   bool
+}
+
+// ApplyEdits rebuilds the graph with the edits applied, in order. Node
+// identifiers are preserved (the node count can grow if an edit names a
+// new node). The dangling policy handles sources whose last out-edge was
+// removed. Removing a non-existent edge is an error, as is inserting a
+// duplicate.
+func ApplyEdits(g *graph.Graph, edits []Edit, policy graph.DanglingPolicy) (*graph.Graph, error) {
+	type key struct{ u, v graph.NodeID }
+	removed := make(map[key]bool)
+	added := make(map[key]float64)
+	for _, e := range edits {
+		k := key{e.From, e.To}
+		if e.Remove {
+			if added[k] != 0 {
+				delete(added, k)
+				continue
+			}
+			if int(e.From) >= g.N() || g.EdgeWeight(e.From, e.To) == 0 || removed[k] {
+				return nil, fmt.Errorf("evolve: removing non-existent edge %d→%d", e.From, e.To)
+			}
+			removed[k] = true
+			continue
+		}
+		w := e.Weight
+		if w == 0 {
+			w = 1
+		}
+		if w < 0 {
+			return nil, fmt.Errorf("evolve: negative weight on edge %d→%d", e.From, e.To)
+		}
+		exists := int(e.From) < g.N() && int(e.To) < g.N() && g.EdgeWeight(e.From, e.To) != 0
+		if exists && !removed[k] {
+			return nil, fmt.Errorf("evolve: inserting duplicate edge %d→%d (remove it first to change its weight)", e.From, e.To)
+		}
+		// Note: a prior removal of the same edge stays in force — the
+		// original edge is skipped during the rebuild and the new weight
+		// inserted — which is exactly how weight changes are expressed.
+		added[k] = w
+	}
+
+	b := graph.NewBuilder(g.N())
+	for u := graph.NodeID(0); int(u) < g.N(); u++ {
+		nbrs := g.OutNeighbors(u)
+		ws := g.OutWeightsOf(u)
+		for i, v := range nbrs {
+			if removed[key{u, v}] {
+				continue
+			}
+			w := 1.0
+			if ws != nil {
+				w = ws[i]
+			}
+			b.AddWeightedEdge(u, v, w)
+		}
+	}
+	for k, w := range added {
+		b.AddWeightedEdge(k.u, k.v, w)
+	}
+	g2, _, err := b.Build(policy)
+	return g2, err
+}
+
+// Sources returns the distinct source nodes whose transition-matrix column
+// the edits change, sorted ascending.
+func Sources(edits []Edit) []graph.NodeID {
+	seen := map[graph.NodeID]bool{}
+	var out []graph.NodeID
+	for _, e := range edits {
+		if !seen[e.From] {
+			seen[e.From] = true
+			out = append(out, e.From)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AffectedOrigins returns every origin w with p_w(s) ≥ θ for at least one
+// edited source s, computed exactly on the NEW graph with one PMPN run per
+// source. θ = 0 returns every origin that reaches any edited source.
+func AffectedOrigins(g2 *graph.Graph, sources []graph.NodeID, theta float64, p rwr.Params) ([]graph.NodeID, error) {
+	if theta < 0 {
+		return nil, fmt.Errorf("evolve: negative staleness threshold %g", theta)
+	}
+	affected := make([]bool, g2.N())
+	for _, s := range sources {
+		if int(s) < 0 || int(s) >= g2.N() {
+			return nil, fmt.Errorf("evolve: source %d out of range [0,%d)", s, g2.N())
+		}
+		res, err := rwr.ProximityTo(g2, s, p)
+		if err != nil {
+			return nil, err
+		}
+		for w, v := range res.Vector {
+			if v > theta || (theta == 0 && v > 0) {
+				affected[w] = true
+			}
+		}
+	}
+	var out []graph.NodeID
+	for w, a := range affected {
+		if a {
+			out = append(out, graph.NodeID(w))
+		}
+	}
+	return out, nil
+}
+
+// Stats reports what a Refresh did.
+type Stats struct {
+	// Affected is the number of origins re-indexed.
+	Affected int
+	// HubsRebuilt is the hub count of the rebuilt hub matrix.
+	HubsRebuilt int
+	// Elapsed is total wall-clock time.
+	Elapsed time.Duration
+}
+
+// Refresh brings an index up to date with an edited graph: it recomputes
+// the hub proximity vectors on the new graph (hub vectors are global
+// quantities; with |H| ≪ n this is the cheap part) and re-runs the
+// indexing BCA for every affected origin, committing results in place.
+// Unaffected origins keep their states — exactly stale by less than the
+// refresh threshold used to compute `affected`.
+//
+// Hub IDENTITY is preserved: existing per-node states park ink at the
+// current hubs, so swapping hub membership would orphan that ink. Any node
+// set is a valid hub set (hubs are merely nodes with exact precomputed
+// vectors), so keeping the old set is sound; re-optimizing the selection
+// for a drifted degree distribution requires a full rebuild.
+//
+// The index must have been built for a graph with the same node count.
+func Refresh(g2 *graph.Graph, idx *lbindex.Index, affected []graph.NodeID) (Stats, error) {
+	start := time.Now()
+	if g2.N() != idx.N() {
+		return Stats{}, fmt.Errorf("evolve: index built for %d nodes, edited graph has %d (rebuild instead)", idx.N(), g2.N())
+	}
+	opts := idx.Options()
+	hubIDs := idx.HubMatrix().Hubs()
+	hm, err := hub.Build(g2, hubIDs, hub.BuildOptions{
+		Omega:   opts.Omega,
+		RWR:     opts.RWR,
+		TopK:    opts.K,
+		Workers: opts.Workers,
+	})
+	if err != nil {
+		return Stats{}, err
+	}
+	if err := idx.SetHubMatrix(hm); err != nil {
+		return Stats{}, err
+	}
+	// Hub vectors changed, so every hub's exact top-K column is refreshed
+	// unconditionally (|H| ≪ n keeps this cheap).
+	for _, h := range hubIDs {
+		idx.CommitHub(h, hm.ExactTopK(h))
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	jobs := make(chan graph.NodeID)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ws := bca.NewWorkspace(g2.N())
+			for u := range jobs {
+				if hm.IsHub(u) {
+					continue // hub columns were refreshed above
+				}
+				st, err := bca.Run(g2, u, hm, opts.BCA, ws)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("evolve: origin %d: %w", u, err)
+					}
+					mu.Unlock()
+					continue
+				}
+				idx.Commit(u, st, bca.TopK(st, hm, ws, opts.K))
+			}
+		}()
+	}
+	for _, u := range affected {
+		jobs <- u
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return Stats{}, firstErr
+	}
+	return Stats{
+		Affected:    len(affected),
+		HubsRebuilt: hm.NumHubs(),
+		Elapsed:     time.Since(start),
+	}, nil
+}

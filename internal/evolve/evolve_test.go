@@ -1,0 +1,245 @@
+package evolve
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/lbindex"
+	"repro/internal/rwr"
+	"repro/internal/workload"
+)
+
+func buildWeb(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	g, err := gen.WebGraph(n, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func buildIdx(t *testing.T, g *graph.Graph) *lbindex.Index {
+	t.Helper()
+	opts := lbindex.DefaultOptions()
+	opts.K = 10
+	opts.HubBudget = 5
+	opts.Omega = 0
+	opts.Workers = 2
+	idx, _, err := lbindex.Build(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idx
+}
+
+func TestApplyEditsAddRemove(t *testing.T) {
+	g, err := graph.FromEdges(4, [][2]graph.NodeID{{0, 1}, {1, 2}, {2, 0}, {3, 0}}, graph.DanglingSelfLoop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ApplyEdits(g, []Edit{
+		{From: 0, To: 2},               // add
+		{From: 1, To: 2, Remove: true}, // remove
+	}, graph.DanglingSelfLoop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g2.HasEdge(0, 2) {
+		t.Error("added edge missing")
+	}
+	if g2.HasEdge(1, 2) {
+		t.Error("removed edge still present")
+	}
+	// Node 1 lost its only out-edge → self-loop policy kicks in.
+	if !g2.HasEdge(1, 1) {
+		t.Error("dangling policy not applied after removal")
+	}
+	if err := g2.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestApplyEditsErrors(t *testing.T) {
+	g, err := graph.FromEdges(3, [][2]graph.NodeID{{0, 1}, {1, 0}, {2, 0}}, graph.DanglingSelfLoop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ApplyEdits(g, []Edit{{From: 0, To: 2, Remove: true}}, graph.DanglingSelfLoop); err == nil {
+		t.Error("want error removing absent edge")
+	}
+	if _, err := ApplyEdits(g, []Edit{{From: 0, To: 1}}, graph.DanglingSelfLoop); err == nil {
+		t.Error("want error adding duplicate edge")
+	}
+	if _, err := ApplyEdits(g, []Edit{{From: 0, To: 2, Weight: -1}}, graph.DanglingSelfLoop); err == nil {
+		t.Error("want error for negative weight")
+	}
+	// Remove-then-add changes a weight legally.
+	g2, err := ApplyEdits(g, []Edit{
+		{From: 0, To: 1, Remove: true},
+		{From: 0, To: 1, Weight: 3},
+	}, graph.DanglingSelfLoop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := g2.EdgeWeight(0, 1); w != 3 {
+		t.Errorf("weight change failed: %g", w)
+	}
+}
+
+func TestSources(t *testing.T) {
+	edits := []Edit{{From: 5, To: 1}, {From: 2, To: 3}, {From: 5, To: 9, Remove: true}}
+	got := Sources(edits)
+	if !reflect.DeepEqual(got, []graph.NodeID{2, 5}) {
+		t.Errorf("Sources = %v", got)
+	}
+}
+
+func TestAffectedOriginsThreshold(t *testing.T) {
+	g := buildWeb(t, 200)
+	p := rwr.DefaultParams()
+	all, err := AffectedOrigins(g, []graph.NodeID{7}, 0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	some, err := AffectedOrigins(g, []graph.NodeID{7}, 1e-3, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(some) > len(all) {
+		t.Errorf("threshold grew the affected set: %d > %d", len(some), len(all))
+	}
+	if len(some) == 0 {
+		t.Error("no origins above threshold; node 7 should matter to someone")
+	}
+	if _, err := AffectedOrigins(g, []graph.NodeID{7}, -1, p); err == nil {
+		t.Error("want threshold error")
+	}
+	if _, err := AffectedOrigins(g, []graph.NodeID{999}, 0, p); err == nil {
+		t.Error("want range error")
+	}
+}
+
+// TestRefreshTheta0MatchesRebuild is the central correctness property:
+// after edits, a θ=0 refresh must answer queries exactly like an index
+// built from scratch on the edited graph (both equal brute force).
+func TestRefreshTheta0MatchesRebuild(t *testing.T) {
+	g := buildWeb(t, 150)
+	idx := buildIdx(t, g)
+
+	edits := []Edit{
+		{From: 3, To: 140},
+		{From: 77, To: 5},
+		{From: g.OutNeighbors(10)[0], To: 10, Remove: false},
+	}
+	// Make the last edit valid: add an edge that does not exist yet.
+	edits[2] = Edit{From: 10, To: findMissingTarget(g, 10)}
+
+	g2, err := ApplyEdits(g, edits, graph.DanglingSelfLoop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	affected, err := AffectedOrigins(g2, Sources(edits), 0, idx.Options().RWR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := Refresh(g2, idx, affected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Affected != len(affected) || stats.HubsRebuilt == 0 {
+		t.Errorf("stats wrong: %+v", stats)
+	}
+	if err := idx.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	eng, err := core.NewEngine(g2, idx, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := idx.Options().RWR
+	queries, err := workload.Queries(g2.N(), 12, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range queries {
+		got, _, err := eng.Query(q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := core.BruteForce(g2, q, 5, p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("q=%d: refreshed index answers %v, brute force %v", q, got, want)
+		}
+	}
+}
+
+func findMissingTarget(g *graph.Graph, u graph.NodeID) graph.NodeID {
+	for v := graph.NodeID(0); int(v) < g.N(); v++ {
+		if v != u && !g.HasEdge(u, v) {
+			return v
+		}
+	}
+	panic("node has edges to everyone")
+}
+
+func TestRefreshThresholdedStaysAccurate(t *testing.T) {
+	g := buildWeb(t, 150)
+	idx := buildIdx(t, g)
+	edits := []Edit{{From: 42, To: findMissingTarget(g, 42)}}
+	g2, err := ApplyEdits(g, edits, graph.DanglingSelfLoop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Refresh only origins that send ≥ 1e-5 of their walk mass through
+	// the edited source.
+	affected, err := AffectedOrigins(g2, Sources(edits), 1e-5, idx.Options().RWR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Refresh(g2, idx, affected); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.NewEngine(g2, idx, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := idx.Options().RWR
+	var jSum float64
+	queries, err := workload.Queries(g2.N(), 10, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range queries {
+		got, _, err := eng.Query(q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := core.BruteForce(g2, q, 5, p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jSum += workload.Jaccard(got, want)
+	}
+	if avg := jSum / 10; avg < 0.95 {
+		t.Errorf("thresholded refresh too inaccurate: avg Jaccard %.3f", avg)
+	}
+}
+
+func TestRefreshRejectsGrownGraph(t *testing.T) {
+	g := buildWeb(t, 100)
+	idx := buildIdx(t, g)
+	g2, err := ApplyEdits(g, []Edit{{From: 0, To: 100}}, graph.DanglingSelfLoop) // new node
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Refresh(g2, idx, nil); err == nil {
+		t.Error("want node-count error")
+	}
+}

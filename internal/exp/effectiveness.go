@@ -1,0 +1,235 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/lbindex"
+)
+
+// SpamResult aggregates the spam-detection study of §5.4.
+type SpamResult struct {
+	Hosts, SpamHosts, NormalHosts int
+	// SpamQuerySpamRatio is the average fraction of spam hosts in the
+	// reverse top-k answers of spam queries (paper: 96.1%); similarly
+	// NormalQueryNormalRatio (paper: 97.4%).
+	SpamQuerySpamRatio     float64
+	NormalQueryNormalRatio float64
+	QueriesRun             int
+}
+
+// SpamConfig parameterizes the study.
+type SpamConfig struct {
+	Options gen.SpamWebOptions
+	K       int
+	IndexK  int
+	// MaxQueriesPerClass bounds the number of labeled hosts queried per
+	// class (0 = all, as in the paper).
+	MaxQueriesPerClass int
+	HubBudget          int
+	Omega              float64
+}
+
+// DefaultSpamConfig mirrors §5.4 at the given scale (reverse top-5 from
+// every labeled host).
+func DefaultSpamConfig(scale int) SpamConfig {
+	return SpamConfig{
+		Options:            gen.DefaultSpamWebOptions(scale),
+		K:                  5,
+		IndexK:             50,
+		MaxQueriesPerClass: 0,
+		HubBudget:          10 * scale,
+		Omega:              1e-6,
+	}
+}
+
+// RunSpamDetection applies reverse top-k search to every labeled host and
+// measures the label purity of the answer sets — the paper's evidence that
+// reverse RWR top-k flags link farms.
+func RunSpamDetection(cfg SpamConfig, progress io.Writer) (SpamResult, error) {
+	g, labels, err := gen.SpamWeb(cfg.Options)
+	if err != nil {
+		return SpamResult{}, err
+	}
+	idx, _, err := lbindex.Build(g, indexOptions(cfg.IndexK, cfg.HubBudget, cfg.Omega))
+	if err != nil {
+		return SpamResult{}, err
+	}
+	eng, err := core.NewEngine(g, idx, true)
+	if err != nil {
+		return SpamResult{}, err
+	}
+
+	res := SpamResult{Hosts: g.N()}
+	var spamRatioSum, normRatioSum float64
+	var spamQueries, normQueries int
+	for u := graph.NodeID(0); int(u) < g.N(); u++ {
+		label := labels[u]
+		switch label {
+		case gen.LabelSpam:
+			res.SpamHosts++
+		case gen.LabelNormal:
+			res.NormalHosts++
+		default:
+			continue
+		}
+		if cfg.MaxQueriesPerClass > 0 {
+			if label == gen.LabelSpam && spamQueries >= cfg.MaxQueriesPerClass {
+				continue
+			}
+			if label == gen.LabelNormal && normQueries >= cfg.MaxQueriesPerClass {
+				continue
+			}
+		}
+		answer, _, err := eng.Query(u, cfg.K)
+		if err != nil {
+			return SpamResult{}, err
+		}
+		if len(answer) == 0 {
+			continue
+		}
+		same := 0
+		for _, v := range answer {
+			if labels[v] == label {
+				same++
+			}
+		}
+		ratio := float64(same) / float64(len(answer))
+		if label == gen.LabelSpam {
+			spamRatioSum += ratio
+			spamQueries++
+		} else {
+			normRatioSum += ratio
+			normQueries++
+		}
+		res.QueriesRun++
+	}
+	if spamQueries > 0 {
+		res.SpamQuerySpamRatio = spamRatioSum / float64(spamQueries)
+	}
+	if normQueries > 0 {
+		res.NormalQueryNormalRatio = normRatioSum / float64(normQueries)
+	}
+	if progress != nil {
+		fmt.Fprintf(progress, "spam: %d queries, spam purity %.3f, normal purity %.3f\n",
+			res.QueriesRun, res.SpamQuerySpamRatio, res.NormalQueryNormalRatio)
+	}
+	return res, nil
+}
+
+// WriteSpamResult renders the study summary.
+func WriteSpamResult(w io.Writer, r SpamResult) error {
+	tw := newTable(w)
+	fmt.Fprintln(tw, "hosts\tspam\tnormal\tqueries\tspam_query_spam_ratio\tnormal_query_normal_ratio")
+	fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%.1f%%\t%.1f%%\n",
+		r.Hosts, r.SpamHosts, r.NormalHosts, r.QueriesRun,
+		100*r.SpamQuerySpamRatio, 100*r.NormalQueryNormalRatio)
+	return tw.Flush()
+}
+
+// Table3Row is one author of the popularity ranking of Table 3.
+type Table3Row struct {
+	Name           string
+	ReverseTopKLen int
+	Coauthors      int
+	Prolific       bool
+}
+
+// Table3Config parameterizes the co-authorship study.
+type Table3Config struct {
+	Options   gen.CoauthorOptions
+	K         int
+	IndexK    int
+	TopN      int
+	HubBudget int
+	Omega     float64
+}
+
+// DefaultTable3Config mirrors §5.4: reverse top-5 search from every author,
+// ranked by answer-set size, top 10 reported. Queries hitting the planted
+// prolific authors have thousand-node answers, so this is the slowest
+// harness experiment (≈1–2 min at scale 1); it measures effectiveness, not
+// speed, exactly like the paper's §5.4.
+func DefaultTable3Config(scale int) Table3Config {
+	if scale <= 0 {
+		scale = 1
+	}
+	opts := gen.DefaultCoauthorOptions(scale)
+	opts.Authors = 1000 * scale
+	opts.Communities = 12 * scale
+	return Table3Config{
+		Options:   opts,
+		K:         5,
+		IndexK:    50,
+		TopN:      10,
+		HubBudget: 15 * scale,
+		Omega:     1e-6,
+	}
+}
+
+// RunTable3 carries out reverse top-k search from all authors of the
+// co-authorship analog and returns the TopN authors by reverse top-k list
+// size — the paper's popularity indicator.
+func RunTable3(cfg Table3Config, progress io.Writer) ([]Table3Row, error) {
+	g, authors, err := gen.Coauthor(cfg.Options)
+	if err != nil {
+		return nil, err
+	}
+	idx, _, err := lbindex.Build(g, indexOptions(cfg.IndexK, cfg.HubBudget, cfg.Omega))
+	if err != nil {
+		return nil, err
+	}
+	eng, err := core.NewEngine(g, idx, true)
+	if err != nil {
+		return nil, err
+	}
+	sizes := make([]int, g.N())
+	for u := graph.NodeID(0); int(u) < g.N(); u++ {
+		answer, _, err := eng.Query(u, cfg.K)
+		if err != nil {
+			return nil, err
+		}
+		sizes[u] = len(answer)
+		if progress != nil && int(u)%500 == 499 {
+			fmt.Fprintf(progress, "table3: %d/%d authors done\n", u+1, g.N())
+		}
+	}
+	order := make([]int, g.N())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if sizes[order[a]] != sizes[order[b]] {
+			return sizes[order[a]] > sizes[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	topN := cfg.TopN
+	if topN > len(order) {
+		topN = len(order)
+	}
+	rows := make([]Table3Row, 0, topN)
+	for _, i := range order[:topN] {
+		rows = append(rows, Table3Row{
+			Name:           authors[i].Name,
+			ReverseTopKLen: sizes[i],
+			Coauthors:      authors[i].Coauthors,
+			Prolific:       authors[i].Prolific,
+		})
+	}
+	return rows, nil
+}
+
+// WriteTable3 renders the ranking in the layout of Table 3.
+func WriteTable3(w io.Writer, rows []Table3Row) error {
+	tw := newTable(w)
+	fmt.Fprintln(tw, "author\treverse_top5_size\tcoauthors\tplanted_prolific")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%t\n", r.Name, r.ReverseTopKLen, r.Coauthors, r.Prolific)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,187 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/evolve"
+	"repro/internal/graph"
+	"repro/internal/lbindex"
+	"repro/internal/workload"
+)
+
+// EvolveRow reports incremental index maintenance (the paper's §7 future
+// work, implemented in package evolve) for one staleness threshold θ.
+type EvolveRow struct {
+	Theta float64
+	// Affected is the number of origins re-indexed at this θ.
+	Affected int
+	// RefreshTime is the incremental maintenance cost; RebuildTime the
+	// from-scratch alternative.
+	RefreshTime time.Duration
+	RebuildTime time.Duration
+	// Jaccard compares post-refresh answers against a fresh rebuild.
+	Jaccard float64
+	Queries int
+}
+
+// EvolveConfig parameterizes the study.
+type EvolveConfig struct {
+	Graph   GraphSpec
+	Edits   int
+	Thetas  []float64
+	K       int
+	IndexK  int
+	Queries int
+	Omega   float64
+	Seed    int64
+}
+
+// DefaultEvolveConfig applies a small batch of random edge insertions and
+// deletions to the Web-stanford-cs analog and sweeps the staleness
+// threshold.
+func DefaultEvolveConfig(scale int) EvolveConfig {
+	graphs := DefaultGraphs(scale)
+	return EvolveConfig{
+		Graph:   graphs[0],
+		Edits:   20,
+		Thetas:  []float64{0, 1e-5, 1e-4, 1e-3},
+		K:       10,
+		IndexK:  100,
+		Queries: 40,
+		Omega:   1e-6,
+		Seed:    606,
+	}
+}
+
+// randomEdits produces a valid mix of insertions and deletions.
+func randomEdits(g *graph.Graph, count int, seed int64) []evolve.Edit {
+	rng := rand.New(rand.NewSource(seed))
+	var edits []evolve.Edit
+	touched := map[graph.NodeID]bool{}
+	for len(edits) < count {
+		u := graph.NodeID(rng.Intn(g.N()))
+		if touched[u] {
+			continue
+		}
+		if rng.Intn(2) == 0 && g.OutDegree(u) > 1 {
+			nbrs := g.OutNeighbors(u)
+			edits = append(edits, evolve.Edit{From: u, To: nbrs[rng.Intn(len(nbrs))], Remove: true})
+		} else {
+			v := graph.NodeID(rng.Intn(g.N()))
+			if v == u || g.HasEdge(u, v) {
+				continue
+			}
+			edits = append(edits, evolve.Edit{From: u, To: v})
+		}
+		touched[u] = true
+	}
+	return edits
+}
+
+// RunEvolveStudy measures incremental refresh against full rebuild across
+// the staleness-threshold sweep. Expected shape: θ=0 matches the rebuild
+// exactly; growing θ shrinks the affected set and the refresh time while
+// answer similarity decays only marginally.
+func RunEvolveStudy(cfg EvolveConfig, progress io.Writer) ([]EvolveRow, error) {
+	g, err := cfg.Graph.Build()
+	if err != nil {
+		return nil, err
+	}
+	opts := indexOptions(cfg.IndexK, cfg.Graph.HubBudget, cfg.Omega)
+	baseIdx, _, err := lbindex.Build(g, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	edits := randomEdits(g, cfg.Edits, cfg.Seed)
+	g2, err := evolve.ApplyEdits(g, edits, graph.DanglingSelfLoop)
+	if err != nil {
+		return nil, err
+	}
+	if g2.N() != g.N() {
+		return nil, fmt.Errorf("exp: edits changed the node count")
+	}
+
+	// Reference: full rebuild on the edited graph.
+	rebuildStart := time.Now()
+	rebuiltIdx, _, err := lbindex.Build(g2, opts)
+	if err != nil {
+		return nil, err
+	}
+	rebuildTime := time.Since(rebuildStart)
+	refEng, err := core.NewEngine(g2, rebuiltIdx, true)
+	if err != nil {
+		return nil, err
+	}
+	queries, err := workload.Queries(g2.N(), cfg.Queries, cfg.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+	reference := make([][]graph.NodeID, len(queries))
+	for i, q := range queries {
+		reference[i], _, err = refEng.Query(q, cfg.K)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	sources := evolve.Sources(edits)
+	var rows []EvolveRow
+	for _, theta := range cfg.Thetas {
+		idx, err := cloneIndex(baseIdx)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		affected, err := evolve.AffectedOrigins(g2, sources, theta, opts.RWR)
+		if err != nil {
+			return nil, err
+		}
+		stats, err := evolve.Refresh(g2, idx, affected)
+		if err != nil {
+			return nil, err
+		}
+		refreshTime := time.Since(start)
+
+		eng, err := core.NewEngine(g2, idx, true)
+		if err != nil {
+			return nil, err
+		}
+		var jSum float64
+		for i, q := range queries {
+			res, _, err := eng.Query(q, cfg.K)
+			if err != nil {
+				return nil, err
+			}
+			jSum += workload.Jaccard(res, reference[i])
+		}
+		rows = append(rows, EvolveRow{
+			Theta:       theta,
+			Affected:    stats.Affected,
+			RefreshTime: refreshTime,
+			RebuildTime: rebuildTime,
+			Jaccard:     jSum / float64(len(queries)),
+			Queries:     len(queries),
+		})
+		if progress != nil {
+			fmt.Fprintf(progress, "evolve: θ=%g affected=%d refresh=%v jaccard=%.4f\n",
+				theta, stats.Affected, refreshTime.Round(time.Millisecond), rows[len(rows)-1].Jaccard)
+		}
+	}
+	return rows, nil
+}
+
+// WriteEvolveStudy renders the sweep.
+func WriteEvolveStudy(w io.Writer, rows []EvolveRow) error {
+	tw := newTable(w)
+	fmt.Fprintln(tw, "theta\taffected\trefresh_time\trebuild_time\tanswer_jaccard\tqueries")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%g\t%d\t%v\t%v\t%.4f\t%d\n",
+			r.Theta, r.Affected, r.RefreshTime.Round(time.Millisecond), r.RebuildTime.Round(time.Millisecond), r.Jaccard, r.Queries)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,105 @@
+// Package exp is the experiment harness: one driver per table and figure of
+// the paper's evaluation (§5), each regenerating the same rows/series the
+// paper reports, on the synthetic dataset analogs of package gen (see
+// DESIGN.md for the substitution rationale and the expected shapes).
+//
+// Absolute numbers differ from the paper (their testbed was Matlab on a
+// 500-core cluster; ours is a Go library on one machine) — the comparisons
+// that must hold are relative: who wins, by what rough factor, and where
+// the curves cross.
+package exp
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/lbindex"
+)
+
+// GraphSpec names one evaluation graph (an analog of Table 2's datasets).
+type GraphSpec struct {
+	// Name is the dataset-analog label used in reports.
+	Name string
+	// Paper is the dataset the spec stands in for.
+	Paper string
+	// Nodes is the generated size.
+	Nodes int
+	// Kind selects the generator: "web" (copying model) or "social"
+	// (preferential attachment).
+	Kind string
+	// Seed makes the graph reproducible.
+	Seed int64
+	// HubBudget is the per-graph B used when an experiment doesn't sweep
+	// it (chosen like the paper: ≈1–2% of nodes for dense graphs, less
+	// for sparse ones).
+	HubBudget int
+}
+
+// Build generates the graph.
+func (s GraphSpec) Build() (*graph.Graph, error) {
+	switch s.Kind {
+	case "web":
+		return gen.WebGraph(s.Nodes, s.Seed)
+	case "social":
+		return gen.SocialGraph(s.Nodes, s.Seed)
+	default:
+		return nil, fmt.Errorf("exp: unknown graph kind %q", s.Kind)
+	}
+}
+
+// DefaultGraphs returns the four dataset analogs at a size multiplier
+// (scale=1 keeps every experiment comfortably inside a CI run; the paper's
+// sizes correspond to scale ≈ 5–400).
+func DefaultGraphs(scale int) []GraphSpec {
+	if scale <= 0 {
+		scale = 1
+	}
+	return []GraphSpec{
+		{Name: "web-cs", Paper: "Web-stanford-cs", Nodes: 1000 * scale, Kind: "web", Seed: 11, HubBudget: 10 * scale},
+		{Name: "social", Paper: "Epinions", Nodes: 1500 * scale, Kind: "social", Seed: 13, HubBudget: 20 * scale},
+		{Name: "web-md", Paper: "Web-stanford", Nodes: 2500 * scale, Kind: "web", Seed: 17, HubBudget: 12 * scale},
+		{Name: "web-lg", Paper: "Web-google", Nodes: 5000 * scale, Kind: "web", Seed: 19, HubBudget: 25 * scale},
+	}
+}
+
+// indexOptions returns the paper-default index options with a harness K.
+func indexOptions(k, hubBudget int, omega float64) lbindex.Options {
+	o := lbindex.DefaultOptions()
+	o.K = k
+	o.HubBudget = hubBudget
+	o.Omega = omega
+	return o
+}
+
+// cloneIndex deep-copies an index through its serialized form so that
+// update/no-update comparisons start from identical bounds.
+func cloneIndex(idx *lbindex.Index) (*lbindex.Index, error) {
+	var buf bytes.Buffer
+	if err := idx.Save(&buf); err != nil {
+		return nil, err
+	}
+	return lbindex.Load(&buf)
+}
+
+// newTable returns a tabwriter for aligned report rendering.
+func newTable(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+}
+
+// fmtBytes renders a byte count in human units.
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2fGB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2fMB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.2fKB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}

@@ -1,0 +1,394 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// tinyGraphs returns down-scaled specs so the harness tests stay fast.
+func tinyGraphs() []GraphSpec {
+	return []GraphSpec{
+		{Name: "web-tiny", Paper: "Web-stanford-cs", Nodes: 300, Kind: "web", Seed: 11, HubBudget: 5},
+		{Name: "social-tiny", Paper: "Epinions", Nodes: 300, Kind: "social", Seed: 13, HubBudget: 6},
+	}
+}
+
+func TestGraphSpecBuild(t *testing.T) {
+	for _, spec := range DefaultGraphs(1) {
+		g, err := spec.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if g.N() != spec.Nodes {
+			t.Errorf("%s: n=%d, want %d", spec.Name, g.N(), spec.Nodes)
+		}
+	}
+	bad := GraphSpec{Kind: "nope", Nodes: 10}
+	if _, err := bad.Build(); err == nil {
+		t.Error("want kind error")
+	}
+}
+
+func TestRunTable2Shape(t *testing.T) {
+	cfg := Table2Config{
+		Graphs:        tinyGraphs()[:1],
+		BFractions:    []float64{0.01, 0.03},
+		K:             20,
+		Omega:         1e-6,
+		SampleColumns: 16,
+	}
+	rows, err := RunTable2(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.BuildTime <= 0 || r.FullPTime <= 0 {
+			t.Errorf("non-positive times: %+v", r)
+		}
+		if r.ActualBytes <= 0 || r.PhatBytes <= 0 {
+			t.Errorf("non-positive sizes: %+v", r)
+		}
+		// The headline shape of Table 2: building the index costs far
+		// less than materializing P, and stores far less than P.
+		if r.BuildTime > r.FullPTime {
+			t.Errorf("%s B=%d: index build %v slower than full P %v", r.Graph, r.B, r.BuildTime, r.FullPTime)
+		}
+		if r.ActualBytes >= r.FullPBytes {
+			t.Errorf("%s B=%d: index %d B not below full P %d B", r.Graph, r.B, r.ActualBytes, r.FullPBytes)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteTable2(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "web-tiny") {
+		t.Error("rendered table missing graph name")
+	}
+}
+
+func TestRunFigure5And6Shape(t *testing.T) {
+	cfg := Fig5Config{
+		Graphs:  tinyGraphs()[:1],
+		Ks:      []int{5, 10},
+		Queries: 10,
+		K:       20,
+		Omega:   1e-6,
+		Seed:    1,
+	}
+	rows, err := RunFigure5And6(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 { // 2 ks × 2 modes
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.AvgTime <= 0 {
+			t.Errorf("non-positive avg time: %+v", r)
+		}
+		if r.AvgHits > r.AvgCandidates+1e-9 {
+			t.Errorf("hits exceed candidates: %+v", r)
+		}
+		if r.AvgResults > r.AvgCandidates+1e-9 {
+			t.Errorf("results exceed candidates: %+v", r)
+		}
+		// Fig. 6's shape: candidates are in the order of k, not n.
+		if r.AvgCandidates > float64(cfg.Graphs[0].Nodes)/2 {
+			t.Errorf("pruning ineffective: %g candidates of %d nodes", r.AvgCandidates, cfg.Graphs[0].Nodes)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteFigure5(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFigure6(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "cand") {
+		t.Error("figure 6 header missing")
+	}
+}
+
+func TestRunFigure7Shape(t *testing.T) {
+	cfg := Fig7Config{
+		Graph:   tinyGraphs()[0],
+		K:       10,
+		IndexK:  20,
+		Queries: 8,
+		Omega:   1e-6,
+		Seed:    2,
+	}
+	points, err := RunFigure7(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 8 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for i, p := range points {
+		if p.QueryID != i || p.Update <= 0 || p.NoUpdate <= 0 {
+			t.Errorf("bad point %d: %+v", i, p)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteFigure7(&buf, points); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFigure8Shape(t *testing.T) {
+	// n=500 is the smallest scale at which build costs dominate enough
+	// for the paper's curve ordering to emerge; see EXPERIMENTS.md.
+	cfg := Fig8Config{
+		Graph:        GraphSpec{Name: "web-f8", Paper: "Web-stanford-cs", Nodes: 500, Kind: "web", Seed: 11, HubBudget: 10},
+		K:            10,
+		IndexK:       50,
+		Omega:        1e-6,
+		SamplePoints: 10,
+	}
+	points, err := RunFigure8(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) < 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	first, last := points[0], points[len(points)-1]
+	if first.QueriesDone != 0 {
+		t.Errorf("first point should be the build cost, got %+v", first)
+	}
+	// Fig. 8's shapes: our build is far cheaper than both brute-force
+	// builds, and our cumulative cost stays below FBF's throughout.
+	if first.Ours >= first.FBF {
+		t.Errorf("our build %v not below FBF build %v", first.Ours, first.FBF)
+	}
+	if last.Ours >= last.FBF {
+		t.Errorf("our cumulative %v not below FBF %v", last.Ours, last.FBF)
+	}
+	// Cumulative curves are non-decreasing.
+	for i := 1; i < len(points); i++ {
+		if points[i].Ours < points[i-1].Ours || points[i].IBF < points[i-1].IBF || points[i].FBF < points[i-1].FBF {
+			t.Errorf("non-monotone cumulative at %d", i)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteFigure8(&buf, points); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFigure9Shape(t *testing.T) {
+	cfg := Fig9Config{
+		Graph:   tinyGraphs()[0],
+		Omegas:  []float64{1e-3, 1e-6},
+		Ks:      []int{5, 10},
+		IndexK:  20,
+		Queries: 8,
+		Seed:    3,
+	}
+	rows, err := RunFigure9(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	smallPractical := 0.0
+	for _, r := range rows {
+		if r.ExactJaccard < 0 || r.ExactJaccard > 1 || r.PracticalJaccard < 0 || r.PracticalJaccard > 1 {
+			t.Errorf("jaccard out of range: %+v", r)
+		}
+		// Exact mode is rounding-immune: the slack-aware bounds plus the
+		// exact fallback reproduce the reference at EVERY ω.
+		if r.ExactJaccard < 1.0-1e-9 {
+			t.Errorf("exact-mode jaccard %.4f below 1 at ω=%g k=%d", r.ExactJaccard, r.Omega, r.K)
+		}
+		if r.Omega == 1e-6 {
+			smallPractical += r.PracticalJaccard
+		}
+	}
+	// ω=1e-6 drops almost nothing on a 300-node graph, so even the
+	// bounds-only practical mode agrees with the reference.
+	if smallPractical/2 < 0.95 {
+		t.Errorf("ω=1e-6 practical jaccard %g, want ≈1", smallPractical/2)
+	}
+	var buf bytes.Buffer
+	if err := WriteFigure9(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunApproxStudyShape(t *testing.T) {
+	cfg := ApproxConfig{
+		Graph:   tinyGraphs()[0],
+		Ks:      []int{5, 10},
+		IndexK:  20,
+		Queries: 10,
+		Omega:   1e-6,
+		Seed:    6,
+	}
+	rows, err := RunApproxStudy(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// On a 300-node graph the δ=0.1 bounds are loose, so hits-only
+		// recall is modest; the paper-scale run (EXPERIMENTS.md) shows
+		// the web-graph recall. Here we only pin the shape.
+		if r.Recall <= 0.2 || r.Recall > 1 {
+			t.Errorf("recall out of expected range: %+v", r)
+		}
+		if r.Precision < 0.9 || r.Precision > 1 {
+			// Approximate answers are hits; apart from boundary noise
+			// they are a subset of the exact answer.
+			t.Errorf("precision out of expected range: %+v", r)
+		}
+		// At this scale both modes cost microseconds, so allow generous
+		// noise; the approximate mode must merely not be systematically
+		// slower (it does strictly less work).
+		if r.ApproxAvg > 2*r.ExactAvgTime {
+			t.Errorf("approximate mode much slower than exact: %+v", r)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteApproxStudy(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSpamDetectionShape(t *testing.T) {
+	o := gen.SpamWebOptions{
+		Normal: 200, Spam: 60, Undecided: 20,
+		Farms: 3, FarmDensity: 6, NormalOut: 5,
+		SpamToNormal: 1, NormalToSpam: 0.02, Seed: 5,
+	}
+	cfg := SpamConfig{
+		Options: o, K: 5, IndexK: 20,
+		MaxQueriesPerClass: 40, HubBudget: 5, Omega: 1e-6,
+	}
+	res, err := RunSpamDetection(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.QueriesRun == 0 {
+		t.Fatal("no queries ran")
+	}
+	// §5.4's signal: reverse top-k answers are label-pure. The paper
+	// reports 96%/97% on the real corpus; the synthetic analog should
+	// comfortably clear a 75% bar.
+	if res.SpamQuerySpamRatio < 0.75 {
+		t.Errorf("spam purity %g too low", res.SpamQuerySpamRatio)
+	}
+	if res.NormalQueryNormalRatio < 0.75 {
+		t.Errorf("normal purity %g too low", res.NormalQueryNormalRatio)
+	}
+	var buf bytes.Buffer
+	if err := WriteSpamResult(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTable3Shape(t *testing.T) {
+	o := gen.CoauthorOptions{
+		Authors: 400, Communities: 8, Prolific: 3,
+		PapersPerAuthor: 6, CoauthorsPerPaper: 2, Seed: 7,
+	}
+	cfg := Table3Config{
+		Options: o, K: 5, IndexK: 20, TopN: 5, HubBudget: 6, Omega: 1e-6,
+	}
+	rows, err := RunTable3(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Table 3's phenomenon: the planted prolific authors dominate the
+	// ranking and their reverse top-k lists exceed their coauthor counts.
+	prolificInTop := 0
+	for _, r := range rows[:3] {
+		if r.Prolific {
+			prolificInTop++
+		}
+	}
+	if prolificInTop < 2 {
+		t.Errorf("only %d planted prolific authors in the top 3: %+v", prolificInTop, rows)
+	}
+	if rows[0].ReverseTopKLen <= rows[0].Coauthors {
+		t.Errorf("top author's reverse list (%d) not above coauthor count (%d)",
+			rows[0].ReverseTopKLen, rows[0].Coauthors)
+	}
+	var buf bytes.Buffer
+	if err := WriteTable3(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunEvolveStudyShape(t *testing.T) {
+	cfg := EvolveConfig{
+		Graph:   tinyGraphs()[0],
+		Edits:   5,
+		Thetas:  []float64{0, 1e-3},
+		K:       5,
+		IndexK:  20,
+		Queries: 8,
+		Omega:   1e-6,
+		Seed:    9,
+	}
+	rows, err := RunEvolveStudy(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// θ=0 must reproduce the rebuilt index's answers exactly.
+	if rows[0].Theta != 0 || rows[0].Jaccard < 1.0-1e-9 {
+		t.Errorf("θ=0 refresh not equivalent to rebuild: %+v", rows[0])
+	}
+	// Larger θ refreshes no more origins and stays accurate.
+	if rows[1].Affected > rows[0].Affected {
+		t.Errorf("θ>0 refreshed more origins than θ=0: %+v vs %+v", rows[1], rows[0])
+	}
+	if rows[1].Jaccard < 0.9 {
+		t.Errorf("thresholded refresh too inaccurate: %+v", rows[1])
+	}
+	var buf bytes.Buffer
+	if err := WriteEvolveStudy(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDatasetsShape(t *testing.T) {
+	rows, err := RunDatasets(tinyGraphs(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Nodes <= 0 || r.Edges <= 0 {
+			t.Errorf("bad shape: %+v", r)
+		}
+		if r.LargestSCCFrac <= 0 || r.LargestSCCFrac > 1 {
+			t.Errorf("scc fraction out of range: %+v", r)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteDatasets(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "web-tiny") {
+		t.Error("render missing graph")
+	}
+}

@@ -1,0 +1,146 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/lbindex"
+	"repro/internal/workload"
+)
+
+// Fig5Row reports average query performance for one (graph, k, mode)
+// cell of Figure 5, with the candidate/hit/result counts of Figure 6
+// collected from the same runs.
+type Fig5Row struct {
+	Graph   string
+	K       int
+	Update  bool
+	Queries int
+	AvgTime time.Duration
+	// Figure 6 series (averaged per query).
+	AvgCandidates float64
+	AvgHits       float64
+	AvgResults    float64
+	// AvgRefineSteps is the average BCA refinement work per query.
+	AvgRefineSteps float64
+}
+
+// Fig5Config parameterizes the query-performance sweep.
+type Fig5Config struct {
+	Graphs  []GraphSpec
+	Ks      []int
+	Queries int
+	K       int // index K (max supported query k)
+	Omega   float64
+	Seed    int64
+}
+
+// DefaultFig5Config mirrors §5.3: k ∈ {5,10,20,50,100}, 500 queries (the
+// harness default trims the workload; the cmd flag restores 500).
+func DefaultFig5Config(scale int) Fig5Config {
+	return Fig5Config{
+		Graphs:  DefaultGraphs(scale),
+		Ks:      []int{5, 10, 20, 50, 100},
+		Queries: 100,
+		K:       100,
+		Omega:   1e-6,
+		Seed:    101,
+	}
+}
+
+// RunFigure5And6 runs the query workload per graph and k in both index
+// modes. Each (k, mode) cell starts from a fresh copy of the built index so
+// that update-mode refinements cannot leak across cells.
+func RunFigure5And6(cfg Fig5Config, progress io.Writer) ([]Fig5Row, error) {
+	var rows []Fig5Row
+	for _, spec := range cfg.Graphs {
+		g, err := spec.Build()
+		if err != nil {
+			return nil, err
+		}
+		opts := indexOptions(cfg.K, spec.HubBudget, cfg.Omega)
+		built, _, err := lbindex.Build(g, opts)
+		if err != nil {
+			return nil, err
+		}
+		queries, err := workload.Queries(g.N(), cfg.Queries, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range cfg.Ks {
+			if k > cfg.K {
+				continue
+			}
+			for _, update := range []bool{true, false} {
+				idx, err := cloneIndex(built)
+				if err != nil {
+					return nil, err
+				}
+				eng, err := core.NewEngine(g, idx, update)
+				if err != nil {
+					return nil, err
+				}
+				// Timing experiments use the paper-literal decision rule
+				// (see core.SetPracticalDecisions): the paper's loop has
+				// no exact-fallback escape, so its reported costs
+				// correspond to this mode.
+				eng.SetPracticalDecisions(true)
+				row := Fig5Row{Graph: spec.Name, K: k, Update: update, Queries: len(queries)}
+				var total time.Duration
+				for _, q := range queries {
+					_, stats, err := eng.Query(q, k)
+					if err != nil {
+						return nil, err
+					}
+					total += stats.Elapsed
+					row.AvgCandidates += float64(stats.Candidates)
+					row.AvgHits += float64(stats.Hits)
+					row.AvgResults += float64(stats.Results)
+					row.AvgRefineSteps += float64(stats.RefineSteps)
+				}
+				nq := float64(len(queries))
+				row.AvgTime = time.Duration(float64(total) / nq)
+				row.AvgCandidates /= nq
+				row.AvgHits /= nq
+				row.AvgResults /= nq
+				row.AvgRefineSteps /= nq
+				rows = append(rows, row)
+				if progress != nil {
+					fmt.Fprintf(progress, "fig5/6: %s k=%d update=%t avg=%v\n", spec.Name, k, update, row.AvgTime.Round(time.Microsecond))
+				}
+			}
+		}
+	}
+	return rows, nil
+}
+
+// WriteFigure5 renders the query-time series of Figure 5.
+func WriteFigure5(w io.Writer, rows []Fig5Row) error {
+	tw := newTable(w)
+	fmt.Fprintln(tw, "graph\tk\tmode\tqueries\tavg_query_time\tavg_refine_steps")
+	for _, r := range rows {
+		mode := "no-update"
+		if r.Update {
+			mode = "update"
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%d\t%v\t%.1f\n",
+			r.Graph, r.K, mode, r.Queries, r.AvgTime.Round(time.Microsecond), r.AvgRefineSteps)
+	}
+	return tw.Flush()
+}
+
+// WriteFigure6 renders the candidates/hits/results series of Figure 6
+// (update mode only, matching the paper).
+func WriteFigure6(w io.Writer, rows []Fig5Row) error {
+	tw := newTable(w)
+	fmt.Fprintln(tw, "graph\tk\tcand\thits\tresult")
+	for _, r := range rows {
+		if !r.Update {
+			continue
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%.1f\t%.1f\t%.1f\n", r.Graph, r.K, r.AvgCandidates, r.AvgHits, r.AvgResults)
+	}
+	return tw.Flush()
+}

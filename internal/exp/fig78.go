@@ -1,0 +1,220 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/lbindex"
+	"repro/internal/workload"
+)
+
+// Fig7Point is the cost of one query in the sequential workload of Fig. 7.
+type Fig7Point struct {
+	QueryID  int
+	Update   time.Duration
+	NoUpdate time.Duration
+}
+
+// Fig7Config parameterizes the index-refinement effectiveness study.
+type Fig7Config struct {
+	Graph   GraphSpec
+	K       int // query k (the paper uses 100)
+	IndexK  int
+	Queries int
+	Omega   float64
+	Seed    int64
+}
+
+// DefaultFig7Config mirrors §5.3 ("Effectiveness of Index Refinement") at
+// harness scale: reverse top-100 queries on the Web-stanford analog.
+func DefaultFig7Config(scale int) Fig7Config {
+	graphs := DefaultGraphs(scale)
+	return Fig7Config{
+		Graph:   graphs[2], // web-md: the Web-stanford analog
+		K:       100,
+		IndexK:  100,
+		Queries: 100,
+		Omega:   1e-6,
+		Seed:    303,
+	}
+}
+
+// RunFigure7 runs the same query sequence against an updating index and a
+// frozen one, recording per-query cost. The paper's observation: the gap
+// widens with the query id, because later queries reuse earlier
+// refinements.
+func RunFigure7(cfg Fig7Config, progress io.Writer) ([]Fig7Point, error) {
+	g, err := cfg.Graph.Build()
+	if err != nil {
+		return nil, err
+	}
+	built, _, err := lbindex.Build(g, indexOptions(cfg.IndexK, cfg.Graph.HubBudget, cfg.Omega))
+	if err != nil {
+		return nil, err
+	}
+	queries, err := workload.Queries(g.N(), cfg.Queries, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	points := make([]Fig7Point, len(queries))
+	for _, update := range []bool{true, false} {
+		idx, err := cloneIndex(built)
+		if err != nil {
+			return nil, err
+		}
+		eng, err := core.NewEngine(g, idx, update)
+		if err != nil {
+			return nil, err
+		}
+		eng.SetPracticalDecisions(true) // paper-literal decisions; see Fig5
+		for i, q := range queries {
+			_, stats, err := eng.Query(q, cfg.K)
+			if err != nil {
+				return nil, err
+			}
+			points[i].QueryID = i
+			if update {
+				points[i].Update = stats.Elapsed
+			} else {
+				points[i].NoUpdate = stats.Elapsed
+			}
+		}
+		if progress != nil {
+			fmt.Fprintf(progress, "fig7: update=%t done\n", update)
+		}
+	}
+	return points, nil
+}
+
+// WriteFigure7 renders the per-query cost series.
+func WriteFigure7(w io.Writer, points []Fig7Point) error {
+	tw := newTable(w)
+	fmt.Fprintln(tw, "query_id\tupdate\tno_update")
+	for _, p := range points {
+		fmt.Fprintf(tw, "%d\t%v\t%v\n", p.QueryID, p.Update.Round(time.Microsecond), p.NoUpdate.Round(time.Microsecond))
+	}
+	return tw.Flush()
+}
+
+// Fig8Point is one sampled point of the cumulative-cost curves of Fig. 8.
+type Fig8Point struct {
+	QueriesDone int
+	Ours        time.Duration
+	IBF         time.Duration
+	FBF         time.Duration
+}
+
+// Fig8Config parameterizes the cumulative-cost study.
+type Fig8Config struct {
+	Graph  GraphSpec
+	K      int // query k (paper: 10)
+	IndexK int
+	Omega  float64
+	// SamplePoints bounds the number of emitted curve points.
+	SamplePoints int
+}
+
+// DefaultFig8Config mirrors §5.3 ("Cumulative Cost"): every node of the
+// Web-stanford-cs analog is a query, k=10.
+func DefaultFig8Config(scale int) Fig8Config {
+	graphs := DefaultGraphs(scale)
+	return Fig8Config{
+		Graph:        graphs[0], // web-cs analog
+		K:            10,
+		IndexK:       100,
+		Omega:        1e-6,
+		SamplePoints: 50,
+	}
+}
+
+// RunFigure8 compares the cumulative cost of (a) our index + online
+// queries with updates, (b) IBF: full P materialization then minimal
+// per-query row scans, (c) FBF: exact top-K precomputation then PMPN per
+// query. Build costs enter each curve at query 0.
+//
+// All three builds run single-threaded: the paper reports times summed
+// over cores (§5), i.e. total CPU work, and wall-clock on one worker is
+// the faithful analog. Queries are sequential in all three systems anyway.
+func RunFigure8(cfg Fig8Config, progress io.Writer) ([]Fig8Point, error) {
+	g, err := cfg.Graph.Build()
+	if err != nil {
+		return nil, err
+	}
+	queries := workload.AllNodes(g.N())
+
+	// Ours.
+	opts := indexOptions(cfg.IndexK, cfg.Graph.HubBudget, cfg.Omega)
+	opts.Workers = 1
+	buildStart := time.Now()
+	idx, _, err := lbindex.Build(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	ourBuild := time.Since(buildStart)
+	eng, err := core.NewEngine(g, idx, true)
+	if err != nil {
+		return nil, err
+	}
+	eng.SetPracticalDecisions(true) // paper-literal decisions; see Fig5
+
+	// Brute-force baselines (exact, shared K ceiling), also single-core.
+	ibf, err := baseline.BuildIBF(g, cfg.IndexK, idx.Options().RWR, 1)
+	if err != nil {
+		return nil, err
+	}
+	fbf, err := baseline.BuildFBF(g, cfg.IndexK, idx.Options().RWR, 1)
+	if err != nil {
+		return nil, err
+	}
+	if progress != nil {
+		fmt.Fprintf(progress, "fig8: builds done ours=%v ibf=%v fbf=%v\n",
+			ourBuild.Round(time.Millisecond), ibf.BuildElapsed.Round(time.Millisecond), fbf.BuildElapsed.Round(time.Millisecond))
+	}
+
+	stride := len(queries) / cfg.SamplePoints
+	if stride < 1 {
+		stride = 1
+	}
+	cumOurs, cumIBF, cumFBF := ourBuild, ibf.BuildElapsed, fbf.BuildElapsed
+	var points []Fig8Point
+	points = append(points, Fig8Point{QueriesDone: 0, Ours: cumOurs, IBF: cumIBF, FBF: cumFBF})
+	for i, q := range queries {
+		_, stats, err := eng.Query(q, cfg.K)
+		if err != nil {
+			return nil, err
+		}
+		cumOurs += stats.Elapsed
+
+		t0 := time.Now()
+		if _, err := ibf.Query(q, cfg.K); err != nil {
+			return nil, err
+		}
+		cumIBF += time.Since(t0)
+
+		t0 = time.Now()
+		if _, err := fbf.Query(q, cfg.K); err != nil {
+			return nil, err
+		}
+		cumFBF += time.Since(t0)
+
+		if (i+1)%stride == 0 || i == len(queries)-1 {
+			points = append(points, Fig8Point{QueriesDone: i + 1, Ours: cumOurs, IBF: cumIBF, FBF: cumFBF})
+		}
+	}
+	return points, nil
+}
+
+// WriteFigure8 renders the cumulative curves.
+func WriteFigure8(w io.Writer, points []Fig8Point) error {
+	tw := newTable(w)
+	fmt.Fprintln(tw, "queries\tours_cum\tibf_cum\tfbf_cum")
+	for _, p := range points {
+		fmt.Fprintf(tw, "%d\t%v\t%v\t%v\n", p.QueriesDone,
+			p.Ours.Round(time.Millisecond), p.IBF.Round(time.Millisecond), p.FBF.Round(time.Millisecond))
+	}
+	return tw.Flush()
+}

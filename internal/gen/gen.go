@@ -1,0 +1,208 @@
+// Package gen provides seeded, reproducible synthetic graph generators that
+// stand in for the paper's datasets (see DESIGN.md "Substitutions"):
+//
+//   - ErdosRenyi: uniform random digraphs (calibration baseline).
+//   - PrefAttach: directed preferential attachment — social-network analog
+//     for Epinions (heavy-tailed in-degree, reciprocated edges).
+//   - Copying: the copying model of web-graph formation — analog for the
+//     Web-stanford / Web-google crawls (power-law in-degree, link locality).
+//   - RMAT: recursive-matrix generator — large skewed web/social graphs.
+//   - SpamWeb (spam.go): labeled host graph with link farms — analog for
+//     Webspam-uk2006.
+//   - Coauthor (coauthor.go): weighted co-authorship network with
+//     publication counts — analog for the DBLP extract of §5.4.
+//
+// Every generator takes an explicit seed and returns identical graphs for
+// identical inputs.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// ErdosRenyi generates a digraph with n nodes and approximately m uniformly
+// random directed edges (duplicates collapse, self-loops excluded).
+func ErdosRenyi(n, m int, seed int64) (*graph.Graph, error) {
+	if n <= 0 || m < 0 {
+		return nil, fmt.Errorf("gen: bad ER parameters n=%d m=%d", n, m)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		if u == v {
+			v = (v + 1) % n
+		}
+		b.AddEdge(graph.NodeID(u), graph.NodeID(v))
+	}
+	g, _, err := b.Build(graph.DanglingSelfLoop)
+	return g, err
+}
+
+// PrefAttach generates a directed preferential-attachment graph: nodes
+// arrive one at a time and emit `out` edges to existing nodes chosen
+// proportionally to (in-degree + 1); each new edge is reciprocated with
+// probability `recip`, mimicking the mutual-trust edges of social networks
+// like Epinions.
+func PrefAttach(n, out int, recip float64, seed int64) (*graph.Graph, error) {
+	if n <= 0 || out <= 0 || recip < 0 || recip > 1 {
+		return nil, fmt.Errorf("gen: bad PA parameters n=%d out=%d recip=%g", n, out, recip)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	// urn holds one entry per unit of (in-degree + 1) over nodes that
+	// already exist; drawing uniformly from it realizes preferential
+	// attachment with +1 smoothing. Only born nodes ever enter the urn.
+	urn := make([]graph.NodeID, 0, n*(out+2))
+	// Bootstrap ring over the first out+1 nodes (see Copying) so early
+	// nodes have non-degenerate reachable sets.
+	seedCount := out + 1
+	if seedCount > n {
+		seedCount = n
+	}
+	for v := 0; v < seedCount; v++ {
+		b.AddEdge(graph.NodeID(v), graph.NodeID((v+1)%seedCount))
+		urn = append(urn, graph.NodeID(v))
+	}
+	for v := seedCount; v < n; v++ {
+		id := graph.NodeID(v)
+		deg := out
+		recipTo := make([]graph.NodeID, 0, deg)
+		for e := 0; e < deg; e++ {
+			t := urn[rng.Intn(len(urn))]
+			b.AddEdge(id, t)
+			urn = append(urn, t) // t gained one in-degree
+			if rng.Float64() < recip {
+				b.AddEdge(t, id)
+				recipTo = append(recipTo, id)
+			}
+		}
+		urn = append(urn, id) // v's smoothing entry: v is now born
+		// Credit v's in-degree gained from reciprocation after birth.
+		urn = append(urn, recipTo...)
+	}
+	g, _, err := b.Build(graph.DanglingSelfLoop)
+	return g, err
+}
+
+// Copying generates a web-like graph by the copying model: each new node v
+// picks a random prototype p among existing nodes and emits `out` links;
+// with probability `copyProb` link i copies p's i-th out-link, otherwise it
+// goes to a uniform random existing node. Produces power-law in-degrees,
+// matching the crawled web graphs of §5.1.
+//
+// Pure arrival-order copying yields an acyclic graph (every link points to
+// an older node), which real crawls are not: web graphs have large
+// strongly connected cores, and without cycles most nodes reach only a
+// handful of others, degenerating top-k proximity sets. backProb controls
+// cyclicity: each new node also attracts a link FROM a random older node
+// with that probability (0.3 gives SCC structure resembling crawls).
+func Copying(n, out int, copyProb, backProb float64, seed int64) (*graph.Graph, error) {
+	if n <= 1 || out <= 0 || copyProb < 0 || copyProb > 1 || backProb < 0 || backProb > 1 {
+		return nil, fmt.Errorf("gen: bad copying parameters n=%d out=%d p=%g back=%g", n, out, copyProb, backProb)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	// adjacency of already-generated nodes, for prototype copying.
+	adj := make([][]graph.NodeID, n)
+	// Bootstrap: the first out+1 nodes form a ring so that no early node
+	// ends up with a degenerate (< k-node) reachable set, which would
+	// place it in every reverse top-k answer.
+	seedCount := out + 1
+	if seedCount > n {
+		seedCount = n
+	}
+	for v := 0; v < seedCount; v++ {
+		t := graph.NodeID((v + 1) % seedCount)
+		b.AddEdge(graph.NodeID(v), t)
+		adj[v] = []graph.NodeID{t}
+	}
+	for v := seedCount; v < n; v++ {
+		proto := rng.Intn(v)
+		// Out-degree varies around `out` (uniform in [out/2, 3out/2]):
+		// constant-degree copying mass-produces pages with IDENTICAL link
+		// profiles, hence exactly tied proximity vectors, which real
+		// crawls do not exhibit at that rate and which put spurious mass
+		// on the reverse top-k decision boundary.
+		deg := out/2 + rng.Intn(out+1)
+		if deg < 1 {
+			deg = 1
+		}
+		links := make([]graph.NodeID, 0, deg)
+		for e := 0; e < deg; e++ {
+			var t graph.NodeID
+			if rng.Float64() < copyProb && e < len(adj[proto]) {
+				t = adj[proto][e]
+			} else {
+				t = graph.NodeID(rng.Intn(v))
+			}
+			b.AddEdge(graph.NodeID(v), t)
+			links = append(links, t)
+		}
+		adj[v] = links
+		if rng.Float64() < backProb {
+			// An older page discovers the new one and links to it,
+			// closing cycles the pure copying process cannot form.
+			b.AddEdge(graph.NodeID(rng.Intn(v)), graph.NodeID(v))
+		}
+	}
+	g, _, err := b.Build(graph.DanglingSelfLoop)
+	return g, err
+}
+
+// RMAT generates a graph with 2^scale nodes and edgeFactor·2^scale edges by
+// the R-MAT recursive quadrant model with probabilities a, b, c, d (which
+// must sum to 1). The canonical web-like setting is a=0.57, b=0.19, c=0.19,
+// d=0.05.
+func RMAT(scale, edgeFactor int, a, b, c, d float64, seed int64) (*graph.Graph, error) {
+	if scale <= 0 || scale > 24 || edgeFactor <= 0 {
+		return nil, fmt.Errorf("gen: bad RMAT parameters scale=%d edgeFactor=%d", scale, edgeFactor)
+	}
+	if diff := a + b + c + d - 1; diff > 1e-9 || diff < -1e-9 {
+		return nil, fmt.Errorf("gen: RMAT probabilities sum to %g, want 1", a+b+c+d)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := 1 << scale
+	m := edgeFactor * n
+	bld := graph.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		u, v := 0, 0
+		for bit := 0; bit < scale; bit++ {
+			r := rng.Float64()
+			switch {
+			case r < a:
+				// upper-left: no bits set
+			case r < a+b:
+				v |= 1 << bit
+			case r < a+b+c:
+				u |= 1 << bit
+			default:
+				u |= 1 << bit
+				v |= 1 << bit
+			}
+		}
+		if u == v {
+			continue
+		}
+		bld.AddEdge(graph.NodeID(u), graph.NodeID(v))
+	}
+	g, _, err := bld.Build(graph.DanglingSelfLoop)
+	return g, err
+}
+
+// WebGraph generates the default web-graph analog used by the experiment
+// harness: a copying-model graph with the sparsity of the paper's crawls
+// (m/n ≈ 4–8) and power-law in-degree.
+func WebGraph(n int, seed int64) (*graph.Graph, error) {
+	return Copying(n, 5, 0.75, 0.15, seed)
+}
+
+// SocialGraph generates the social-network analog (Epinions-like): denser
+// preferential attachment with partial reciprocity.
+func SocialGraph(n int, seed int64) (*graph.Graph, error) {
+	return PrefAttach(n, 7, 0.3, seed)
+}

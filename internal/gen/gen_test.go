@@ -1,0 +1,265 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func newTestRand() *rand.Rand { return rand.New(rand.NewSource(99)) }
+
+func TestErdosRenyi(t *testing.T) {
+	g, err := ErdosRenyi(500, 2500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 500 {
+		t.Fatalf("N = %d", g.N())
+	}
+	if g.M() < 2000 || g.M() > 3100 {
+		t.Errorf("M = %d, want ≈2500 (+self-loops, −duplicates)", g.M())
+	}
+	if err := g.Validate(); err != nil {
+		t.Error(err)
+	}
+	// Determinism.
+	g2, err := ErdosRenyi(500, 2500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.M() != g.M() {
+		t.Error("not deterministic for equal seeds")
+	}
+	g3, err := ErdosRenyi(500, 2500, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g3.M() == g.M() && sameEdges(g, g3) {
+		t.Error("different seeds produced identical graphs")
+	}
+	if _, err := ErdosRenyi(0, 10, 1); err == nil {
+		t.Error("want parameter error")
+	}
+}
+
+func sameEdges(a, b *graph.Graph) bool {
+	if a.N() != b.N() || a.M() != b.M() {
+		return false
+	}
+	for u := graph.NodeID(0); int(u) < a.N(); u++ {
+		na, nb := a.OutNeighbors(u), b.OutNeighbors(u)
+		if len(na) != len(nb) {
+			return false
+		}
+		for i := range na {
+			if na[i] != nb[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestPrefAttachHeavyTail(t *testing.T) {
+	g, err := PrefAttach(2000, 5, 0.3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := graph.ComputeStats(g)
+	// Preferential attachment concentrates in-degree: the max should far
+	// exceed the mean and the Gini should be high.
+	if float64(s.MaxInDegree) < 8*s.AvgOutDegree {
+		t.Errorf("no heavy tail: max in-degree %d, avg %g", s.MaxInDegree, s.AvgOutDegree)
+	}
+	if s.InDegreeGini < 0.4 {
+		t.Errorf("in-degree Gini %g too uniform for preferential attachment", s.InDegreeGini)
+	}
+	if _, err := PrefAttach(10, 0, 0.3, 1); err == nil {
+		t.Error("want parameter error")
+	}
+	if _, err := PrefAttach(10, 2, 1.5, 1); err == nil {
+		t.Error("want recip error")
+	}
+}
+
+func TestCopyingPowerLaw(t *testing.T) {
+	g, err := Copying(3000, 5, 0.75, 0.5, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	beta := graph.PowerLawExponent(g, 3)
+	if math.IsNaN(beta) || beta < 1.5 || beta > 4.5 {
+		t.Errorf("in-degree tail exponent %g, want power-law range (≈2–3.5)", beta)
+	}
+	if _, err := Copying(1, 5, 0.5, 0.3, 1); err == nil {
+		t.Error("want parameter error")
+	}
+}
+
+func TestRMAT(t *testing.T) {
+	g, err := RMAT(10, 8, 0.57, 0.19, 0.19, 0.05, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 1024 {
+		t.Fatalf("N = %d, want 1024", g.N())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := graph.ComputeStats(g)
+	if s.InDegreeGini < 0.4 {
+		t.Errorf("RMAT skew too low: gini %g", s.InDegreeGini)
+	}
+	if _, err := RMAT(10, 8, 0.5, 0.5, 0.5, 0.5, 1); err == nil {
+		t.Error("want probability-sum error")
+	}
+	if _, err := RMAT(0, 8, 0.57, 0.19, 0.19, 0.05, 1); err == nil {
+		t.Error("want scale error")
+	}
+}
+
+func TestWebAndSocialPresets(t *testing.T) {
+	if _, err := WebGraph(800, 1); err != nil {
+		t.Error(err)
+	}
+	if _, err := SocialGraph(800, 1); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpamWebStructure(t *testing.T) {
+	o := DefaultSpamWebOptions(1)
+	g, labels, err := SpamWeb(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != o.Normal+o.Spam+o.Undecided {
+		t.Fatalf("N = %d", g.N())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var nNorm, nSpam, nUnd int
+	for _, l := range labels {
+		switch l {
+		case LabelNormal:
+			nNorm++
+		case LabelSpam:
+			nSpam++
+		case LabelUndecided:
+			nUnd++
+		}
+	}
+	if nNorm != o.Normal || nSpam != o.Spam || nUnd != o.Undecided {
+		t.Fatalf("label counts %d/%d/%d", nNorm, nSpam, nUnd)
+	}
+	// The core structural property: spam out-links overwhelmingly target
+	// spam; normal out-links overwhelmingly target normal.
+	spamToSpam, spamTotal := 0, 0
+	normToNorm, normTotal := 0, 0
+	for u := graph.NodeID(0); int(u) < g.N(); u++ {
+		for _, v := range g.OutNeighbors(u) {
+			switch labels[u] {
+			case LabelSpam:
+				spamTotal++
+				if labels[v] == LabelSpam {
+					spamToSpam++
+				}
+			case LabelNormal:
+				normTotal++
+				if labels[v] == LabelNormal {
+					normToNorm++
+				}
+			}
+		}
+	}
+	if ratio := float64(spamToSpam) / float64(spamTotal); ratio < 0.7 {
+		t.Errorf("spam→spam ratio %g too low for link farms", ratio)
+	}
+	if ratio := float64(normToNorm) / float64(normTotal); ratio < 0.9 {
+		t.Errorf("normal→normal ratio %g too low", ratio)
+	}
+	if _, _, err := SpamWeb(SpamWebOptions{}); err == nil {
+		t.Error("want parameter error")
+	}
+	for _, l := range []Label{LabelNormal, LabelSpam, LabelUndecided, Label(7)} {
+		if l.String() == "" {
+			t.Error("empty label name")
+		}
+	}
+}
+
+func TestCoauthorStructure(t *testing.T) {
+	o := DefaultCoauthorOptions(1)
+	g, authors, err := Coauthor(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != o.Authors || len(authors) != o.Authors {
+		t.Fatalf("N = %d, authors = %d", g.N(), len(authors))
+	}
+	if !g.Weighted() {
+		t.Fatal("coauthor graph must be weighted")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Symmetric weights: w(i→j) == w(j→i).
+	for u := graph.NodeID(0); int(u) < 50; u++ {
+		for _, v := range g.OutNeighbors(u) {
+			if u == v {
+				continue
+			}
+			if g.EdgeWeight(u, v) != g.EdgeWeight(v, u) {
+				t.Fatalf("asymmetric weight %d↔%d", u, v)
+			}
+		}
+	}
+	// Prolific authors have far more coauthors than the median author.
+	var prolificMin, medianSum int
+	prolificMin = 1 << 30
+	for i, a := range authors {
+		if a.Prolific {
+			if a.Coauthors < prolificMin {
+				prolificMin = a.Coauthors
+			}
+			if i >= o.Prolific {
+				t.Errorf("prolific author at unexpected id %d", i)
+			}
+		} else {
+			medianSum += a.Coauthors
+		}
+	}
+	avg := float64(medianSum) / float64(len(authors)-o.Prolific)
+	if float64(prolificMin) < 3*avg {
+		t.Errorf("prolific min coauthors %d not ≫ average %g", prolificMin, avg)
+	}
+	if _, _, err := Coauthor(CoauthorOptions{}); err == nil {
+		t.Error("want parameter error")
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	rng := newTestRand()
+	const mean, samples = 6.0, 200000
+	var sum float64
+	for i := 0; i < samples; i++ {
+		sum += float64(geometric(rng, mean))
+	}
+	got := sum / samples
+	if math.Abs(got-mean) > 0.2 {
+		t.Errorf("geometric sample mean %g, want ≈ %g", got, mean)
+	}
+	if geometric(rng, 0) != 0 {
+		t.Error("mean 0 should sample 0")
+	}
+}

@@ -1,0 +1,42 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadEdgeList throws arbitrary text at the edge-list parser: it must
+// either produce a builder whose graph passes Validate (under every
+// dangling policy) or return an error — never panic.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("0 1\n1 0\n")
+	f.Add("# comment\n0\t1\t2.5\n1\t0\n")
+	f.Add("")
+	f.Add("a b c\n")
+	f.Add("0 1 -3\n")
+	f.Add("99999999999999999999 1\n")
+	f.Add("0 1\n\n\n% note\n2 0 0.125\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		b, err := ReadEdgeList(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		for _, policy := range []DanglingPolicy{DanglingSelfLoop, DanglingSharedSink, DanglingPrune} {
+			// Rebuild from a fresh parse: Build may mutate builder slices.
+			b2, err := ReadEdgeList(strings.NewReader(input))
+			if err != nil {
+				t.Fatalf("second parse disagreed: %v", err)
+			}
+			g, _, err := b2.Build(policy)
+			if err != nil {
+				continue // e.g. non-positive weights are rejected at build
+			}
+			if g.N() > 0 {
+				if err := g.Validate(); err != nil {
+					t.Fatalf("policy %v accepted invalid graph: %v", policy, err)
+				}
+			}
+		}
+		_ = b
+	})
+}

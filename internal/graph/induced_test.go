@@ -1,0 +1,130 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestInducedBasic(t *testing.T) {
+	b := NewBuilder(5)
+	b.AddWeightedEdge(0, 1, 2)
+	b.AddWeightedEdge(1, 2, 3)
+	b.AddWeightedEdge(2, 0, 4)
+	b.AddWeightedEdge(3, 0, 1)
+	b.AddWeightedEdge(4, 3, 1)
+	g, _, err := b.Build(DanglingSelfLoop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, mapping, err := Induced(g, []NodeID{0, 1, 2}, DanglingSelfLoop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.N() != 3 || sub.M() != 3 {
+		t.Fatalf("sub shape %d/%d", sub.N(), sub.M())
+	}
+	if mapping[3] != -1 || mapping[4] != -1 || mapping[0] != 0 {
+		t.Errorf("mapping = %v", mapping)
+	}
+	if w := sub.EdgeWeight(0, 1); w != 2 {
+		t.Errorf("weight lost: %g", w)
+	}
+	// Edge 3→0 is dropped because 3 was not kept.
+	if sub.InDegree(0) != 1 {
+		t.Errorf("in-degree of kept node 0 = %d, want 1", sub.InDegree(0))
+	}
+}
+
+func TestInducedErrors(t *testing.T) {
+	g, err := FromEdges(3, [][2]NodeID{{0, 1}, {1, 2}, {2, 0}}, DanglingSelfLoop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Induced(g, []NodeID{0, 9}, DanglingSelfLoop); err == nil {
+		t.Error("want range error")
+	}
+	if _, _, err := Induced(g, []NodeID{0, 0}, DanglingSelfLoop); err == nil {
+		t.Error("want duplicate error")
+	}
+}
+
+func TestLargestSCCSubgraph(t *testing.T) {
+	// A 4-cycle (the core) plus a 2-cycle and a pendant.
+	g, err := FromEdges(7, [][2]NodeID{
+		{0, 1}, {1, 2}, {2, 3}, {3, 0}, // big SCC
+		{4, 5}, {5, 4}, // small SCC
+		{6, 0}, // pendant into the core
+	}, DanglingSelfLoop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, mapping, err := LargestSCCSubgraph(g, DanglingSelfLoop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.N() != 4 {
+		t.Fatalf("largest SCC size %d, want 4", sub.N())
+	}
+	for _, u := range []NodeID{0, 1, 2, 3} {
+		if mapping[u] == -1 {
+			t.Errorf("core node %d dropped", u)
+		}
+	}
+	for _, u := range []NodeID{4, 5, 6} {
+		if mapping[u] != -1 {
+			t.Errorf("non-core node %d kept", u)
+		}
+	}
+	if err := sub.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInducedPreservesEdgesProperty(t *testing.T) {
+	// Property: for kept u,v — sub has edge mapping[u]→mapping[v] iff g
+	// has u→v, with the same weight.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(20)
+		b := NewBuilder(n)
+		for i := 0; i < 3*n; i++ {
+			b.AddWeightedEdge(NodeID(rng.Intn(n)), NodeID(rng.Intn(n)), 1+rng.Float64())
+		}
+		g, _, err := b.Build(DanglingSelfLoop)
+		if err != nil {
+			return false
+		}
+		var keep []NodeID
+		for u := NodeID(0); int(u) < n; u++ {
+			if rng.Intn(2) == 0 {
+				keep = append(keep, u)
+			}
+		}
+		if len(keep) == 0 {
+			return true
+		}
+		sub, mapping, err := Induced(g, keep, DanglingSelfLoop)
+		if err != nil {
+			return false
+		}
+		for _, u := range keep {
+			for _, v := range keep {
+				want := g.EdgeWeight(u, v)
+				got := sub.EdgeWeight(mapping[u], mapping[v])
+				// The dangling policy may add a self-loop the original
+				// lacked; tolerate exactly that case.
+				if u == v && want == 0 && got == 1 {
+					continue
+				}
+				if want != got {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,79 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadEdgeList parses a SNAP-style edge list: one "src dst" or
+// "src dst weight" record per line, fields separated by spaces or tabs,
+// lines starting with '#' or '%' ignored. Node identifiers must be
+// non-negative integers; they are used verbatim, so sparse identifier
+// spaces produce isolated nodes (which the dangling policy then handles).
+func ReadEdgeList(r io.Reader) (*Builder, error) {
+	b := NewBuilder(0)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: want at least 2 fields, got %q", lineNo, line)
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 32)
+		if err != nil || u < 0 {
+			return nil, fmt.Errorf("graph: line %d: bad source node %q", lineNo, fields[0])
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 32)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("graph: line %d: bad destination node %q", lineNo, fields[1])
+		}
+		if len(fields) >= 3 {
+			w, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad weight %q", lineNo, fields[2])
+			}
+			b.AddWeightedEdge(NodeID(u), NodeID(v), w)
+		} else {
+			b.AddEdge(NodeID(u), NodeID(v))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: reading edge list: %w", err)
+	}
+	return b, nil
+}
+
+// WriteEdgeList emits the graph in the format accepted by ReadEdgeList,
+// with a header comment carrying node and edge counts. Weights are written
+// only for weighted graphs.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# nodes=%d edges=%d weighted=%t\n", g.N(), g.M(), g.Weighted()); err != nil {
+		return err
+	}
+	for u := NodeID(0); int(u) < g.N(); u++ {
+		nbrs := g.OutNeighbors(u)
+		ws := g.OutWeightsOf(u)
+		for i, v := range nbrs {
+			var err error
+			if ws != nil {
+				_, err = fmt.Fprintf(bw, "%d\t%d\t%g\n", u, v, ws[i])
+			} else {
+				_, err = fmt.Fprintf(bw, "%d\t%d\n", u, v)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,155 @@
+package graph
+
+// Strongly connected components and reachability diagnostics. RWR papers
+// (including this one's datasets) typically work on crawls with a large
+// strongly connected core; nodes that can reach fewer than k other nodes
+// have a zero k-th proximity and therefore appear in EVERY reverse top-k
+// answer, which both distorts experiments and signals a malformed input.
+// These helpers let callers detect and quantify that.
+
+// SCC computes strongly connected components with Tarjan's algorithm
+// (iterative, so deep graphs cannot overflow the goroutine stack). It
+// returns comp, where comp[v] is the component id of v (ids are dense,
+// in reverse topological order of the condensation), and the number of
+// components.
+func SCC(g *Graph) (comp []int32, count int) {
+	n := g.N()
+	comp = make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	index := make([]int32, n)
+	low := make([]int32, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []NodeID
+	next := int32(0)
+
+	// Explicit DFS frames: node + position within its out-neighbor list.
+	type frame struct {
+		v   NodeID
+		pos int64
+	}
+	var frames []frame
+	for root := NodeID(0); int(root) < n; root++ {
+		if index[root] != -1 {
+			continue
+		}
+		frames = append(frames[:0], frame{v: root})
+		index[root] = next
+		low[root] = next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			v := f.v
+			advanced := false
+			nbrs := g.OutNeighbors(v)
+			for f.pos < int64(len(nbrs)) {
+				w := nbrs[f.pos]
+				f.pos++
+				if index[w] == -1 {
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{v: w})
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// v is finished: pop its frame, maybe emit a component.
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = int32(count)
+					if w == v {
+						break
+					}
+				}
+				count++
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				parent := frames[len(frames)-1].v
+				if low[v] < low[parent] {
+					low[parent] = low[v]
+				}
+			}
+		}
+	}
+	return comp, count
+}
+
+// LargestSCCSize returns the node count of the largest strongly connected
+// component.
+func LargestSCCSize(g *Graph) int {
+	comp, count := SCC(g)
+	if count == 0 {
+		return 0
+	}
+	sizes := make([]int, count)
+	for _, c := range comp {
+		sizes[c]++
+	}
+	max := 0
+	for _, s := range sizes {
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// ReachableCount returns the number of nodes reachable from u (including u
+// itself) via a bounded BFS; it stops early and returns limit as soon as
+// at least `limit` nodes are found (pass limit ≤ 0 for an exhaustive
+// count). Cost O(min(reachable, limit) + edges touched).
+func ReachableCount(g *Graph, u NodeID, limit int) int {
+	if limit <= 0 {
+		limit = g.N()
+	}
+	seen := make(map[NodeID]bool, limit)
+	seen[u] = true
+	queue := []NodeID{u}
+	for len(queue) > 0 && len(seen) < limit {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.OutNeighbors(v) {
+			if !seen[w] {
+				seen[w] = true
+				if len(seen) >= limit {
+					return limit
+				}
+				queue = append(queue, w)
+			}
+		}
+	}
+	return len(seen)
+}
+
+// DegenerateNodes returns the nodes that reach fewer than k+1 nodes
+// (themselves included): exactly the nodes whose k-th largest proximity is
+// zero and that therefore belong to every reverse top-k answer. Experiment
+// inputs should keep this list small or empty.
+func DegenerateNodes(g *Graph, k int) []NodeID {
+	var out []NodeID
+	for u := NodeID(0); int(u) < g.N(); u++ {
+		if ReachableCount(g, u, k+1) < k+1 {
+			out = append(out, u)
+		}
+	}
+	return out
+}

@@ -1,0 +1,170 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSCCTwoComponents(t *testing.T) {
+	// 0↔1 and 2↔3, with a bridge 1→2 (one direction only).
+	g, err := FromEdges(4, [][2]NodeID{{0, 1}, {1, 0}, {1, 2}, {2, 3}, {3, 2}}, DanglingSelfLoop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, count := SCC(g)
+	if count != 2 {
+		t.Fatalf("count = %d, want 2", count)
+	}
+	if comp[0] != comp[1] || comp[2] != comp[3] || comp[0] == comp[2] {
+		t.Errorf("components wrong: %v", comp)
+	}
+	// Reverse topological order of the condensation: the sink component
+	// {2,3} is emitted first.
+	if comp[2] != 0 || comp[0] != 1 {
+		t.Errorf("condensation order wrong: %v", comp)
+	}
+}
+
+func TestSCCSingletons(t *testing.T) {
+	// A directed path has only singleton components (plus the self-loop
+	// sink node added for the dangling end, which is its own component).
+	g, err := FromEdges(4, [][2]NodeID{{0, 1}, {1, 2}, {2, 3}}, DanglingSelfLoop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, count := SCC(g)
+	if count != 4 {
+		t.Errorf("count = %d, want 4", count)
+	}
+}
+
+func TestSCCCycle(t *testing.T) {
+	b := NewBuilder(5)
+	for i := 0; i < 5; i++ {
+		b.AddEdge(NodeID(i), NodeID((i+1)%5))
+	}
+	g, _, err := b.Build(DanglingReject)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, count := SCC(g)
+	if count != 1 {
+		t.Fatalf("count = %d, want 1", count)
+	}
+	for _, c := range comp {
+		if c != 0 {
+			t.Errorf("components wrong: %v", comp)
+		}
+	}
+	if LargestSCCSize(g) != 5 {
+		t.Errorf("LargestSCCSize = %d", LargestSCCSize(g))
+	}
+}
+
+func TestSCCDeepGraphNoOverflow(t *testing.T) {
+	// A 200k-node path would overflow a recursive Tarjan; the iterative
+	// version must handle it.
+	n := 200000
+	b := NewBuilder(n)
+	for i := 0; i < n-1; i++ {
+		b.AddEdge(NodeID(i), NodeID(i+1))
+	}
+	b.AddEdge(NodeID(n-1), 0) // close the cycle: one giant SCC
+	g, _, err := b.Build(DanglingReject)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := LargestSCCSize(g); got != n {
+		t.Fatalf("LargestSCCSize = %d, want %d", got, n)
+	}
+}
+
+func TestSCCAgreesWithMutualReachability(t *testing.T) {
+	// Property: comp[u] == comp[v] ⇔ u reaches v and v reaches u.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(25)
+		b := NewBuilder(n)
+		m := rng.Intn(4 * n)
+		for i := 0; i < m; i++ {
+			b.AddEdge(NodeID(rng.Intn(n)), NodeID(rng.Intn(n)))
+		}
+		g, _, err := b.Build(DanglingSelfLoop)
+		if err != nil {
+			return false
+		}
+		comp, _ := SCC(g)
+		reach := make([][]bool, g.N())
+		for u := NodeID(0); int(u) < g.N(); u++ {
+			reach[u] = bfsReach(g, u)
+		}
+		for u := 0; u < g.N(); u++ {
+			for v := 0; v < g.N(); v++ {
+				mutual := reach[u][v] && reach[v][u]
+				if mutual != (comp[u] == comp[v]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func bfsReach(g *Graph, u NodeID) []bool {
+	seen := make([]bool, g.N())
+	seen[u] = true
+	queue := []NodeID{u}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.OutNeighbors(v) {
+			if !seen[w] {
+				seen[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	return seen
+}
+
+func TestReachableCount(t *testing.T) {
+	g, err := FromEdges(5, [][2]NodeID{{0, 1}, {1, 2}, {3, 4}, {4, 3}, {2, 2}}, DanglingSelfLoop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ReachableCount(g, 0, 0); got != 3 {
+		t.Errorf("ReachableCount(0) = %d, want 3", got)
+	}
+	if got := ReachableCount(g, 3, 0); got != 2 {
+		t.Errorf("ReachableCount(3) = %d, want 2", got)
+	}
+	// Early stop at the limit.
+	if got := ReachableCount(g, 0, 2); got != 2 {
+		t.Errorf("ReachableCount(0, limit 2) = %d, want 2", got)
+	}
+}
+
+func TestDegenerateNodes(t *testing.T) {
+	// At k=2 a node needs 3 reachable nodes (itself included). Node 0
+	// reaches {0,1,2} — fine. Node 1 reaches {1,2}, node 2 only itself
+	// (self-loop), and the isolated 2-cycle {3,4} reaches 2 nodes each:
+	// all four are degenerate.
+	g, err := FromEdges(5, [][2]NodeID{{0, 1}, {1, 2}, {3, 4}, {4, 3}}, DanglingSelfLoop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := DegenerateNodes(g, 2)
+	want := map[NodeID]bool{1: true, 2: true, 3: true, 4: true}
+	if len(got) != len(want) {
+		t.Fatalf("DegenerateNodes = %v", got)
+	}
+	for _, u := range got {
+		if !want[u] {
+			t.Errorf("unexpected degenerate node %d", u)
+		}
+	}
+}

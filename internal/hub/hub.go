@@ -1,0 +1,324 @@
+// Package hub implements the hub machinery of §4.1: hub selection (the
+// paper's degree-based scheme plus Berkhin's greedy scheme as a baseline),
+// exact hub proximity vectors, and the rounded hub proximity matrix P_H of
+// §4.1.3 together with the storage prediction of Theorem 1 and the rounding
+// error bound of Proposition 3.
+package hub
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/bca"
+	"repro/internal/graph"
+	"repro/internal/rwr"
+	"repro/internal/vecmath"
+)
+
+// SelectByDegree implements the paper's hub selection (§4.1.1): the union
+// of the B highest in-degree and B highest out-degree nodes. It is
+// independent of graph size and hub count, unlike the greedy scheme.
+func SelectByDegree(g *graph.Graph, b int) []graph.NodeID {
+	seen := make(map[graph.NodeID]bool, 2*b)
+	var hubs []graph.NodeID
+	for _, u := range graph.TopByInDegree(g, b) {
+		if !seen[u] {
+			seen[u] = true
+			hubs = append(hubs, u)
+		}
+	}
+	for _, u := range graph.TopByOutDegree(g, b) {
+		if !seen[u] {
+			seen[u] = true
+			hubs = append(hubs, u)
+		}
+	}
+	sort.Slice(hubs, func(i, j int) bool { return hubs[i] < hubs[j] })
+	return hubs
+}
+
+// SelectGreedy implements Berkhin's hub selection [7] as an ablation
+// baseline: repeatedly run (hub-aware) BCA from a random start node and
+// promote the non-hub node with the most retained ink to hub status, until
+// `count` hubs are chosen. Deterministic for a fixed seed.
+func SelectGreedy(g *graph.Graph, count int, cfg bca.Config, seed int64) ([]graph.NodeID, error) {
+	if count > g.N() {
+		count = g.N()
+	}
+	rng := rand.New(rand.NewSource(seed))
+	isHub := make([]bool, g.N())
+	var hubs []graph.NodeID
+	ws := bca.NewWorkspace(g.N())
+	marker := &hubMarker{isHub: isHub}
+	for len(hubs) < count {
+		start := graph.NodeID(rng.Intn(g.N()))
+		st, err := bca.Run(g, start, marker, cfg, ws)
+		if err != nil {
+			return nil, err
+		}
+		// Promote the non-hub node with the most retained ink.
+		best := graph.NodeID(-1)
+		bestVal := -1.0
+		for i, idx := range st.W.Idx {
+			if !isHub[idx] && st.W.Val[i] > bestVal {
+				bestVal = st.W.Val[i]
+				best = graph.NodeID(idx)
+			}
+		}
+		if best < 0 {
+			// Run retained nothing new (e.g. started on a hub); pick any
+			// non-hub to guarantee progress.
+			for u := graph.NodeID(0); int(u) < g.N(); u++ {
+				if !isHub[u] {
+					best = u
+					break
+				}
+			}
+			if best < 0 {
+				break
+			}
+		}
+		isHub[best] = true
+		hubs = append(hubs, best)
+	}
+	sort.Slice(hubs, func(i, j int) bool { return hubs[i] < hubs[j] })
+	return hubs, nil
+}
+
+// hubMarker satisfies bca.HubProximities for the greedy selector, which
+// only needs hub membership: ink reaching a hub is simply parked in s and
+// never distributed (the selector never materializes p^t).
+type hubMarker struct{ isHub []bool }
+
+func (h *hubMarker) IsHub(v graph.NodeID) bool { return h.isHub[v] }
+func (h *hubMarker) ScatterHub([]float64, graph.NodeID, float64) {
+	panic("hub: greedy selector never materializes")
+}
+func (h *hubMarker) NumHubs() int {
+	n := 0
+	for _, b := range h.isHub {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// Matrix is the hub proximity matrix P_H of Eq. 7, stored column-sparse
+// after the rounding of §4.1.3 (entries < ω are dropped). It implements
+// bca.HubProximities.
+type Matrix struct {
+	n     int
+	hubs  []graph.NodeID
+	pos   []int32 // node → index into cols, or -1
+	cols  []vecmath.Sparse
+	omega float64
+	// exact holds the unrounded top-K values of each hub's proximity
+	// vector, needed for the index's P̂ columns of hub nodes.
+	exactTopK [][]float64
+	droppedL1 []float64 // per-hub L1 mass removed by rounding
+}
+
+// BuildOptions configures hub matrix construction.
+type BuildOptions struct {
+	// Omega is the rounding threshold ω; proximities below it are zeroed
+	// (paper default 1e-6; 0 disables rounding).
+	Omega float64
+	// RWR holds the power-method parameters for the exact hub vectors.
+	RWR rwr.Params
+	// TopK is how many exact top values per hub vector to retain for the
+	// index (the K of Algorithm 1).
+	TopK int
+	// Workers bounds build parallelism; ≤0 selects GOMAXPROCS.
+	Workers int
+}
+
+// Build computes the exact proximity vector of every hub with the power
+// method (Algorithm 1 line 2), rounds it at ω, and assembles the matrix.
+func Build(g *graph.Graph, hubs []graph.NodeID, opts BuildOptions) (*Matrix, error) {
+	if err := opts.RWR.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Omega < 0 {
+		return nil, fmt.Errorf("hub: omega must be non-negative, got %g", opts.Omega)
+	}
+	if opts.TopK <= 0 {
+		return nil, fmt.Errorf("hub: TopK must be positive, got %d", opts.TopK)
+	}
+	for i := 1; i < len(hubs); i++ {
+		if hubs[i] <= hubs[i-1] {
+			return nil, fmt.Errorf("hub: hub list must be strictly sorted")
+		}
+	}
+	m := &Matrix{
+		n:         g.N(),
+		hubs:      append([]graph.NodeID(nil), hubs...),
+		pos:       make([]int32, g.N()),
+		cols:      make([]vecmath.Sparse, len(hubs)),
+		omega:     opts.Omega,
+		exactTopK: make([][]float64, len(hubs)),
+		droppedL1: make([]float64, len(hubs)),
+	}
+	for i := range m.pos {
+		m.pos[i] = -1
+	}
+	for i, h := range hubs {
+		if int(h) < 0 || int(h) >= g.N() {
+			return nil, fmt.Errorf("hub: node %d out of range [0,%d)", h, g.N())
+		}
+		m.pos[h] = int32(i)
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				res, err := rwr.ProximityVector(g, m.hubs[i], opts.RWR)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("hub %d: %w", m.hubs[i], err)
+					}
+					mu.Unlock()
+					continue
+				}
+				m.exactTopK[i] = vecmath.TopKValues(res.Vector, opts.TopK)
+				full := vecmath.GatherSparse(res.Vector, 0)
+				rounded := full.Compact(opts.Omega)
+				m.droppedL1[i] = full.L1() - rounded.L1()
+				m.cols[i] = rounded
+			}
+		}()
+	}
+	for i := range hubs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return m, nil
+}
+
+// IsHub implements bca.HubProximities.
+func (m *Matrix) IsHub(v graph.NodeID) bool { return m.pos[v] >= 0 }
+
+// NumHubs implements bca.HubProximities.
+func (m *Matrix) NumHubs() int { return len(m.hubs) }
+
+// ScatterHub implements bca.HubProximities: dst += scale · p_h (rounded).
+func (m *Matrix) ScatterHub(dst []float64, h graph.NodeID, scale float64) {
+	p := m.pos[h]
+	if p < 0 {
+		panic(fmt.Sprintf("hub: node %d is not a hub", h))
+	}
+	m.cols[p].ScatterInto(dst, scale)
+}
+
+// Hubs returns the sorted hub node list (shared storage; do not modify).
+func (m *Matrix) Hubs() []graph.NodeID { return m.hubs }
+
+// Omega returns the rounding threshold the matrix was built with.
+func (m *Matrix) Omega() float64 { return m.omega }
+
+// ExactTopK returns the unrounded top-K proximity values of hub h,
+// descending; the index uses these as the P̂ column of hub nodes.
+func (m *Matrix) ExactTopK(h graph.NodeID) []float64 {
+	p := m.pos[h]
+	if p < 0 {
+		panic(fmt.Sprintf("hub: node %d is not a hub", h))
+	}
+	return m.exactTopK[p]
+}
+
+// DroppedMass returns the L1 proximity mass the rounding removed from hub
+// h's column — the realized counterpart of Proposition 3's bound.
+func (m *Matrix) DroppedMass(h graph.NodeID) float64 {
+	p := m.pos[h]
+	if p < 0 {
+		panic(fmt.Sprintf("hub: node %d is not a hub", h))
+	}
+	return m.droppedL1[p]
+}
+
+// NNZ returns the total number of stored (rounded) proximity entries.
+func (m *Matrix) NNZ() int {
+	total := 0
+	for _, c := range m.cols {
+		total += c.NNZ()
+	}
+	return total
+}
+
+// Bytes returns the approximate in-memory footprint of the rounded matrix
+// payload, used for the Table 2 space accounting.
+func (m *Matrix) Bytes() int64 {
+	var b int64
+	for _, c := range m.cols {
+		b += c.Bytes()
+	}
+	return b
+}
+
+// UnroundedBytes estimates the footprint the matrix would have had without
+// rounding: hubs store dense vectors in the brute-force layout (8 bytes per
+// node per hub), matching Table 2's "no rounding" row.
+func (m *Matrix) UnroundedBytes() int64 {
+	return int64(len(m.hubs)) * int64(m.n) * 8
+}
+
+// PredictHubBytes evaluates Theorem 1's storage estimate for the hub
+// proximity matrix: (1−β)^{1/β} · |H| · ω^{−1/β} · n^{1−1/β} entries, at 12
+// bytes per stored entry (4-byte index + 8-byte value). β is the power-law
+// exponent of sorted proximity values (the paper uses β = 0.76 after [4]).
+func PredictHubBytes(n, numHubs int, omega, beta float64) int64 {
+	if beta <= 0 || beta >= 1 || omega <= 0 || n == 0 {
+		return int64(numHubs) * int64(n) * 12 // degenerate: no compression
+	}
+	perHub := math.Pow(1-beta, 1/beta) * math.Pow(omega, -1/beta) * math.Pow(float64(n), 1-1/beta)
+	if perHub > float64(n) {
+		perHub = float64(n)
+	}
+	return int64(perHub * float64(numHubs) * 12)
+}
+
+// PredictIndexBytes evaluates Theorem 1's total index estimate: O(K·n) for
+// the lower-bound matrix (8 bytes per value) plus the hub matrix estimate.
+func PredictIndexBytes(n, k, numHubs int, omega, beta float64) int64 {
+	return int64(k)*int64(n)*8 + PredictHubBytes(n, numHubs, omega, beta)
+}
+
+// RoundingErrorBound evaluates Proposition 3: for a power-law proximity
+// profile with exponent β, the L1 error that rounding at ω can introduce
+// into any p^t is at most 1 − ((1−β)/(ω·n))^{1/β − 1}.
+func RoundingErrorBound(n int, omega, beta float64) float64 {
+	if omega <= 0 || n == 0 {
+		return 0
+	}
+	if beta <= 0 || beta >= 1 {
+		return 1
+	}
+	x := (1 - beta) / (omega * float64(n))
+	bound := 1 - math.Pow(x, 1/beta-1)
+	if bound < 0 {
+		return 0
+	}
+	if bound > 1 {
+		return 1
+	}
+	return bound
+}

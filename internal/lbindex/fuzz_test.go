@@ -1,0 +1,45 @@
+package lbindex
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLoad feeds arbitrary bytes (seeded with a valid index image and
+// mutations of it) into the deserializer: it must either return a valid
+// index or an error — never panic, never hang, never return an index that
+// fails its invariants.
+func FuzzLoad(f *testing.F) {
+	g := randomGraph(3, 40)
+	opts := testOptions(4)
+	idx, _, err := Build(g, opts)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := idx.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("RTKLBIX1"))
+	f.Add(valid[:len(valid)/3])
+	// A few deterministic corruptions of the valid image.
+	for _, pos := range []int{8, 20, 64, len(valid) / 2, len(valid) - 9} {
+		if pos < len(valid) {
+			c := append([]byte(nil), valid...)
+			c[pos] ^= 0xFF
+			f.Add(c)
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		idx, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return // rejected, fine
+		}
+		if err := idx.CheckInvariants(); err != nil {
+			t.Fatalf("Load accepted an index that fails invariants: %v", err)
+		}
+	})
+}

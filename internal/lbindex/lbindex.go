@@ -1,0 +1,447 @@
+// Package lbindex implements the paper's offline graph index (§4.1,
+// Algorithm 1 "Lower Bound Indexing"): for every node a descending list of
+// the K largest lower-bound proximities p̂^t_u(1:K) obtained by partially
+// executing the batch-propagation BCA, together with the resumable residue
+// state (the R, W, S matrices) and the rounded hub proximity matrix P_H.
+//
+// The index is dynamically refinable: the online query algorithm (package
+// core) advances individual nodes' BCA runs and commits the refined state
+// back, tightening the bounds for future queries (§4.2.3).
+package lbindex
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/bca"
+	"repro/internal/graph"
+	"repro/internal/hub"
+	"repro/internal/rwr"
+	"repro/internal/vecmath"
+)
+
+// HubSelection names the hub selection scheme used at build time.
+type HubSelection int
+
+const (
+	// HubsByDegree is the paper's scheme (§4.1.1): the union of top-B
+	// in-degree and top-B out-degree nodes.
+	HubsByDegree HubSelection = iota
+	// HubsGreedy is Berkhin's BCA-driven scheme [7]; kept as an ablation.
+	HubsGreedy
+	// HubsNone builds the index without hubs (pure BCA); slow to converge
+	// on hub-heavy graphs but useful as a baseline.
+	HubsNone
+)
+
+// String returns the scheme name.
+func (h HubSelection) String() string {
+	switch h {
+	case HubsByDegree:
+		return "degree"
+	case HubsGreedy:
+		return "greedy"
+	case HubsNone:
+		return "none"
+	default:
+		return fmt.Sprintf("HubSelection(%d)", int(h))
+	}
+}
+
+// Options configures index construction. The defaults mirror §5.2.
+type Options struct {
+	// K is the maximum supported query k (paper: 200).
+	K int
+	// HubBudget is the B of §4.1.1; the hub set is the union of top-B
+	// in-degree and top-B out-degree nodes, so |H| ≤ 2B.
+	HubBudget int
+	// HubScheme selects the hub selection algorithm.
+	HubScheme HubSelection
+	// GreedySeed seeds the greedy selector (HubsGreedy only).
+	GreedySeed int64
+	// Omega is the hub-vector rounding threshold ω of §4.1.3.
+	Omega float64
+	// BCA carries α, η, δ for the per-node partial BCA runs.
+	BCA bca.Config
+	// RWR carries the power-method parameters for exact hub vectors;
+	// Alpha must equal BCA.Alpha.
+	RWR rwr.Params
+	// Workers bounds build parallelism; ≤0 selects GOMAXPROCS.
+	Workers int
+}
+
+// DefaultOptions returns the paper's indexing parameters (§5.2): K=200,
+// η=1e-4, δ=0.1, ω=1e-6, α=0.15, ε=1e-10.
+func DefaultOptions() Options {
+	return Options{
+		K:         200,
+		HubBudget: 50,
+		HubScheme: HubsByDegree,
+		Omega:     1e-6,
+		BCA:       bca.DefaultConfig(),
+		RWR:       rwr.DefaultParams(),
+	}
+}
+
+// Validate reports whether the options are usable.
+func (o Options) Validate() error {
+	if o.K <= 0 {
+		return fmt.Errorf("lbindex: K must be positive, got %d", o.K)
+	}
+	if o.HubBudget < 0 {
+		return fmt.Errorf("lbindex: hub budget must be non-negative, got %d", o.HubBudget)
+	}
+	if o.Omega < 0 {
+		return fmt.Errorf("lbindex: omega must be non-negative, got %g", o.Omega)
+	}
+	if err := o.BCA.Validate(); err != nil {
+		return err
+	}
+	if err := o.RWR.Validate(); err != nil {
+		return err
+	}
+	if o.BCA.Alpha != o.RWR.Alpha {
+		return fmt.Errorf("lbindex: BCA alpha %g != RWR alpha %g", o.BCA.Alpha, o.RWR.Alpha)
+	}
+	return nil
+}
+
+// Index is the paper's graph index I = (P̂, R, W, S, P_H). Safe for
+// concurrent readers; refinement commits take the write lock.
+type Index struct {
+	mu   sync.RWMutex
+	opts Options
+	n    int
+	hubs *hub.Matrix
+	// phat[u] is p̂^t_u(1:K): the K largest lower-bound proximities from
+	// u, descending. For hub nodes these are exact top-K values.
+	phat [][]float64
+	// states[u] is the resumable BCA state of non-hub u; nil for hubs.
+	states []*bca.State
+	// refinements counts committed post-build refinement steps (a
+	// diagnostic for the Fig. 7 experiment).
+	refinements int64
+}
+
+// BuildStats reports construction cost, mirroring Table 2's columns.
+type BuildStats struct {
+	HubCount     int
+	HubElapsed   time.Duration
+	TotalElapsed time.Duration
+	// TotalIters sums BCA iterations over all non-hub nodes.
+	TotalIters int64
+	// Bytes is the serialized-payload size estimate of the built index.
+	Bytes int64
+	// UnroundedBytes estimates the size without §4.1.3 rounding (hub
+	// vectors dense).
+	UnroundedBytes int64
+	// PredictedBytes is Theorem 1's estimate at β = 0.76.
+	PredictedBytes int64
+	// PhatBytes is the lower-bound matrix alone — Table 2's
+	// "minimum possible cost" (value in parentheses).
+	PhatBytes int64
+}
+
+// Build runs Algorithm 1: select hubs, compute their exact proximity
+// vectors, then run partial batch-BCA from every non-hub node, keeping the
+// top-K lower bounds and the resumable state.
+func Build(g *graph.Graph, opts Options) (*Index, BuildStats, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, BuildStats{}, err
+	}
+	if g.N() == 0 {
+		return nil, BuildStats{}, fmt.Errorf("lbindex: empty graph")
+	}
+	start := time.Now()
+
+	var hubIDs []graph.NodeID
+	switch opts.HubScheme {
+	case HubsByDegree:
+		hubIDs = hub.SelectByDegree(g, opts.HubBudget)
+	case HubsGreedy:
+		var err error
+		hubIDs, err = hub.SelectGreedy(g, 2*opts.HubBudget, opts.BCA, opts.GreedySeed)
+		if err != nil {
+			return nil, BuildStats{}, err
+		}
+	case HubsNone:
+		hubIDs = nil
+	default:
+		return nil, BuildStats{}, fmt.Errorf("lbindex: unknown hub scheme %v", opts.HubScheme)
+	}
+
+	var hm *hub.Matrix
+	var err error
+	hm, err = hub.Build(g, hubIDs, hub.BuildOptions{
+		Omega:   opts.Omega,
+		RWR:     opts.RWR,
+		TopK:    opts.K,
+		Workers: opts.Workers,
+	})
+	if err != nil {
+		return nil, BuildStats{}, err
+	}
+	hubElapsed := time.Since(start)
+
+	idx := &Index{
+		opts:   opts,
+		n:      g.N(),
+		hubs:   hm,
+		phat:   make([][]float64, g.N()),
+		states: make([]*bca.State, g.N()),
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	var totalIters int64
+	jobs := make(chan graph.NodeID)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ws := bca.NewWorkspace(g.N())
+			var iters int64
+			for u := range jobs {
+				if hm.IsHub(u) {
+					idx.phat[u] = hm.ExactTopK(u)
+					continue
+				}
+				st, err := bca.Run(g, u, hm, opts.BCA, ws)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("lbindex: node %d: %w", u, err)
+					}
+					mu.Unlock()
+					continue
+				}
+				iters += int64(st.T)
+				idx.phat[u] = bca.TopK(st, hm, ws, opts.K)
+				idx.states[u] = st
+			}
+			mu.Lock()
+			totalIters += iters
+			mu.Unlock()
+		}()
+	}
+	for u := 0; u < g.N(); u++ {
+		jobs <- graph.NodeID(u)
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, BuildStats{}, firstErr
+	}
+
+	stats := BuildStats{
+		HubCount:     hm.NumHubs(),
+		HubElapsed:   hubElapsed,
+		TotalElapsed: time.Since(start),
+		TotalIters:   totalIters,
+	}
+	stats.PhatBytes = int64(g.N()) * int64(opts.K) * 8
+	stats.Bytes = idx.SizeBytes()
+	stats.UnroundedBytes = stats.Bytes - hm.Bytes() + hm.UnroundedBytes()
+	stats.PredictedBytes = hub.PredictIndexBytes(g.N(), opts.K, hm.NumHubs(), opts.Omega, 0.76)
+	return idx, stats, nil
+}
+
+// N returns the number of indexed nodes.
+func (idx *Index) N() int { return idx.n }
+
+// K returns the maximum supported query k.
+func (idx *Index) K() int { return idx.opts.K }
+
+// Options returns the build options.
+func (idx *Index) Options() Options { return idx.opts }
+
+// HubMatrix returns the rounded hub proximity matrix.
+func (idx *Index) HubMatrix() *hub.Matrix { return idx.hubs }
+
+// IsHub reports whether u is a hub (its index entry is exact).
+func (idx *Index) IsHub(u graph.NodeID) bool { return idx.hubs.IsHub(u) }
+
+// KthLowerBound returns p̂^t_u(k), the indexed lower bound of u's k-th
+// largest proximity (1-based k ≤ K).
+func (idx *Index) KthLowerBound(u graph.NodeID, k int) float64 {
+	idx.mu.RLock()
+	defer idx.mu.RUnlock()
+	return idx.phat[u][k-1]
+}
+
+// PHatRow copies the current p̂ column of node u (length K, descending).
+func (idx *Index) PHatRow(u graph.NodeID) []float64 {
+	idx.mu.RLock()
+	defer idx.mu.RUnlock()
+	return vecmath.Clone(idx.phat[u])
+}
+
+// ResidueNorm returns ‖r^t_u‖₁, the undistributed ink of u's partial BCA
+// run; 0 for hubs (their proximities are exact).
+func (idx *Index) ResidueNorm(u graph.NodeID) float64 {
+	idx.mu.RLock()
+	defer idx.mu.RUnlock()
+	if idx.states[u] == nil {
+		return 0
+	}
+	return idx.states[u].RNorm
+}
+
+// RoundingSlack returns the proximity mass that §4.1.3's rounding removed
+// from u's materialized lower bound: Σ_h s_u(h)·dropped(h). Rounding keeps
+// p̂ a valid lower bound, but a drained state (‖r‖=0) is only exact up to
+// this slack, and any sound upper bound must pour it back onto the
+// staircase along with the residue. Zero when ω = 0 and for hub nodes
+// (their top-K columns are taken from the unrounded vectors).
+func (idx *Index) RoundingSlack(u graph.NodeID) float64 {
+	idx.mu.RLock()
+	defer idx.mu.RUnlock()
+	st := idx.states[u]
+	if st == nil {
+		return 0
+	}
+	return idx.slackLocked(st)
+}
+
+func (idx *Index) slackLocked(st *bca.State) float64 {
+	var slack float64
+	for i, h := range st.S.Idx {
+		slack += st.S.Val[i] * idx.hubs.DroppedMass(graph.NodeID(h))
+	}
+	return slack
+}
+
+// StateSlack computes the rounding slack of an engine-local (refined copy)
+// state against this index's hub matrix.
+func (idx *Index) StateSlack(st *bca.State) float64 {
+	idx.mu.RLock()
+	defer idx.mu.RUnlock()
+	return idx.slackLocked(st)
+}
+
+// StateSnapshot returns a deep copy of u's resumable BCA state, or nil for
+// hub nodes. Copies are what the query engine refines in no-update mode.
+func (idx *Index) StateSnapshot(u graph.NodeID) *bca.State {
+	idx.mu.RLock()
+	defer idx.mu.RUnlock()
+	if idx.states[u] == nil {
+		return nil
+	}
+	return idx.states[u].Clone()
+}
+
+// SharedState returns u's live state without copying. The caller must hold
+// no assumptions about concurrent mutation; the query engine uses this in
+// update mode where it commits through Commit.
+func (idx *Index) SharedState(u graph.NodeID) *bca.State {
+	idx.mu.RLock()
+	defer idx.mu.RUnlock()
+	return idx.states[u]
+}
+
+// Commit stores a refined state and its recomputed p̂ column for node u
+// (§4.2.3 dynamic index update). The caller passes ownership of both.
+func (idx *Index) Commit(u graph.NodeID, st *bca.State, phat []float64) {
+	if len(phat) != idx.opts.K {
+		panic(fmt.Sprintf("lbindex: Commit phat length %d, want %d", len(phat), idx.opts.K))
+	}
+	idx.mu.Lock()
+	defer idx.mu.Unlock()
+	idx.states[u] = st
+	idx.phat[u] = phat
+	idx.refinements++
+}
+
+// SetHubMatrix replaces the hub proximity matrix with one recomputed on an
+// edited graph. The replacement must cover the same node count and the
+// SAME hub membership: per-node states park ink at the current hubs, so a
+// membership change would orphan that ink (rebuild the index to re-select
+// hubs). Used by the evolve package.
+func (idx *Index) SetHubMatrix(hm *hub.Matrix) error {
+	n, newHubs, _, _, _, _ := hm.Parts()
+	if n != idx.n {
+		return fmt.Errorf("lbindex: replacement hub matrix covers %d nodes, index has %d", n, idx.n)
+	}
+	idx.mu.RLock()
+	oldHubs := idx.hubs.Hubs()
+	idx.mu.RUnlock()
+	if len(newHubs) != len(oldHubs) {
+		return fmt.Errorf("lbindex: replacement changes hub count %d → %d", len(oldHubs), len(newHubs))
+	}
+	for i := range newHubs {
+		if newHubs[i] != oldHubs[i] {
+			return fmt.Errorf("lbindex: replacement changes hub membership at position %d: %d → %d", i, oldHubs[i], newHubs[i])
+		}
+	}
+	idx.mu.Lock()
+	defer idx.mu.Unlock()
+	idx.hubs = hm
+	return nil
+}
+
+// CommitHub refreshes the exact top-K column of a hub node (whose state is
+// always nil). Used by the evolve package after hub vectors change.
+func (idx *Index) CommitHub(u graph.NodeID, phat []float64) {
+	if len(phat) != idx.opts.K {
+		panic(fmt.Sprintf("lbindex: CommitHub phat length %d, want %d", len(phat), idx.opts.K))
+	}
+	if !idx.hubs.IsHub(u) {
+		panic(fmt.Sprintf("lbindex: CommitHub on non-hub node %d", u))
+	}
+	idx.mu.Lock()
+	defer idx.mu.Unlock()
+	idx.states[u] = nil
+	idx.phat[u] = phat
+}
+
+// Refinements returns the number of committed refinement steps since build.
+func (idx *Index) Refinements() int64 {
+	idx.mu.RLock()
+	defer idx.mu.RUnlock()
+	return idx.refinements
+}
+
+// SizeBytes returns the approximate payload footprint of the index: the
+// lower-bound matrix, all resumable states, and the rounded hub matrix.
+func (idx *Index) SizeBytes() int64 {
+	idx.mu.RLock()
+	defer idx.mu.RUnlock()
+	total := int64(idx.n) * int64(idx.opts.K) * 8
+	for _, st := range idx.states {
+		if st != nil {
+			total += st.Bytes()
+		}
+	}
+	total += idx.hubs.Bytes()
+	return total
+}
+
+// CheckInvariants verifies every stored state conserves ink and every p̂
+// column is descending — used by tests and after deserialization.
+func (idx *Index) CheckInvariants() error {
+	idx.mu.RLock()
+	defer idx.mu.RUnlock()
+	for u := 0; u < idx.n; u++ {
+		if !vecmath.IsSortedDescending(idx.phat[u]) {
+			return fmt.Errorf("lbindex: p̂ column of node %d not descending", u)
+		}
+		st := idx.states[u]
+		if st == nil {
+			if !idx.hubs.IsHub(graph.NodeID(u)) {
+				return fmt.Errorf("lbindex: non-hub node %d has no state", u)
+			}
+			continue
+		}
+		if err := st.CheckInvariant(1e-6); err != nil {
+			return fmt.Errorf("lbindex: node %d: %w", u, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,284 @@
+package lbindex
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/bca"
+	"repro/internal/graph"
+	"repro/internal/hub"
+	"repro/internal/vecmath"
+)
+
+// Binary index format. Little-endian throughout.
+//
+//	magic "RTKLBIX1"
+//	n u64, K u32
+//	options: hubBudget u32, hubScheme u8, greedySeed i64, omega f64,
+//	         bca{alpha,eta,delta f64, maxIters u32},
+//	         rwr{alpha,eps f64, maxIters u32}
+//	hub matrix: count u32, ids []i32,
+//	            per hub: dropped f64, exactTopK [K]f64, sparse col
+//	per node: tag u8 (0 hub, 1 state), state nodes: T u32, sparse R,W,S,
+//	          phat [K]f64
+//	refinements i64
+//
+// Sparse vectors serialize as nnz u32, idx []i32, val []f64.
+const indexMagic = "RTKLBIX1"
+
+type binWriter struct {
+	w   *bufio.Writer
+	err error
+	buf [8]byte
+}
+
+func (b *binWriter) u8(v uint8) {
+	if b.err != nil {
+		return
+	}
+	b.err = b.w.WriteByte(v)
+}
+
+func (b *binWriter) u32(v uint32) {
+	if b.err != nil {
+		return
+	}
+	binary.LittleEndian.PutUint32(b.buf[:4], v)
+	_, b.err = b.w.Write(b.buf[:4])
+}
+
+func (b *binWriter) u64(v uint64) {
+	if b.err != nil {
+		return
+	}
+	binary.LittleEndian.PutUint64(b.buf[:8], v)
+	_, b.err = b.w.Write(b.buf[:8])
+}
+
+func (b *binWriter) i64(v int64)   { b.u64(uint64(v)) }
+func (b *binWriter) f64(v float64) { b.u64(math.Float64bits(v)) }
+
+func (b *binWriter) sparse(s vecmath.Sparse) {
+	b.u32(uint32(s.NNZ()))
+	for _, i := range s.Idx {
+		b.u32(uint32(i))
+	}
+	for _, v := range s.Val {
+		b.f64(v)
+	}
+}
+
+func (b *binWriter) floats(xs []float64) {
+	for _, v := range xs {
+		b.f64(v)
+	}
+}
+
+type binReader struct {
+	r   *bufio.Reader
+	err error
+	buf [8]byte
+}
+
+func (b *binReader) u8() uint8 {
+	if b.err != nil {
+		return 0
+	}
+	v, err := b.r.ReadByte()
+	b.err = err
+	return v
+}
+
+func (b *binReader) u32() uint32 {
+	if b.err != nil {
+		return 0
+	}
+	_, b.err = io.ReadFull(b.r, b.buf[:4])
+	return binary.LittleEndian.Uint32(b.buf[:4])
+}
+
+func (b *binReader) u64() uint64 {
+	if b.err != nil {
+		return 0
+	}
+	_, b.err = io.ReadFull(b.r, b.buf[:8])
+	return binary.LittleEndian.Uint64(b.buf[:8])
+}
+
+func (b *binReader) i64() int64   { return int64(b.u64()) }
+func (b *binReader) f64() float64 { return math.Float64frombits(b.u64()) }
+
+func (b *binReader) sparse() vecmath.Sparse {
+	nnz := int(b.u32())
+	if b.err != nil || nnz < 0 {
+		return vecmath.Sparse{}
+	}
+	s := vecmath.Sparse{Idx: make([]int32, nnz), Val: make([]float64, nnz)}
+	for i := range s.Idx {
+		s.Idx[i] = int32(b.u32())
+	}
+	for i := range s.Val {
+		s.Val[i] = b.f64()
+	}
+	return s
+}
+
+func (b *binReader) floats(n int) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = b.f64()
+	}
+	return xs
+}
+
+// Save writes the index in the binary format above.
+func (idx *Index) Save(w io.Writer) error {
+	idx.mu.RLock()
+	defer idx.mu.RUnlock()
+
+	bw := &binWriter{w: bufio.NewWriterSize(w, 1<<20)}
+	if _, err := bw.w.WriteString(indexMagic); err != nil {
+		return err
+	}
+	o := idx.opts
+	bw.u64(uint64(idx.n))
+	bw.u32(uint32(o.K))
+	bw.u32(uint32(o.HubBudget))
+	bw.u8(uint8(o.HubScheme))
+	bw.i64(o.GreedySeed)
+	bw.f64(o.Omega)
+	bw.f64(o.BCA.Alpha)
+	bw.f64(o.BCA.Eta)
+	bw.f64(o.BCA.Delta)
+	bw.u32(uint32(o.BCA.MaxIters))
+	bw.f64(o.RWR.Alpha)
+	bw.f64(o.RWR.Eps)
+	bw.u32(uint32(o.RWR.MaxIters))
+
+	n, hubIDs, cols, topK, dropped, _ := idx.hubs.Parts()
+	if n != idx.n {
+		return fmt.Errorf("lbindex: hub matrix sized for %d nodes, index has %d", n, idx.n)
+	}
+	bw.u32(uint32(len(hubIDs)))
+	for _, h := range hubIDs {
+		bw.u32(uint32(h))
+	}
+	for i := range hubIDs {
+		bw.f64(dropped[i])
+		bw.floats(topK[i])
+		bw.sparse(cols[i])
+	}
+
+	for u := 0; u < idx.n; u++ {
+		st := idx.states[u]
+		if st == nil {
+			bw.u8(0)
+		} else {
+			bw.u8(1)
+			bw.u32(uint32(st.T))
+			bw.sparse(st.R)
+			bw.sparse(st.W)
+			bw.sparse(st.S)
+		}
+		bw.floats(idx.phat[u])
+	}
+	bw.i64(idx.refinements)
+	if bw.err != nil {
+		return bw.err
+	}
+	return bw.w.Flush()
+}
+
+// Load reads an index previously written by Save.
+func Load(r io.Reader) (*Index, error) {
+	br := &binReader{r: bufio.NewReaderSize(r, 1<<20)}
+	magic := make([]byte, len(indexMagic))
+	if _, err := io.ReadFull(br.r, magic); err != nil {
+		return nil, fmt.Errorf("lbindex: reading magic: %w", err)
+	}
+	if string(magic) != indexMagic {
+		return nil, fmt.Errorf("lbindex: bad magic %q", magic)
+	}
+	n := int(br.u64())
+	var o Options
+	o.K = int(br.u32())
+	o.HubBudget = int(br.u32())
+	o.HubScheme = HubSelection(br.u8())
+	o.GreedySeed = br.i64()
+	o.Omega = br.f64()
+	o.BCA.Alpha = br.f64()
+	o.BCA.Eta = br.f64()
+	o.BCA.Delta = br.f64()
+	o.BCA.MaxIters = int(br.u32())
+	o.RWR.Alpha = br.f64()
+	o.RWR.Eps = br.f64()
+	o.RWR.MaxIters = int(br.u32())
+	if br.err != nil {
+		return nil, fmt.Errorf("lbindex: reading header: %w", br.err)
+	}
+	if n <= 0 || o.K <= 0 || n > 1<<31 {
+		return nil, fmt.Errorf("lbindex: implausible header n=%d K=%d", n, o.K)
+	}
+
+	hubCount := int(br.u32())
+	if hubCount < 0 || hubCount > n {
+		return nil, fmt.Errorf("lbindex: implausible hub count %d", hubCount)
+	}
+	hubIDs := make([]graph.NodeID, hubCount)
+	for i := range hubIDs {
+		hubIDs[i] = graph.NodeID(br.u32())
+	}
+	cols := make([]vecmath.Sparse, hubCount)
+	topK := make([][]float64, hubCount)
+	dropped := make([]float64, hubCount)
+	for i := 0; i < hubCount; i++ {
+		dropped[i] = br.f64()
+		topK[i] = br.floats(o.K)
+		cols[i] = br.sparse()
+	}
+	if br.err != nil {
+		return nil, fmt.Errorf("lbindex: reading hub matrix: %w", br.err)
+	}
+	hm, err := hub.FromParts(n, hubIDs, cols, topK, dropped, o.Omega)
+	if err != nil {
+		return nil, err
+	}
+
+	idx := &Index{
+		opts:   o,
+		n:      n,
+		hubs:   hm,
+		phat:   make([][]float64, n),
+		states: make([]*bca.State, n),
+	}
+	for u := 0; u < n; u++ {
+		tag := br.u8()
+		switch tag {
+		case 0:
+			if !hm.IsHub(graph.NodeID(u)) {
+				return nil, fmt.Errorf("lbindex: node %d tagged hub but absent from hub matrix", u)
+			}
+		case 1:
+			st := &bca.State{Origin: graph.NodeID(u), T: int(br.u32())}
+			st.R = br.sparse()
+			st.W = br.sparse()
+			st.S = br.sparse()
+			st.RNorm = st.R.L1()
+			idx.states[u] = st
+		default:
+			return nil, fmt.Errorf("lbindex: node %d has unknown tag %d", u, tag)
+		}
+		idx.phat[u] = br.floats(o.K)
+	}
+	idx.refinements = br.i64()
+	if br.err != nil {
+		return nil, fmt.Errorf("lbindex: reading nodes: %w", br.err)
+	}
+	if err := idx.CheckInvariants(); err != nil {
+		return nil, err
+	}
+	return idx, nil
+}

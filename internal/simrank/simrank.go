@@ -1,0 +1,166 @@
+// Package simrank implements SimRank (Jeh & Widom, KDD 2002) and a reverse
+// top-k query on top of it — the paper's second stated future-work
+// direction (§7): "generalize the problem of reverse top-k search to other
+// proximity measures such as SimRank".
+//
+// SimRank scores two nodes by the similarity of their in-neighborhoods:
+//
+//	s(u,u) = 1
+//	s(u,v) = C/(|In(u)|·|In(v)|) · Σ_{a∈In(u)} Σ_{b∈In(v)} s(a,b)
+//
+// with decay C (typically 0.6–0.8). Unlike RWR, SimRank is symmetric, so a
+// reverse top-k query needs no transposed solver — but it still needs the
+// k-th largest similarity of every node, which this package supports with
+// the same bound-based pruning idea as the RWR engine: the fixed-point
+// iteration approaches s from below (s₀ = I and the map is monotone), so
+// iterate t yields lower bounds, and C^(t+1) bounds the tail from above
+// (Lizorkin et al., VLDB 2008).
+//
+// The pairwise matrix costs O(n²) memory and O(I·n²·d²) time, so this is a
+// small-graph engine (the demonstration substrate for the future-work
+// query, not a large-scale system; scalable SimRank is its own literature).
+package simrank
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/vecmath"
+)
+
+// MaxNodes bounds the graphs the dense engine accepts (n² float64 each for
+// two iterates; 8000² ≈ 512MB per matrix is already generous).
+const MaxNodes = 8000
+
+// Params configures the SimRank computation.
+type Params struct {
+	// C is the decay factor in (0,1) (Jeh & Widom use 0.8).
+	C float64
+	// Iterations is the fixed-point iteration count; the result is exact
+	// up to an additive C^(Iterations+1) on every pair.
+	Iterations int
+}
+
+// DefaultParams mirrors the original paper: C=0.8, 11 iterations (tail
+// bound 0.8^12 ≈ 0.07) — sufficient for stable top-k membership on the
+// graphs this engine targets.
+func DefaultParams() Params { return Params{C: 0.8, Iterations: 11} }
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.C <= 0 || p.C >= 1 {
+		return fmt.Errorf("simrank: C must be in (0,1), got %g", p.C)
+	}
+	if p.Iterations <= 0 {
+		return fmt.Errorf("simrank: iterations must be positive, got %d", p.Iterations)
+	}
+	return nil
+}
+
+// Matrix holds the (symmetric) SimRank scores after a fixed number of
+// iterations, which are entrywise lower bounds of the true fixed point;
+// TailBound is the uniform upper-bound slack C^(t+1).
+type Matrix struct {
+	n         int
+	s         []float64 // row-major n×n
+	TailBound float64
+	params    Params
+}
+
+// Compute runs the naive fixed-point iteration. Memory O(n²).
+func Compute(g *graph.Graph, p Params) (*Matrix, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := g.N()
+	if n == 0 {
+		return nil, fmt.Errorf("simrank: empty graph")
+	}
+	if n > MaxNodes {
+		return nil, fmt.Errorf("simrank: graph has %d nodes, dense engine accepts ≤ %d", n, MaxNodes)
+	}
+	cur := make([]float64, n*n)
+	next := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		cur[i*n+i] = 1
+	}
+	for it := 0; it < p.Iterations; it++ {
+		for u := 0; u < n; u++ {
+			inU := g.InNeighbors(graph.NodeID(u))
+			next[u*n+u] = 1
+			for v := u + 1; v < n; v++ {
+				inV := g.InNeighbors(graph.NodeID(v))
+				var acc float64
+				if len(inU) > 0 && len(inV) > 0 {
+					for _, a := range inU {
+						row := int(a) * n
+						for _, b := range inV {
+							acc += cur[row+int(b)]
+						}
+					}
+					acc *= p.C / (float64(len(inU)) * float64(len(inV)))
+				}
+				next[u*n+v] = acc
+				next[v*n+u] = acc
+			}
+		}
+		cur, next = next, cur
+	}
+	tail := 1.0
+	for i := 0; i <= p.Iterations; i++ {
+		tail *= p.C
+	}
+	return &Matrix{n: n, s: cur, TailBound: tail, params: p}, nil
+}
+
+// N returns the node count.
+func (m *Matrix) N() int { return m.n }
+
+// Score returns the (iterated) SimRank similarity of u and v — a lower
+// bound of the exact score, tight to within TailBound.
+func (m *Matrix) Score(u, v graph.NodeID) float64 {
+	return m.s[int(u)*m.n+int(v)]
+}
+
+// TopK returns the k most similar nodes to u (excluding u itself, whose
+// self-similarity 1 is uninformative), descending.
+func (m *Matrix) TopK(u graph.NodeID, k int) []vecmath.Entry {
+	row := make([]float64, m.n)
+	copy(row, m.s[int(u)*m.n:int(u+1)*m.n])
+	row[u] = 0
+	return vecmath.TopKEntries(row, k)
+}
+
+// kthOther returns the k-th largest similarity from u to nodes ≠ u.
+func (m *Matrix) kthOther(u graph.NodeID, k int) float64 {
+	row := make([]float64, m.n)
+	copy(row, m.s[int(u)*m.n:int(u+1)*m.n])
+	row[u] = 0
+	return vecmath.KthLargest(row, k)
+}
+
+// ReverseTopK returns every node u ≠ q that ranks q among its k most
+// SimRank-similar nodes (ties admitted, matching the RWR engine's ≥ rule).
+// Because the scores carry a uniform additive uncertainty of TailBound,
+// membership is decided on the iterated scores directly; callers needing
+// tighter guarantees should raise Params.Iterations.
+func (m *Matrix) ReverseTopK(q graph.NodeID, k int) ([]graph.NodeID, error) {
+	if int(q) < 0 || int(q) >= m.n {
+		return nil, fmt.Errorf("simrank: node %d out of range [0,%d)", q, m.n)
+	}
+	if k <= 0 || k >= m.n {
+		return nil, fmt.Errorf("simrank: k=%d outside [1,%d)", k, m.n)
+	}
+	var out []graph.NodeID
+	for u := graph.NodeID(0); int(u) < m.n; u++ {
+		if u == q {
+			continue
+		}
+		if m.Score(u, q) >= m.kthOther(u, k) && m.Score(u, q) > 0 {
+			out = append(out, u)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}

@@ -1,0 +1,213 @@
+package simrank
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func testGraph(t testing.TB) *graph.Graph {
+	t.Helper()
+	// Two "parent" nodes 0,1 both pointing at 2 and 3 make 2 and 3
+	// structurally similar; node 4 hangs off node 3 only.
+	g, err := graph.FromEdges(5, [][2]graph.NodeID{
+		{0, 2}, {0, 3}, {1, 2}, {1, 3}, {3, 4}, {2, 0}, {4, 1},
+	}, graph.DanglingSelfLoop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestComputeBasics(t *testing.T) {
+	g := testGraph(t)
+	m, err := Compute(g, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.N() != 5 {
+		t.Fatalf("N = %d", m.N())
+	}
+	for u := graph.NodeID(0); int(u) < 5; u++ {
+		if m.Score(u, u) != 1 {
+			t.Errorf("self similarity of %d = %g", u, m.Score(u, u))
+		}
+		for v := graph.NodeID(0); int(v) < 5; v++ {
+			s := m.Score(u, v)
+			if s < 0 || s > 1 {
+				t.Errorf("score out of range: s(%d,%d)=%g", u, v, s)
+			}
+			if math.Abs(s-m.Score(v, u)) > 1e-15 {
+				t.Errorf("asymmetric: s(%d,%d)=%g s(%d,%d)=%g", u, v, s, v, u, m.Score(v, u))
+			}
+		}
+	}
+	// Nodes 2 and 3 share both in-neighbors: their similarity should be
+	// the highest off-diagonal score involving either.
+	if m.Score(2, 3) <= 0 {
+		t.Error("structurally similar pair scored 0")
+	}
+	if m.Score(2, 3) <= m.Score(2, 4) {
+		t.Errorf("s(2,3)=%g not above s(2,4)=%g", m.Score(2, 3), m.Score(2, 4))
+	}
+}
+
+func TestComputeValidation(t *testing.T) {
+	g := testGraph(t)
+	if _, err := Compute(g, Params{C: 0, Iterations: 5}); err == nil {
+		t.Error("want C error")
+	}
+	if _, err := Compute(g, Params{C: 0.8, Iterations: 0}); err == nil {
+		t.Error("want iterations error")
+	}
+	empty, _, err := graph.NewBuilder(0).Build(graph.DanglingSelfLoop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compute(empty, DefaultParams()); err == nil {
+		t.Error("want empty-graph error")
+	}
+}
+
+func TestIterationMonotonicity(t *testing.T) {
+	// More iterations only increase scores (monotone fixed-point map
+	// from s₀ = I), and the increase is bounded by the tail bound.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(15)
+		b := graph.NewBuilder(n)
+		for i := 0; i < 3*n; i++ {
+			b.AddEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)))
+		}
+		g, _, err := b.Build(graph.DanglingSelfLoop)
+		if err != nil {
+			return false
+		}
+		short, err := Compute(g, Params{C: 0.8, Iterations: 3})
+		if err != nil {
+			return false
+		}
+		long, err := Compute(g, Params{C: 0.8, Iterations: 9})
+		if err != nil {
+			return false
+		}
+		for u := graph.NodeID(0); int(u) < n; u++ {
+			for v := graph.NodeID(0); int(v) < n; v++ {
+				lo, hi := short.Score(u, v), long.Score(u, v)
+				if hi < lo-1e-12 {
+					return false // not monotone
+				}
+				if hi > lo+short.TailBound+1e-12 {
+					return false // exceeded the tail bound
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTopKExcludesSelf(t *testing.T) {
+	g := testGraph(t)
+	m, err := Compute(g, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := m.TopK(2, 3)
+	for _, e := range top {
+		if e.Index == 2 {
+			t.Error("TopK includes the node itself")
+		}
+	}
+	if len(top) == 0 || top[0].Index != 3 {
+		t.Errorf("most similar to 2 should be 3: %v", top)
+	}
+}
+
+func TestReverseTopKDefinition(t *testing.T) {
+	// Cross-check ReverseTopK against its definition on random graphs.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(12)
+		b := graph.NewBuilder(n)
+		for i := 0; i < 3*n; i++ {
+			b.AddEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)))
+		}
+		g, _, err := b.Build(graph.DanglingSelfLoop)
+		if err != nil {
+			return false
+		}
+		m, err := Compute(g, Params{C: 0.7, Iterations: 7})
+		if err != nil {
+			return false
+		}
+		q := graph.NodeID(rng.Intn(n))
+		k := 1 + rng.Intn(3)
+		got, err := m.ReverseTopK(q, k)
+		if err != nil {
+			return false
+		}
+		inAnswer := map[graph.NodeID]bool{}
+		for _, u := range got {
+			inAnswer[u] = true
+		}
+		for u := graph.NodeID(0); int(u) < n; u++ {
+			if u == q {
+				continue
+			}
+			want := m.Score(u, q) >= m.kthOther(u, k) && m.Score(u, q) > 0
+			if want != inAnswer[u] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReverseTopKValidation(t *testing.T) {
+	g := testGraph(t)
+	m, err := Compute(g, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ReverseTopK(99, 2); err == nil {
+		t.Error("want range error")
+	}
+	if _, err := m.ReverseTopK(0, 0); err == nil {
+		t.Error("want k error")
+	}
+	if _, err := m.ReverseTopK(0, 5); err == nil {
+		t.Error("want k bound error")
+	}
+}
+
+func TestStructurallySimilarPairReverseQuery(t *testing.T) {
+	g := testGraph(t)
+	m, err := Compute(g, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 3's most similar node is 2 (shared parents), so 3 must appear
+	// in the reverse top-1 answer of 2.
+	res, err := m.ReverseTopK(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, u := range res {
+		if u == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("reverse top-1 of node 2 misses its structural twin 3: %v", res)
+	}
+}

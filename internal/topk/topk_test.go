@@ -1,0 +1,161 @@
+package topk
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bca"
+	"repro/internal/graph"
+	"repro/internal/rwr"
+)
+
+func testGraph(t testing.TB, seed int64, n int) *graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddWeightedEdge(graph.NodeID(i), graph.NodeID((i+1)%n), 1+rng.Float64())
+	}
+	for i := 0; i < 4*n; i++ {
+		b.AddWeightedEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)), 1+rng.Float64()*3)
+	}
+	g, _, err := b.Build(graph.DanglingSelfLoop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestExactBasic(t *testing.T) {
+	g := testGraph(t, 1, 50)
+	res, err := Exact(g, 0, 5, rwr.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 5 || !res.Exact {
+		t.Fatalf("bad result: %+v", res)
+	}
+	for i := 1; i < len(res.Entries); i++ {
+		if res.Entries[i].Value > res.Entries[i-1].Value {
+			t.Error("entries not descending")
+		}
+	}
+	// The source itself holds the restart mass and tops its own list on
+	// this well-connected graph.
+	if res.Entries[0].Index != 0 {
+		t.Errorf("top entry is %d, want source 0", res.Entries[0].Index)
+	}
+}
+
+func TestExactValidation(t *testing.T) {
+	g := testGraph(t, 1, 10)
+	if _, err := Exact(g, 0, 0, rwr.DefaultParams()); err == nil {
+		t.Error("want k error")
+	}
+	if _, err := Exact(g, 99, 3, rwr.DefaultParams()); err == nil {
+		t.Error("want range error")
+	}
+}
+
+func TestPushMatchesExactMembership(t *testing.T) {
+	g := testGraph(t, 7, 80)
+	p := rwr.DefaultParams()
+	cfg := bca.Config{Alpha: 0.15, Eta: 1e-6, Delta: 0.1, MaxIters: 100000}
+	ws := bca.NewWorkspace(g.N())
+	for _, u := range []graph.NodeID{0, 13, 42} {
+		exact, err := Exact(g, u, 5, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		push, err := Push(g, u, 5, cfg, ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := map[int32]bool{}
+		for _, e := range exact.Entries {
+			want[e.Index] = true
+		}
+		for _, e := range push.Entries {
+			if !want[e.Index] {
+				t.Errorf("u=%d: push returned %d, not in exact top-5 %v", u, e.Index, exact.Entries)
+			}
+		}
+		if len(push.Entries) != len(exact.Entries) {
+			t.Errorf("u=%d: push returned %d entries, want %d", u, len(push.Entries), len(exact.Entries))
+		}
+	}
+}
+
+func TestPushNilWorkspace(t *testing.T) {
+	g := testGraph(t, 2, 30)
+	if _, err := Push(g, 0, 3, bca.DefaultConfig(), nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPushValidation(t *testing.T) {
+	g := testGraph(t, 2, 20)
+	ws := bca.NewWorkspace(g.N())
+	if _, err := Push(g, 0, 0, bca.DefaultConfig(), ws); err == nil {
+		t.Error("want k error")
+	}
+	if _, err := Push(g, -2, 3, bca.DefaultConfig(), ws); err == nil {
+		t.Error("want range error")
+	}
+	if _, err := Push(g, 0, 3, bca.Config{}, ws); err == nil {
+		t.Error("want config error")
+	}
+}
+
+func TestMonteCarloRecallIsHigh(t *testing.T) {
+	g := testGraph(t, 9, 40)
+	p := rwr.DefaultParams()
+	rng := rand.New(rand.NewSource(11))
+	exact, err := Exact(g, 3, 5, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := MonteCarlo(g, 3, 5, 100000, p, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int32]bool{}
+	for _, e := range exact.Entries {
+		want[e.Index] = true
+	}
+	overlap := 0
+	for _, e := range mc.Entries {
+		if want[e.Index] {
+			overlap++
+		}
+	}
+	if overlap < 4 {
+		t.Errorf("MC recall %d/5 too low; exact %v, mc %v", overlap, exact.Entries, mc.Entries)
+	}
+}
+
+func TestMonteCarloValidation(t *testing.T) {
+	g := testGraph(t, 2, 20)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := MonteCarlo(g, 0, 0, 100, rwr.DefaultParams(), rng); err == nil {
+		t.Error("want k error")
+	}
+	if _, err := MonteCarlo(g, 0, 3, 0, rwr.DefaultParams(), rng); err == nil {
+		t.Error("want walks error")
+	}
+}
+
+func TestPushCheaperThanExactIterationsTimesEdges(t *testing.T) {
+	// The point of push search: it touches a local neighbourhood instead
+	// of iterating over the whole graph; its iteration count should be
+	// modest. (Coarse sanity check, not a microbenchmark.)
+	g := testGraph(t, 4, 500)
+	cfg := bca.Config{Alpha: 0.15, Eta: 1e-5, Delta: 0.1, MaxIters: 100000}
+	res, err := Push(g, 7, 5, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations > 200 {
+		t.Errorf("push used %d iterations; expected a local, quick search", res.Iterations)
+	}
+}

@@ -1,0 +1,123 @@
+package vecmath
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Sparse is a sparse vector: parallel slices of strictly increasing indices
+// and their values. The zero value is the empty vector. Sparse vectors are
+// the storage format for rounded hub proximity columns (§4.1.3) and for the
+// resumable per-node BCA state (R, W, S matrices of the index).
+type Sparse struct {
+	Idx []int32
+	Val []float64
+}
+
+// NNZ returns the number of stored entries.
+func (s Sparse) NNZ() int { return len(s.Idx) }
+
+// L1 returns the sum of absolute values of stored entries.
+func (s Sparse) L1() float64 {
+	var sum float64
+	for _, v := range s.Val {
+		if v < 0 {
+			sum -= v
+		} else {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// Get returns the value at index i (0 when absent) using binary search.
+func (s Sparse) Get(i int32) float64 {
+	pos := sort.Search(len(s.Idx), func(j int) bool { return s.Idx[j] >= i })
+	if pos < len(s.Idx) && s.Idx[pos] == i {
+		return s.Val[pos]
+	}
+	return 0
+}
+
+// Clone returns a deep copy.
+func (s Sparse) Clone() Sparse {
+	out := Sparse{Idx: make([]int32, len(s.Idx)), Val: make([]float64, len(s.Val))}
+	copy(out.Idx, s.Idx)
+	copy(out.Val, s.Val)
+	return out
+}
+
+// Validate checks the strict index ordering invariant.
+func (s Sparse) Validate() error {
+	if len(s.Idx) != len(s.Val) {
+		return fmt.Errorf("vecmath: sparse idx/val length mismatch: %d vs %d", len(s.Idx), len(s.Val))
+	}
+	for i := 1; i < len(s.Idx); i++ {
+		if s.Idx[i] <= s.Idx[i-1] {
+			return fmt.Errorf("vecmath: sparse indices not strictly increasing at %d", i)
+		}
+	}
+	return nil
+}
+
+// Compact returns a copy of s without entries whose absolute value is below
+// or equal to threshold. With threshold 0 it drops exact zeros only.
+func (s Sparse) Compact(threshold float64) Sparse {
+	out := Sparse{}
+	for i, v := range s.Val {
+		if v > threshold || v < -threshold {
+			out.Idx = append(out.Idx, s.Idx[i])
+			out.Val = append(out.Val, v)
+		}
+	}
+	return out
+}
+
+// ScatterInto adds scale·s into the dense vector dst.
+func (s Sparse) ScatterInto(dst []float64, scale float64) {
+	for i, idx := range s.Idx {
+		dst[idx] += scale * s.Val[i]
+	}
+}
+
+// CopyInto writes the sparse entries into dst (dst is not cleared first).
+func (s Sparse) CopyInto(dst []float64) {
+	for i, idx := range s.Idx {
+		dst[idx] = s.Val[i]
+	}
+}
+
+// GatherSparse extracts the non-zero entries of a dense vector, skipping
+// values with |v| ≤ threshold, producing a Sparse in index order.
+func GatherSparse(x []float64, threshold float64) Sparse {
+	var s Sparse
+	for i, v := range x {
+		if v > threshold || v < -threshold {
+			s.Idx = append(s.Idx, int32(i))
+			s.Val = append(s.Val, v)
+		}
+	}
+	return s
+}
+
+// GatherSparseIndices extracts entries of the dense vector x at the given
+// positions (which must be sorted ascending), skipping zeros. This is faster
+// than GatherSparse when the caller tracked touched positions.
+func GatherSparseIndices(x []float64, positions []int32, threshold float64) Sparse {
+	var s Sparse
+	for _, i := range positions {
+		v := x[i]
+		if v > threshold || v < -threshold {
+			s.Idx = append(s.Idx, i)
+			s.Val = append(s.Val, v)
+		}
+	}
+	return s
+}
+
+// Bytes returns the approximate in-memory footprint of the sparse vector
+// (payload only: 4 bytes per index + 8 bytes per value). Used for the index
+// size accounting of Table 2.
+func (s Sparse) Bytes() int64 {
+	return int64(len(s.Idx))*4 + int64(len(s.Val))*8
+}

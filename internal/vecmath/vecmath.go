@@ -1,0 +1,231 @@
+// Package vecmath provides the dense- and sparse-vector primitives shared by
+// the RWR engines, the BCA ink-propagation code and the lower-bound index:
+// L1 arithmetic, top-k selection, and a compact sorted sparse-vector type
+// used for rounded hub proximity columns and resumable BCA state.
+package vecmath
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// L1Norm returns Σ|x_i|.
+func L1Norm(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += math.Abs(v)
+	}
+	return s
+}
+
+// L1Diff returns Σ|x_i − y_i|. The slices must have equal length.
+func L1Diff(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("vecmath: L1Diff length mismatch %d vs %d", len(x), len(y)))
+	}
+	var s float64
+	for i := range x {
+		s += math.Abs(x[i] - y[i])
+	}
+	return s
+}
+
+// MaxAbsDiff returns max_i |x_i − y_i|.
+func MaxAbsDiff(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("vecmath: MaxAbsDiff length mismatch %d vs %d", len(x), len(y)))
+	}
+	var m float64
+	for i := range x {
+		if d := math.Abs(x[i] - y[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Zero sets every entry of x to 0 (in place).
+func Zero(x []float64) {
+	for i := range x {
+		x[i] = 0
+	}
+}
+
+// Clone returns a copy of x.
+func Clone(x []float64) []float64 {
+	out := make([]float64, len(x))
+	copy(out, x)
+	return out
+}
+
+// Scale multiplies every entry of x by a (in place).
+func Scale(x []float64, a float64) {
+	for i := range x {
+		x[i] *= a
+	}
+}
+
+// AddScaled computes dst += a·src (in place). The slices must have equal
+// length.
+func AddScaled(dst []float64, a float64, src []float64) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("vecmath: AddScaled length mismatch %d vs %d", len(dst), len(src)))
+	}
+	for i := range dst {
+		dst[i] += a * src[i]
+	}
+}
+
+// TopKValues returns the k largest values of x in descending order. If x has
+// fewer than k entries the result is padded with zeros so that callers can
+// index position k−1 unconditionally (matching the paper's p̂(1:K) vectors,
+// where absent proximities are 0).
+func TopKValues(x []float64, k int) []float64 {
+	if k <= 0 {
+		return nil
+	}
+	out := make([]float64, k)
+	// Selection with a min-heap of size k over the values.
+	h := newMinHeap(k)
+	for _, v := range x {
+		h.offer(v)
+	}
+	vals := h.drainDescending()
+	copy(out, vals)
+	return out
+}
+
+// Entry pairs a node index with a value; used for ranked proximity lists.
+type Entry struct {
+	Index int32
+	Value float64
+}
+
+// TopKEntries returns the k largest entries of x in descending value order,
+// ties broken by smaller index (a deterministic total order, so reverse
+// top-k answers are reproducible). If x has fewer than k positive entries
+// the missing slots are simply absent (the result may be shorter than k).
+// Zero entries are excluded: a node with zero proximity is never a
+// meaningful top-k member.
+func TopKEntries(x []float64, k int) []Entry {
+	if k <= 0 {
+		return nil
+	}
+	entries := make([]Entry, 0, k+1)
+	// Maintain entries as a small sorted-descending slice; for the k ≪ n
+	// regime this is competitive with a heap and keeps the deterministic
+	// tie-break simple.
+	worse := func(a, b Entry) bool { // a ranks worse than b
+		if a.Value != b.Value {
+			return a.Value < b.Value
+		}
+		return a.Index > b.Index
+	}
+	for i, v := range x {
+		if v <= 0 {
+			continue
+		}
+		e := Entry{Index: int32(i), Value: v}
+		if len(entries) == k && worse(e, entries[k-1]) {
+			continue
+		}
+		pos := sort.Search(len(entries), func(j int) bool { return worse(entries[j], e) })
+		entries = append(entries, Entry{})
+		copy(entries[pos+1:], entries[pos:])
+		entries[pos] = e
+		if len(entries) > k {
+			entries = entries[:k]
+		}
+	}
+	return entries
+}
+
+// KthLargest returns the k-th largest value of x (1-based), or 0 if x has
+// fewer than k entries. This is the paper's pkmax when applied to a
+// proximity vector.
+func KthLargest(x []float64, k int) float64 {
+	if k <= 0 {
+		return math.Inf(1)
+	}
+	h := newMinHeap(k)
+	for _, v := range x {
+		h.offer(v)
+	}
+	if h.size < k {
+		return 0
+	}
+	return h.data[0]
+}
+
+// minHeap is a fixed-capacity min-heap used for top-k selection.
+type minHeap struct {
+	data []float64
+	size int
+}
+
+func newMinHeap(k int) *minHeap {
+	return &minHeap{data: make([]float64, k)}
+}
+
+func (h *minHeap) offer(v float64) {
+	if h.size < len(h.data) {
+		h.data[h.size] = v
+		h.size++
+		h.siftUp(h.size - 1)
+		return
+	}
+	if v <= h.data[0] {
+		return
+	}
+	h.data[0] = v
+	h.siftDown(0)
+}
+
+func (h *minHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.data[parent] <= h.data[i] {
+			return
+		}
+		h.data[parent], h.data[i] = h.data[i], h.data[parent]
+		i = parent
+	}
+}
+
+func (h *minHeap) siftDown(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < h.size && h.data[l] < h.data[smallest] {
+			smallest = l
+		}
+		if r < h.size && h.data[r] < h.data[smallest] {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.data[i], h.data[smallest] = h.data[smallest], h.data[i]
+		i = smallest
+	}
+}
+
+// drainDescending empties the heap, returning its contents sorted
+// descending.
+func (h *minHeap) drainDescending() []float64 {
+	out := make([]float64, h.size)
+	copy(out, h.data[:h.size])
+	sort.Sort(sort.Reverse(sort.Float64Slice(out)))
+	return out
+}
+
+// IsSortedDescending reports whether x is non-increasing.
+func IsSortedDescending(x []float64) bool {
+	for i := 1; i < len(x); i++ {
+		if x[i] > x[i-1] {
+			return false
+		}
+	}
+	return true
+}

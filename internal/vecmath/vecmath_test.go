@@ -1,0 +1,238 @@
+package vecmath
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestL1Norm(t *testing.T) {
+	if got := L1Norm([]float64{1, -2, 3}); got != 6 {
+		t.Errorf("L1Norm = %g, want 6", got)
+	}
+	if got := L1Norm(nil); got != 0 {
+		t.Errorf("L1Norm(nil) = %g, want 0", got)
+	}
+}
+
+func TestL1Diff(t *testing.T) {
+	if got := L1Diff([]float64{1, 2}, []float64{0, 4}); got != 3 {
+		t.Errorf("L1Diff = %g, want 3", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic on length mismatch")
+		}
+	}()
+	L1Diff([]float64{1}, []float64{1, 2})
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	if got := MaxAbsDiff([]float64{1, 5, 2}, []float64{1, 2, 4}); got != 3 {
+		t.Errorf("MaxAbsDiff = %g, want 3", got)
+	}
+}
+
+func TestZeroScaleClone(t *testing.T) {
+	x := []float64{1, 2, 3}
+	c := Clone(x)
+	Scale(x, 2)
+	if !reflect.DeepEqual(x, []float64{2, 4, 6}) {
+		t.Errorf("Scale: %v", x)
+	}
+	if !reflect.DeepEqual(c, []float64{1, 2, 3}) {
+		t.Errorf("Clone aliased: %v", c)
+	}
+	Zero(x)
+	if L1Norm(x) != 0 {
+		t.Errorf("Zero failed: %v", x)
+	}
+}
+
+func TestAddScaled(t *testing.T) {
+	dst := []float64{1, 1}
+	AddScaled(dst, 2, []float64{3, 4})
+	if !reflect.DeepEqual(dst, []float64{7, 9}) {
+		t.Errorf("AddScaled = %v", dst)
+	}
+}
+
+func TestTopKValues(t *testing.T) {
+	x := []float64{0.1, 0.5, 0.3, 0.2}
+	if got := TopKValues(x, 2); !reflect.DeepEqual(got, []float64{0.5, 0.3}) {
+		t.Errorf("TopKValues = %v", got)
+	}
+	// Padding when k > len(x).
+	if got := TopKValues([]float64{0.7}, 3); !reflect.DeepEqual(got, []float64{0.7, 0, 0}) {
+		t.Errorf("TopKValues pad = %v", got)
+	}
+	if got := TopKValues(x, 0); got != nil {
+		t.Errorf("TopKValues(0) = %v", got)
+	}
+}
+
+func TestTopKValuesAgainstSort(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		k := 1 + rng.Intn(20)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.Float64()
+		}
+		got := TopKValues(x, k)
+		sorted := Clone(x)
+		sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+		for i := 0; i < k; i++ {
+			want := 0.0
+			if i < n {
+				want = sorted[i]
+			}
+			if got[i] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTopKEntries(t *testing.T) {
+	x := []float64{0.1, 0.5, 0.3, 0.5, 0}
+	got := TopKEntries(x, 3)
+	want := []Entry{{1, 0.5}, {3, 0.5}, {2, 0.3}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("TopKEntries = %v, want %v", got, want)
+	}
+	// Zeros excluded; result can be shorter than k.
+	got = TopKEntries([]float64{0, 0, 0.2}, 3)
+	if len(got) != 1 || got[0].Index != 2 {
+		t.Errorf("TopKEntries zeros = %v", got)
+	}
+}
+
+func TestTopKEntriesDeterministicTieBreak(t *testing.T) {
+	x := []float64{0.5, 0.5, 0.5, 0.5}
+	got := TopKEntries(x, 2)
+	if got[0].Index != 0 || got[1].Index != 1 {
+		t.Errorf("tie break wrong: %v", got)
+	}
+}
+
+func TestKthLargest(t *testing.T) {
+	x := []float64{0.4, 0.1, 0.9, 0.6}
+	cases := []struct {
+		k    int
+		want float64
+	}{{1, 0.9}, {2, 0.6}, {3, 0.4}, {4, 0.1}, {5, 0}}
+	for _, c := range cases {
+		if got := KthLargest(x, c.k); got != c.want {
+			t.Errorf("KthLargest(k=%d) = %g, want %g", c.k, got, c.want)
+		}
+	}
+	if !math.IsInf(KthLargest(x, 0), 1) {
+		t.Error("KthLargest(0) should be +Inf")
+	}
+}
+
+func TestIsSortedDescending(t *testing.T) {
+	if !IsSortedDescending([]float64{3, 2, 2, 1}) {
+		t.Error("want true")
+	}
+	if IsSortedDescending([]float64{1, 2}) {
+		t.Error("want false")
+	}
+	if !IsSortedDescending(nil) {
+		t.Error("empty is sorted")
+	}
+}
+
+func TestSparseBasics(t *testing.T) {
+	s := Sparse{Idx: []int32{1, 4, 9}, Val: []float64{0.5, -0.25, 0.125}}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.NNZ() != 3 {
+		t.Errorf("NNZ = %d", s.NNZ())
+	}
+	if got := s.L1(); got != 0.875 {
+		t.Errorf("L1 = %g", got)
+	}
+	if s.Get(4) != -0.25 || s.Get(5) != 0 {
+		t.Errorf("Get wrong: %g %g", s.Get(4), s.Get(5))
+	}
+	c := s.Clone()
+	c.Val[0] = 99
+	if s.Val[0] == 99 {
+		t.Error("Clone aliases storage")
+	}
+}
+
+func TestSparseValidateErrors(t *testing.T) {
+	if err := (Sparse{Idx: []int32{1}, Val: nil}).Validate(); err == nil {
+		t.Error("want length mismatch error")
+	}
+	if err := (Sparse{Idx: []int32{2, 2}, Val: []float64{1, 1}}).Validate(); err == nil {
+		t.Error("want ordering error")
+	}
+}
+
+func TestSparseCompact(t *testing.T) {
+	s := Sparse{Idx: []int32{0, 1, 2}, Val: []float64{1e-9, 0.5, -1e-9}}
+	c := s.Compact(1e-6)
+	if c.NNZ() != 1 || c.Idx[0] != 1 {
+		t.Errorf("Compact = %+v", c)
+	}
+}
+
+func TestScatterGatherRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(100)
+		x := make([]float64, n)
+		for i := range x {
+			if rng.Float64() < 0.3 {
+				x[i] = rng.Float64()
+			}
+		}
+		s := GatherSparse(x, 0)
+		if s.Validate() != nil {
+			return false
+		}
+		back := make([]float64, n)
+		s.CopyInto(back)
+		return L1Diff(x, back) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScatterIntoScaled(t *testing.T) {
+	s := Sparse{Idx: []int32{0, 2}, Val: []float64{1, 2}}
+	dst := []float64{1, 1, 1}
+	s.ScatterInto(dst, 0.5)
+	if !reflect.DeepEqual(dst, []float64{1.5, 1, 2}) {
+		t.Errorf("ScatterInto = %v", dst)
+	}
+}
+
+func TestGatherSparseIndices(t *testing.T) {
+	x := []float64{0.5, 0, 0.25, 0}
+	s := GatherSparseIndices(x, []int32{0, 1, 2}, 0)
+	if s.NNZ() != 2 || s.Get(0) != 0.5 || s.Get(2) != 0.25 {
+		t.Errorf("GatherSparseIndices = %+v", s)
+	}
+}
+
+func TestSparseBytes(t *testing.T) {
+	s := Sparse{Idx: []int32{1, 2}, Val: []float64{1, 2}}
+	if got := s.Bytes(); got != 24 {
+		t.Errorf("Bytes = %d, want 24", got)
+	}
+}
