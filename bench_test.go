@@ -1,13 +1,14 @@
 // Repository-level benchmarks: one per table/figure of the paper's
-// evaluation (§5) plus ablations of the design choices called out in
-// DESIGN.md. Absolute numbers are machine-specific; the shapes that must
-// hold are described next to each benchmark and recorded in EXPERIMENTS.md.
+// evaluation (§5) plus ablations of the design choices. Absolute numbers
+// are machine-specific; the shapes that must hold are described next to
+// each benchmark (see README.md for the expected scaling shapes).
 package repro
 
 import (
 	"bytes"
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -401,6 +402,58 @@ func BenchmarkRWRSolvers(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkIntraQueryWorkers measures ONE reverse top-k query (Algorithm 4)
+// at increasing intra-query worker counts on the webgraph benchmark — the
+// single-query latency lever. Shape: near-linear speedup from workers=1 to
+// GOMAXPROCS on multi-core machines (the PMPN matvec and the candidate scan
+// both shard over node ranges); answers are identical at every setting.
+func BenchmarkIntraQueryWorkers(b *testing.B) {
+	g, idx := benchSetup(b)
+	queries, err := workload.Queries(g.N(), 256, 909)
+	if err != nil {
+		b.Fatal(err)
+	}
+	counts := []int{1, 2, 4}
+	if p := runtime.GOMAXPROCS(0); p > 4 {
+		counts = append(counts, p)
+	}
+	for _, w := range counts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			eng, err := core.NewEngine(g, cloneBenchIndex(b, idx), true)
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng.SetWorkers(w)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := eng.Query(queries[i%len(queries)], 10); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelPMPN isolates step 1 of the query: the sharded transposed
+// power iteration (Algorithm 2) across worker counts.
+func BenchmarkParallelPMPN(b *testing.B) {
+	g, _ := benchSetup(b)
+	p := rwr.DefaultParams()
+	counts := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		counts = append(counts, n)
+	}
+	for _, w := range counts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := rwr.ProximityToParallel(g, graph.NodeID(i%g.N()), p, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkQueryBatch measures parallel batch evaluation against one

@@ -16,6 +16,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -29,6 +30,7 @@ func main() {
 		which   = flag.String("exp", "all", "experiment: datasets|table2|fig5|fig6|fig7|fig8|fig9|spam|table3|approx|evolve|all")
 		scale   = flag.Int("scale", 1, "graph size multiplier (paper sizes ≈ 5–400)")
 		queries = flag.Int("queries", 0, "query workload size override (0 = experiment default; paper: 500)")
+		workers = flag.Int("workers", 1, "intra-query workers for the fig5/fig6 query sweep (0 = all cores)")
 		verbose = flag.Bool("v", false, "print progress while running")
 	)
 	flag.Parse()
@@ -70,6 +72,11 @@ func main() {
 		cfg := exp.DefaultFig5Config(*scale)
 		if *queries > 0 {
 			cfg.Queries = *queries
+		}
+		if *workers <= 0 {
+			cfg.Workers = runtime.GOMAXPROCS(0)
+		} else {
+			cfg.Workers = *workers
 		}
 		rows, err := exp.RunFigure5And6(cfg, progress)
 		if err != nil {

@@ -7,6 +7,7 @@
 //
 //	rtkquery -graph web.txt -index web.idx -q 42 -k 10
 //	rtkquery -graph web.txt -index web.idx -q 42 -k 10 -update -save
+//	rtkquery -graph web.txt -index web.idx -q 42 -k 10 -workers 0   # one query, all cores
 package main
 
 import (
@@ -29,6 +30,7 @@ func main() {
 		indexPath = flag.String("index", "", "index path (required)")
 		q         = flag.Int("q", -1, "query node (required)")
 		k         = flag.Int("k", 10, "query k")
+		workers   = flag.Int("workers", 1, "intra-query worker count (0 = all cores); answers are identical at any setting")
 		update    = flag.Bool("update", false, "refine the in-memory index during the query")
 		save      = flag.Bool("save", false, "write the refined index back (implies -update)")
 		approx    = flag.Bool("approx", false, "hits-only approximate mode (§5.3): no refinement, subset answer")
@@ -70,6 +72,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	eng.SetWorkers(*workers)
 	if *explain {
 		ex, err := eng.Explain(graph.NodeID(*q), *k, false)
 		if err != nil {

@@ -4,8 +4,9 @@
 // The library answers reverse top-k RWR proximity queries: given a query
 // node q and an integer k, find every node u that ranks q among its k
 // highest-proximity nodes under random walk with restart. See README.md
-// for the architecture, DESIGN.md for the system inventory and experiment
-// index, and EXPERIMENTS.md for the paper-vs-measured comparison.
+// for the package architecture, the concurrency model (engine-per-goroutine
+// batching composed with intra-query worker sharding), and how to run the
+// paper experiments and benchmarks.
 //
 // The root package carries the repository-level benchmarks (bench_test.go):
 // one benchmark per table/figure of the paper plus ablations of the design

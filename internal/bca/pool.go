@@ -1,0 +1,45 @@
+package bca
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Pool is a concurrency-safe free list of Workspaces for one graph size.
+// The sharded candidate-decision loop of the query engine draws one
+// workspace per shard worker from a shared pool so that a query at W workers
+// allocates at most W workspaces over the engine's lifetime instead of W per
+// query (a workspace carries four dense n-vectors, so per-query allocation
+// would dwarf the work it supports on large graphs).
+type Pool struct {
+	n    int
+	pool sync.Pool
+}
+
+// NewPool creates a pool of Workspaces for graphs with n nodes.
+func NewPool(n int) *Pool {
+	p := &Pool{n: n}
+	p.pool.New = func() any { return NewWorkspace(n) }
+	return p
+}
+
+// N returns the node count the pooled workspaces are sized for.
+func (p *Pool) N() int { return p.n }
+
+// Get returns a workspace, allocating one only when the pool is empty.
+func (p *Pool) Get() *Workspace {
+	return p.pool.Get().(*Workspace)
+}
+
+// Put returns a workspace to the pool. Workspaces reset their scratch at the
+// start of each use, so no cleaning is needed here — but the size must
+// match, or a later Get would hand out a workspace that panics mid-run.
+func (p *Pool) Put(ws *Workspace) {
+	if ws == nil {
+		return
+	}
+	if ws.n != p.n {
+		panic(fmt.Sprintf("bca: pool sized for %d nodes given workspace for %d", p.n, ws.n))
+	}
+	p.pool.Put(ws)
+}

@@ -1,0 +1,90 @@
+package bca
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestPoolReusesWorkspaces(t *testing.T) {
+	p := NewPool(10)
+	if p.N() != 10 {
+		t.Fatalf("N = %d, want 10", p.N())
+	}
+	ws := p.Get()
+	if ws.n != 10 {
+		t.Fatalf("workspace sized %d, want 10", ws.n)
+	}
+	p.Put(ws)
+	if got := p.Get(); got != ws {
+		// sync.Pool may drop entries under GC pressure, so reuse is not
+		// guaranteed by spec — but in a quiet unit test a put-then-get
+		// returning a fresh allocation would indicate a wiring bug.
+		t.Logf("note: pool did not reuse the workspace (allowed, unusual)")
+	}
+	p.Put(nil) // must be a no-op
+}
+
+func TestPoolSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic on size mismatch")
+		}
+	}()
+	NewPool(10).Put(NewWorkspace(5))
+}
+
+// TestPoolConcurrentBCARuns drives real BCA runs through pooled workspaces
+// from many goroutines — the exact usage pattern of the sharded decision
+// loop. Run with -race.
+func TestPoolConcurrentBCARuns(t *testing.T) {
+	g, err := gen.WebGraph(200, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	pool := NewPool(g.N())
+
+	// Reference states computed sequentially.
+	refWS := NewWorkspace(g.N())
+	want := make([]*State, 8)
+	for i := range want {
+		st, err := Run(g, graph.NodeID(i*20), NoHubs, cfg, refWS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = st
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < 4; round++ {
+				for i := range want {
+					ws := pool.Get()
+					st, err := Run(g, graph.NodeID(i*20), NoHubs, cfg, ws)
+					pool.Put(ws)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if st.RNorm != want[i].RNorm || st.T != want[i].T ||
+						st.R.NNZ() != want[i].R.NNZ() || st.W.NNZ() != want[i].W.NNZ() {
+						t.Errorf("origin %d: pooled run diverged from sequential", i*20)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -29,7 +29,7 @@ func (e *Engine) QueryApproximate(q graph.NodeID, k int) ([]graph.NodeID, QueryS
 	}
 	start := time.Now()
 
-	pmpn, err := rwr.ProximityTo(e.g, q, e.idx.Options().RWR)
+	pmpn, err := rwr.ProximityToParallel(e.g, q, e.idx.Options().RWR, e.workers)
 	if err != nil {
 		return nil, stats, err
 	}

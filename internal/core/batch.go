@@ -18,15 +18,21 @@ type BatchResult struct {
 }
 
 // QueryBatch evaluates many reverse top-k queries concurrently against one
-// shared index, one engine per worker (engines are single-goroutine; the
-// index itself is safe for concurrent use). Results arrive in input order.
-// In update mode, refinements from concurrent queries all land in the
+// shared index (which is safe for concurrent use). Results arrive in input
+// order. In update mode, refinements from concurrent queries all land in the
 // shared index — later queries in the batch benefit, exactly like a
 // sequential update-mode workload, just without a deterministic refinement
 // order.
 //
-// workers ≤ 0 selects GOMAXPROCS. practical toggles the paper-literal
-// decision mode on every worker engine.
+// workers is the TOTAL parallelism budget (≤ 0 selects GOMAXPROCS), composed
+// across the two levels: as many single-goroutine engines as there are
+// queries to keep busy (inter-query), and the leftover budget dealt to each
+// engine as intra-query workers (Engine.SetWorkers). A long batch therefore
+// runs one sequential engine per core — the throughput-optimal shape — while
+// a short batch (fewer queries than cores, the latency-sensitive case)
+// splits each query across the idle cores instead of leaving them parked.
+//
+// practical toggles the paper-literal decision mode on every worker engine.
 func QueryBatch(g *graph.Graph, idx *lbindex.Index, queries []graph.NodeID, k, workers int, update, practical bool) ([]BatchResult, error) {
 	if k <= 0 || k > idx.K() {
 		return nil, fmt.Errorf("core: k=%d outside [1,%d] supported by the index", k, idx.K())
@@ -34,16 +40,29 @@ func QueryBatch(g *graph.Graph, idx *lbindex.Index, queries []graph.NodeID, k, w
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(queries) {
-		workers = len(queries)
+	inter := workers
+	if inter > len(queries) {
+		inter = len(queries)
+	}
+	// Deal the budget: every engine gets ⌊workers/inter⌋ intra-query
+	// workers, and the remainder is distributed one extra each to the first
+	// engines so no core sits idle (8 workers over 5 queries → 3+3+... not
+	// 5×1 with 3 parked).
+	intra, extra := 1, 0
+	if inter > 0 {
+		intra, extra = workers/inter, workers%inter
 	}
 	results := make([]BatchResult, len(queries))
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	var initErr error
 	var initMu sync.Mutex
-	for w := 0; w < workers; w++ {
+	for w := 0; w < inter; w++ {
 		wg.Add(1)
+		engineIntra := intra
+		if w < extra {
+			engineIntra++
+		}
 		go func() {
 			defer wg.Done()
 			eng, err := NewEngine(g, idx, update)
@@ -56,6 +75,7 @@ func QueryBatch(g *graph.Graph, idx *lbindex.Index, queries []graph.NodeID, k, w
 				return
 			}
 			eng.SetPracticalDecisions(practical)
+			eng.SetWorkers(engineIntra)
 			for i := range jobs {
 				q := queries[i]
 				answer, stats, err := eng.Query(q, k)

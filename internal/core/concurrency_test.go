@@ -8,7 +8,174 @@ import (
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/lbindex"
+	"repro/internal/rwr"
+	"repro/internal/vecmath"
+	"repro/internal/workload"
 )
+
+// oracleGraph builds one graph of each family the paper evaluates on.
+func oracleGraph(t *testing.T, family string) *graph.Graph {
+	t.Helper()
+	switch family {
+	case "web":
+		g, err := gen.WebGraph(300, 41)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	case "coauthor":
+		g, _, err := gen.Coauthor(gen.CoauthorOptions{
+			Authors: 250, Communities: 6, Prolific: 3,
+			PapersPerAuthor: 5, CoauthorsPerPaper: 2, Seed: 17,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	case "spam":
+		g, _, err := gen.SpamWeb(gen.SpamWebOptions{
+			Normal: 180, Spam: 50, Undecided: 25, Farms: 2,
+			FarmDensity: 6, NormalOut: 5, SpamToNormal: 2,
+			NormalToSpam: 0.02, Seed: 7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	default:
+		t.Fatalf("unknown family %q", family)
+		return nil
+	}
+}
+
+// TestParallelQueryMatchesSequentialAndBruteForce is the correctness oracle
+// of the intra-query parallelism tentpole: across graph families, query
+// sizes and worker counts, the sharded engine must return EXACTLY the
+// answer of the sequential engine — which in exact mode equals brute force.
+// Run under -race this doubles as the data-race harness for the sharded
+// decision loop committing into the striped index.
+func TestParallelQueryMatchesSequentialAndBruteForce(t *testing.T) {
+	const indexK = 20
+	for _, family := range []string{"web", "coauthor", "spam"} {
+		family := family
+		t.Run(family, func(t *testing.T) {
+			g := oracleGraph(t, family)
+			opts := lbindex.DefaultOptions()
+			opts.K = indexK
+			opts.HubBudget = 5
+			opts.Workers = 2
+			built, _, err := lbindex.Build(g, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			queries, err := workload.Queries(g.N(), 6, 55)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// One full proximity matrix serves every brute-force check of
+			// this family (BruteForce recomputes it per call).
+			cols, err := rwr.ProximityMatrix(g, opts.RWR, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bruteForce := func(q graph.NodeID, k int) []graph.NodeID {
+				var results []graph.NodeID
+				for u := 0; u < g.N(); u++ {
+					if cols[u][q] >= vecmath.KthLargest(cols[u], k) {
+						results = append(results, graph.NodeID(u))
+					}
+				}
+				return results
+			}
+			for _, update := range []bool{false, true} {
+				// Each worker-count sweep gets engines over the same shared
+				// index; in update mode the commits themselves must not
+				// change any answer (they only tighten bounds).
+				seqEng, err := NewEngine(g, built, update)
+				if err != nil {
+					t.Fatal(err)
+				}
+				parEngs := make([]*Engine, 0, 2)
+				for _, w := range []int{2, 8} {
+					eng, err := NewEngine(g, built, update)
+					if err != nil {
+						t.Fatal(err)
+					}
+					eng.SetWorkers(w)
+					parEngs = append(parEngs, eng)
+				}
+				for _, k := range []int{1, 10, indexK} {
+					for _, q := range queries {
+						want, _, err := seqEng.Query(q, k)
+						if err != nil {
+							t.Fatal(err)
+						}
+						bf := bruteForce(q, k)
+						if !reflect.DeepEqual(want, bf) {
+							t.Fatalf("%s update=%t k=%d q=%d: sequential %v != brute force %v",
+								family, update, k, q, want, bf)
+						}
+						for _, eng := range parEngs {
+							got, stats, err := eng.Query(q, k)
+							if err != nil {
+								t.Fatal(err)
+							}
+							if !reflect.DeepEqual(got, want) {
+								t.Fatalf("%s update=%t k=%d q=%d workers=%d: parallel %v != sequential %v",
+									family, update, k, q, eng.Workers(), got, want)
+							}
+							if stats.Results != len(got) {
+								t.Fatalf("%s k=%d q=%d workers=%d: stats.Results=%d, len(answer)=%d",
+									family, k, q, eng.Workers(), stats.Results, len(got))
+							}
+						}
+					}
+				}
+			}
+			if err := built.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestParallelStatsMatchSequential: shard-merged counters must equal the
+// sequential sweep's (they are per-node counts, summed).
+func TestParallelStatsMatchSequential(t *testing.T) {
+	g := oracleGraph(t, "web")
+	opts := lbindex.DefaultOptions()
+	opts.K = 20
+	opts.HubBudget = 5
+	opts.Workers = 2
+	idx, _, err := lbindex.Build(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := NewEngine(g, idx, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := NewEngine(g, idx, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par.SetWorkers(4)
+	for _, q := range []graph.NodeID{1, 100, 299} {
+		_, ws, err := seq.Query(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, ps, err := par.Query(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ps.Candidates != ws.Candidates || ps.Hits != ws.Hits ||
+			ps.RefineSteps != ws.RefineSteps || ps.ExactFallbacks != ws.ExactFallbacks ||
+			ps.Committed != ws.Committed || ps.PMPNIters != ws.PMPNIters {
+			t.Errorf("q=%d: parallel stats %+v != sequential %+v", q, ps, ws)
+		}
+	}
+}
 
 // TestConcurrentEnginesSharedIndex runs several engines — one per
 // goroutine, as documented — against one shared index with updates

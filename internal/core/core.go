@@ -15,7 +15,9 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/bca"
@@ -87,12 +89,19 @@ type QueryStats struct {
 
 // Engine evaluates reverse top-k queries against a graph and its index.
 // An Engine is NOT safe for concurrent use (it owns a BCA workspace);
-// create one engine per goroutine sharing the same index.
+// create one engine per goroutine sharing the same index. Within a single
+// query the engine can itself use multiple cores — see SetWorkers — without
+// changing its answers.
 type Engine struct {
 	g      *graph.Graph
 	idx    *lbindex.Index
 	update bool
 	ws     *bca.Workspace
+	// workers is the intra-query parallelism degree: the PMPN power
+	// iteration is sharded over row ranges and the candidate-decision loop
+	// over node ranges, each shard drawing a workspace from wsPool.
+	workers int
+	wsPool  *bca.Pool
 	// etaFloor bounds how far stalled refinement may shrink the
 	// propagation threshold before falling back to an exact computation.
 	etaFloor float64
@@ -161,11 +170,32 @@ func NewEngine(g *graph.Graph, idx *lbindex.Index, update bool) (*Engine, error)
 		idx:       idx,
 		update:    update,
 		ws:        bca.NewWorkspace(g.N()),
+		workers:   1,
+		wsPool:    bca.NewPool(g.N()),
 		etaFloor:  1e-12,
 		tieTol:    1e-9,
 		maxRefine: DefaultMaxRefineSteps,
 	}, nil
 }
+
+// SetWorkers sets the intra-query parallelism degree: how many goroutines
+// one Query spreads its PMPN power iteration and its candidate-decision loop
+// across (≤ 0 selects GOMAXPROCS; the default is 1, fully sequential).
+//
+// The answer set is identical for every worker count: the sharded PMPN
+// computes every row in the same accumulation order and reduces its
+// convergence check at a fixed block granularity, and each candidate's
+// decision depends only on that candidate's own index entry, never on what
+// another shard decided.
+func (e *Engine) SetWorkers(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	e.workers = n
+}
+
+// Workers returns the configured intra-query parallelism degree.
+func (e *Engine) Workers() int { return e.workers }
 
 // UpdatesIndex reports whether the engine commits refinements.
 func (e *Engine) UpdatesIndex() bool { return e.update }
@@ -185,9 +215,10 @@ func (e *Engine) Query(q graph.NodeID, k int) ([]graph.NodeID, QueryStats, error
 	}
 	start := time.Now()
 
-	// Step 1 (Algorithm 4 line 1): exact proximities to q via PMPN.
+	// Step 1 (Algorithm 4 line 1): exact proximities to q via PMPN, sharded
+	// over row ranges across the engine's workers.
 	opts := e.idx.Options()
-	pmpn, err := rwr.ProximityTo(e.g, q, opts.RWR)
+	pmpn, err := rwr.ProximityToParallel(e.g, q, opts.RWR, e.workers)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -195,14 +226,24 @@ func (e *Engine) Query(q graph.NodeID, k int) ([]graph.NodeID, QueryStats, error
 	stats.PMPNIters = pmpn.Iterations
 	stats.PMPNElapsed = time.Since(start)
 
+	// Step 2: screen every node. Decisions are independent across nodes
+	// (decide(u) touches only u's own index entry), so the range shards
+	// cleanly across workers.
 	var results []graph.NodeID
-	for u := graph.NodeID(0); int(u) < e.g.N(); u++ {
-		added, err := e.decide(u, k, pq[u], &stats)
+	if e.workers > 1 {
+		results, err = e.decideSharded(pq, k, &stats)
 		if err != nil {
 			return nil, stats, err
 		}
-		if added {
-			results = append(results, u)
+	} else {
+		for u := graph.NodeID(0); int(u) < e.g.N(); u++ {
+			added, err := e.decide(e.ws, u, k, pq[u], &stats)
+			if err != nil {
+				return nil, stats, err
+			}
+			if added {
+				results = append(results, u)
+			}
 		}
 	}
 	stats.Results = len(results)
@@ -211,10 +252,64 @@ func (e *Engine) Query(q graph.NodeID, k int) ([]graph.NodeID, QueryStats, error
 	return results, stats, nil
 }
 
+// decideSharded partitions the node range across the engine's workers, each
+// shard running the sequential decision loop with its own pooled workspace
+// and private counters. Shard answers concatenate in segment order (already
+// ascending) and counters merge by addition, so the outcome is identical to
+// the sequential sweep; commits land in the shared index under its own
+// striped locking. On error the lowest-range shard's error is reported, and
+// committed refinements from other shards remain in the index — exactly as
+// a sequential sweep would have left every node decided before the failure.
+func (e *Engine) decideSharded(pq []float64, k int, stats *QueryStats) ([]graph.NodeID, error) {
+	type shard struct {
+		results []graph.NodeID
+		stats   QueryStats
+		err     error
+	}
+	segs := vecmath.Split(e.g.N(), e.workers)
+	shards := make([]shard, len(segs))
+	var wg sync.WaitGroup
+	for si, seg := range segs {
+		wg.Add(1)
+		go func(sh *shard, seg vecmath.Range) {
+			defer wg.Done()
+			ws := e.wsPool.Get()
+			defer e.wsPool.Put(ws)
+			for u := graph.NodeID(seg.Lo); int(u) < seg.Hi; u++ {
+				added, err := e.decide(ws, u, k, pq[u], &sh.stats)
+				if err != nil {
+					sh.err = err
+					return
+				}
+				if added {
+					sh.results = append(sh.results, u)
+				}
+			}
+		}(&shards[si], seg)
+	}
+	wg.Wait()
+	var results []graph.NodeID
+	for si := range shards {
+		sh := &shards[si]
+		if sh.err != nil {
+			return nil, sh.err
+		}
+		results = append(results, sh.results...)
+		stats.Candidates += sh.stats.Candidates
+		stats.Hits += sh.stats.Hits
+		stats.RefineSteps += sh.stats.RefineSteps
+		stats.ExactFallbacks += sh.stats.ExactFallbacks
+		stats.Committed += sh.stats.Committed
+	}
+	return results, nil
+}
+
 // decide implements the inner while loop of Algorithm 4 for one node u:
 // it returns whether u belongs to the reverse top-k set of the query,
-// given puq = p_u(q).
-func (e *Engine) decide(u graph.NodeID, k int, puq float64, stats *QueryStats) (bool, error) {
+// given puq = p_u(q). ws is the BCA scratch to refine with — the engine's
+// own workspace on the sequential path, a pooled per-shard one under
+// decideSharded (stats must likewise be private to the calling shard).
+func (e *Engine) decide(ws *bca.Workspace, u graph.NodeID, k int, puq float64, stats *QueryStats) (bool, error) {
 	lb := e.idx.KthLowerBound(u, k)
 	if puq < lb-e.tieTol {
 		return false, nil // pruned immediately (never becomes a candidate)
@@ -266,7 +361,7 @@ func (e *Engine) decide(u graph.NodeID, k int, puq float64, stats *QueryStats) (
 		if localSteps >= e.maxRefine || localSteps >= cfg.MaxIters {
 			break // budget exhausted; resolve below
 		}
-		if bca.Step(e.g, st, hm, cfg, e.ws) == 0 {
+		if bca.Step(e.g, st, hm, cfg, ws) == 0 {
 			if e.practical {
 				break // stalled at η: resolve by the standing condition
 			}
@@ -276,7 +371,7 @@ func (e *Engine) decide(u graph.NodeID, k int, puq float64, stats *QueryStats) (
 			for eta := cfg.Eta / 10; eta >= e.etaFloor; eta /= 10 {
 				c := cfg
 				c.Eta = eta
-				if bca.Step(e.g, st, hm, c, e.ws) > 0 {
+				if bca.Step(e.g, st, hm, c, ws) > 0 {
 					progressed = true
 					break
 				}
@@ -290,7 +385,7 @@ func (e *Engine) decide(u graph.NodeID, k int, puq float64, stats *QueryStats) (
 		stats.RefineSteps++
 		// Only the first k entries feed the bound checks; the full-K
 		// column is recomputed once at commit time.
-		phat = bca.TopK(st, hm, e.ws, k)
+		phat = bca.TopK(st, hm, ws, k)
 	}
 
 	if !decided && e.practical {
@@ -300,9 +395,13 @@ func (e *Engine) decide(u graph.NodeID, k int, puq float64, stats *QueryStats) (
 	}
 	if !decided {
 		// Exact fallback: compute p_u in full and compare pkmax with the
-		// exact proximity. This preserves correctness unconditionally.
+		// exact proximity. This preserves correctness unconditionally. The
+		// gather-form solver's result is independent of the worker count by
+		// construction, so sequential and sharded engines make the same
+		// call here; 1 inner worker avoids oversubscribing the shards (the
+		// fallback runs inside a decision shard when workers > 1).
 		stats.ExactFallbacks++
-		res, err := rwr.ProximityVector(e.g, u, e.idx.Options().RWR)
+		res, err := rwr.ProximityVectorParallel(e.g, u, e.idx.Options().RWR, 1)
 		if err != nil {
 			return false, err
 		}
@@ -326,7 +425,7 @@ func (e *Engine) decide(u graph.NodeID, k int, puq float64, stats *QueryStats) (
 	}
 
 	if dirty && e.update {
-		e.idx.Commit(u, st, bca.TopK(st, hm, e.ws, e.idx.K()))
+		e.idx.Commit(u, st, bca.TopK(st, hm, ws, e.idx.K()))
 		stats.Committed++
 	}
 	return isResult, nil

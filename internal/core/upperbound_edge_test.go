@@ -1,0 +1,87 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// Edge cases of Algorithm 3 (UBC) called out by the staircase geometry:
+// query k equal to the full indexed list, residue large enough to submerge
+// every step, and degenerate staircases with zero-height steps.
+
+func TestUpperBoundKEqualsListLength(t *testing.T) {
+	phat := []float64{0.5, 0.4, 0.3, 0.2}
+	// k == len(phat): the last step is the k-th; z_3 = 0.1 + 2·0.1 + 3·0.1
+	// = 0.6. Residue 0.05 lands in (0, z_1]: ub = p̂(3) − (0.1−0.05)/1.
+	if got := UpperBound(phat, 4, 0.05); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("UpperBound = %g, want 0.25", got)
+	}
+	// And with no residue it is exactly the last lower bound.
+	if got := UpperBound(phat, 4, 0); got != 0.2 {
+		t.Errorf("UpperBound = %g, want 0.2", got)
+	}
+}
+
+func TestUpperBoundSubmergesWholeStaircase(t *testing.T) {
+	phat := []float64{0.5, 0.4, 0.3}
+	// Filling every gap up to p̂(1) costs z_2 = 0.1 + 2·0.1 = 0.3; residue 1
+	// overflows by 0.7 spread over k=3 steps: ub = 0.5 + 0.7/3.
+	want := 0.5 + 0.7/3
+	if got := UpperBound(phat, 3, 1); math.Abs(got-want) > 1e-12 {
+		t.Errorf("UpperBound = %g, want %g", got, want)
+	}
+	// k=1 degenerates to p̂(1) + ‖r‖ directly (no staircase to fill).
+	if got := UpperBound(phat, 1, 1); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("UpperBound = %g, want 1.5", got)
+	}
+}
+
+func TestUpperBoundZeroDeltaStaircase(t *testing.T) {
+	// A perfectly flat staircase: every ∆ is zero, so every z_j collapses to
+	// zero and ANY positive residue goes straight to the submerged branch,
+	// spreading evenly over the k steps.
+	phat := []float64{0.25, 0.25, 0.25, 0.25}
+	for _, k := range []int{1, 2, 4} {
+		want := 0.25 + 0.1/float64(k)
+		if got := UpperBound(phat, k, 0.1); math.Abs(got-want) > 1e-12 {
+			t.Errorf("k=%d: UpperBound = %g, want %g", k, got, want)
+		}
+	}
+	// Flat prefix with one real drop at the end: z_j stays 0 until the loop
+	// reaches the drop, so the residue pours into the last gap first.
+	// phat = {0.3, 0.3, 0.3, 0.1}, k=4: z_1 = 1·(0.3−0.1) = 0.2; residue
+	// 0.1 ≤ z_1 levels within the gap: ub = 0.3 − (0.2−0.1)/1 = 0.2.
+	phat = []float64{0.3, 0.3, 0.3, 0.1}
+	if got := UpperBound(phat, 4, 0.1); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("UpperBound = %g, want 0.2", got)
+	}
+	// All-zero staircase (a node with an empty lower bound): the bound is
+	// just the residue spread over k.
+	phat = []float64{0, 0, 0}
+	if got := UpperBound(phat, 3, 0.6); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("UpperBound = %g, want 0.2", got)
+	}
+}
+
+// TestUpperBoundMonotoneInResidue: more undecided ink can never tighten the
+// bound — the property Proposition 4 relies on, checked across the branch
+// boundaries of the edge staircases above.
+func TestUpperBoundMonotoneInResidue(t *testing.T) {
+	for _, phat := range [][]float64{
+		{0.5, 0.4, 0.3, 0.2, 0.1},
+		{0.25, 0.25, 0.25, 0.25},
+		{0.3, 0.3, 0.3, 0.1},
+		{0, 0, 0},
+	} {
+		for k := 1; k <= len(phat); k++ {
+			prev := math.Inf(-1)
+			for r := 0.0; r <= 2.0; r += 0.01 {
+				ub := UpperBound(phat, k, r)
+				if ub < prev-1e-12 {
+					t.Fatalf("phat=%v k=%d: UpperBound decreased from %g to %g at r=%g", phat, k, prev, ub, r)
+				}
+				prev = ub
+			}
+		}
+	}
+}

@@ -35,6 +35,10 @@ type Fig5Config struct {
 	K       int // index K (max supported query k)
 	Omega   float64
 	Seed    int64
+	// Workers is the intra-query parallelism of the measured engine
+	// (Engine.SetWorkers); 0 or 1 reproduces the paper's single-threaded
+	// setting. Answers are identical at any value, only timings change.
+	Workers int
 }
 
 // DefaultFig5Config mirrors §5.3: k ∈ {5,10,20,50,100}, 500 queries (the
@@ -87,6 +91,9 @@ func RunFigure5And6(cfg Fig5Config, progress io.Writer) ([]Fig5Row, error) {
 				// no exact-fallback escape, so its reported costs
 				// correspond to this mode.
 				eng.SetPracticalDecisions(true)
+				if cfg.Workers > 1 {
+					eng.SetWorkers(cfg.Workers)
+				}
 				row := Fig5Row{Graph: spec.Name, K: k, Update: update, Queries: len(queries)}
 				var total time.Duration
 				for _, q := range queries {

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bca"
@@ -108,13 +109,30 @@ func (o Options) Validate() error {
 	return nil
 }
 
+// lockStripes is the number of node-range lock stripes of an Index. The
+// intra-query decision shards and concurrent batch engines commit to
+// disjoint or well-spread node ranges, so with contiguous-range striping a
+// commit contends only with accesses to its own ~n/64 neighborhood instead
+// of serializing against every reader of the index.
+const lockStripes = 64
+
 // Index is the paper's graph index I = (P̂, R, W, S, P_H). Safe for
-// concurrent readers; refinement commits take the write lock.
+// concurrent use: per-node reads and refinement commits synchronize on the
+// lock stripe covering that node's range, the hub matrix pointer has its own
+// lock, and whole-index operations take every stripe.
+//
+// Lock ordering: stripes are only ever acquired in ascending order, and the
+// hub lock is never held while acquiring a stripe.
 type Index struct {
-	mu   sync.RWMutex
 	opts Options
 	n    int
-	hubs *hub.Matrix
+	// hubMu guards the hubs pointer (swapped by SetHubMatrix); the Matrix
+	// itself is immutable once built.
+	hubMu sync.RWMutex
+	hubs  *hub.Matrix
+	// stripes[s] guards phat[u] and states[u] for every node u with
+	// stripeOf(u) == s (contiguous node ranges of ≈ n/lockStripes).
+	stripes [lockStripes]sync.RWMutex
 	// phat[u] is p̂^t_u(1:K): the K largest lower-bound proximities from
 	// u, descending. For hub nodes these are exact top-K values.
 	phat [][]float64
@@ -122,7 +140,28 @@ type Index struct {
 	states []*bca.State
 	// refinements counts committed post-build refinement steps (a
 	// diagnostic for the Fig. 7 experiment).
-	refinements int64
+	refinements atomic.Int64
+}
+
+// stripeOf maps a node to its lock stripe: contiguous node ranges, aligned
+// with how decideSharded partitions the node space, so each decision shard
+// mostly stays within its own stripes.
+func (idx *Index) stripeOf(u graph.NodeID) int {
+	return int(int64(u) * lockStripes / int64(idx.n))
+}
+
+// lockAll/unlockAll bracket whole-index operations (serialization, size and
+// invariant scans). Stripes are acquired in ascending order.
+func (idx *Index) lockAll() {
+	for i := range idx.stripes {
+		idx.stripes[i].RLock()
+	}
+}
+
+func (idx *Index) unlockAll() {
+	for i := range idx.stripes {
+		idx.stripes[i].RUnlock()
+	}
 }
 
 // BuildStats reports construction cost, mirroring Table 2's columns.
@@ -263,31 +302,38 @@ func (idx *Index) K() int { return idx.opts.K }
 func (idx *Index) Options() Options { return idx.opts }
 
 // HubMatrix returns the rounded hub proximity matrix.
-func (idx *Index) HubMatrix() *hub.Matrix { return idx.hubs }
+func (idx *Index) HubMatrix() *hub.Matrix {
+	idx.hubMu.RLock()
+	defer idx.hubMu.RUnlock()
+	return idx.hubs
+}
 
 // IsHub reports whether u is a hub (its index entry is exact).
-func (idx *Index) IsHub(u graph.NodeID) bool { return idx.hubs.IsHub(u) }
+func (idx *Index) IsHub(u graph.NodeID) bool { return idx.HubMatrix().IsHub(u) }
 
 // KthLowerBound returns p̂^t_u(k), the indexed lower bound of u's k-th
 // largest proximity (1-based k ≤ K).
 func (idx *Index) KthLowerBound(u graph.NodeID, k int) float64 {
-	idx.mu.RLock()
-	defer idx.mu.RUnlock()
+	s := &idx.stripes[idx.stripeOf(u)]
+	s.RLock()
+	defer s.RUnlock()
 	return idx.phat[u][k-1]
 }
 
 // PHatRow copies the current p̂ column of node u (length K, descending).
 func (idx *Index) PHatRow(u graph.NodeID) []float64 {
-	idx.mu.RLock()
-	defer idx.mu.RUnlock()
+	s := &idx.stripes[idx.stripeOf(u)]
+	s.RLock()
+	defer s.RUnlock()
 	return vecmath.Clone(idx.phat[u])
 }
 
 // ResidueNorm returns ‖r^t_u‖₁, the undistributed ink of u's partial BCA
 // run; 0 for hubs (their proximities are exact).
 func (idx *Index) ResidueNorm(u graph.NodeID) float64 {
-	idx.mu.RLock()
-	defer idx.mu.RUnlock()
+	s := &idx.stripes[idx.stripeOf(u)]
+	s.RLock()
+	defer s.RUnlock()
 	if idx.states[u] == nil {
 		return 0
 	}
@@ -301,19 +347,21 @@ func (idx *Index) ResidueNorm(u graph.NodeID) float64 {
 // staircase along with the residue. Zero when ω = 0 and for hub nodes
 // (their top-K columns are taken from the unrounded vectors).
 func (idx *Index) RoundingSlack(u graph.NodeID) float64 {
-	idx.mu.RLock()
-	defer idx.mu.RUnlock()
+	hm := idx.HubMatrix()
+	s := &idx.stripes[idx.stripeOf(u)]
+	s.RLock()
+	defer s.RUnlock()
 	st := idx.states[u]
 	if st == nil {
 		return 0
 	}
-	return idx.slackLocked(st)
+	return stateSlack(st, hm)
 }
 
-func (idx *Index) slackLocked(st *bca.State) float64 {
+func stateSlack(st *bca.State, hm *hub.Matrix) float64 {
 	var slack float64
 	for i, h := range st.S.Idx {
-		slack += st.S.Val[i] * idx.hubs.DroppedMass(graph.NodeID(h))
+		slack += st.S.Val[i] * hm.DroppedMass(graph.NodeID(h))
 	}
 	return slack
 }
@@ -321,16 +369,15 @@ func (idx *Index) slackLocked(st *bca.State) float64 {
 // StateSlack computes the rounding slack of an engine-local (refined copy)
 // state against this index's hub matrix.
 func (idx *Index) StateSlack(st *bca.State) float64 {
-	idx.mu.RLock()
-	defer idx.mu.RUnlock()
-	return idx.slackLocked(st)
+	return stateSlack(st, idx.HubMatrix())
 }
 
 // StateSnapshot returns a deep copy of u's resumable BCA state, or nil for
 // hub nodes. Copies are what the query engine refines in no-update mode.
 func (idx *Index) StateSnapshot(u graph.NodeID) *bca.State {
-	idx.mu.RLock()
-	defer idx.mu.RUnlock()
+	s := &idx.stripes[idx.stripeOf(u)]
+	s.RLock()
+	defer s.RUnlock()
 	if idx.states[u] == nil {
 		return nil
 	}
@@ -341,22 +388,28 @@ func (idx *Index) StateSnapshot(u graph.NodeID) *bca.State {
 // no assumptions about concurrent mutation; the query engine uses this in
 // update mode where it commits through Commit.
 func (idx *Index) SharedState(u graph.NodeID) *bca.State {
-	idx.mu.RLock()
-	defer idx.mu.RUnlock()
+	s := &idx.stripes[idx.stripeOf(u)]
+	s.RLock()
+	defer s.RUnlock()
 	return idx.states[u]
 }
 
 // Commit stores a refined state and its recomputed p̂ column for node u
 // (§4.2.3 dynamic index update). The caller passes ownership of both.
+// Commits to different node ranges synchronize on different stripes, so
+// concurrent shard workers do not serialize against each other here.
 func (idx *Index) Commit(u graph.NodeID, st *bca.State, phat []float64) {
 	if len(phat) != idx.opts.K {
 		panic(fmt.Sprintf("lbindex: Commit phat length %d, want %d", len(phat), idx.opts.K))
 	}
-	idx.mu.Lock()
-	defer idx.mu.Unlock()
+	s := &idx.stripes[idx.stripeOf(u)]
+	s.Lock()
 	idx.states[u] = st
 	idx.phat[u] = phat
-	idx.refinements++
+	// Counted before the stripe is released so a Save holding all stripes
+	// never serializes a committed state the counter doesn't yet reflect.
+	idx.refinements.Add(1)
+	s.Unlock()
 }
 
 // SetHubMatrix replaces the hub proximity matrix with one recomputed on an
@@ -369,9 +422,7 @@ func (idx *Index) SetHubMatrix(hm *hub.Matrix) error {
 	if n != idx.n {
 		return fmt.Errorf("lbindex: replacement hub matrix covers %d nodes, index has %d", n, idx.n)
 	}
-	idx.mu.RLock()
-	oldHubs := idx.hubs.Hubs()
-	idx.mu.RUnlock()
+	oldHubs := idx.HubMatrix().Hubs()
 	if len(newHubs) != len(oldHubs) {
 		return fmt.Errorf("lbindex: replacement changes hub count %d → %d", len(oldHubs), len(newHubs))
 	}
@@ -380,8 +431,8 @@ func (idx *Index) SetHubMatrix(hm *hub.Matrix) error {
 			return fmt.Errorf("lbindex: replacement changes hub membership at position %d: %d → %d", i, oldHubs[i], newHubs[i])
 		}
 	}
-	idx.mu.Lock()
-	defer idx.mu.Unlock()
+	idx.hubMu.Lock()
+	defer idx.hubMu.Unlock()
 	idx.hubs = hm
 	return nil
 }
@@ -392,49 +443,50 @@ func (idx *Index) CommitHub(u graph.NodeID, phat []float64) {
 	if len(phat) != idx.opts.K {
 		panic(fmt.Sprintf("lbindex: CommitHub phat length %d, want %d", len(phat), idx.opts.K))
 	}
-	if !idx.hubs.IsHub(u) {
+	if !idx.IsHub(u) {
 		panic(fmt.Sprintf("lbindex: CommitHub on non-hub node %d", u))
 	}
-	idx.mu.Lock()
-	defer idx.mu.Unlock()
+	s := &idx.stripes[idx.stripeOf(u)]
+	s.Lock()
+	defer s.Unlock()
 	idx.states[u] = nil
 	idx.phat[u] = phat
 }
 
 // Refinements returns the number of committed refinement steps since build.
 func (idx *Index) Refinements() int64 {
-	idx.mu.RLock()
-	defer idx.mu.RUnlock()
-	return idx.refinements
+	return idx.refinements.Load()
 }
 
 // SizeBytes returns the approximate payload footprint of the index: the
 // lower-bound matrix, all resumable states, and the rounded hub matrix.
 func (idx *Index) SizeBytes() int64 {
-	idx.mu.RLock()
-	defer idx.mu.RUnlock()
+	hm := idx.HubMatrix()
+	idx.lockAll()
+	defer idx.unlockAll()
 	total := int64(idx.n) * int64(idx.opts.K) * 8
 	for _, st := range idx.states {
 		if st != nil {
 			total += st.Bytes()
 		}
 	}
-	total += idx.hubs.Bytes()
+	total += hm.Bytes()
 	return total
 }
 
 // CheckInvariants verifies every stored state conserves ink and every p̂
 // column is descending — used by tests and after deserialization.
 func (idx *Index) CheckInvariants() error {
-	idx.mu.RLock()
-	defer idx.mu.RUnlock()
+	hm := idx.HubMatrix()
+	idx.lockAll()
+	defer idx.unlockAll()
 	for u := 0; u < idx.n; u++ {
 		if !vecmath.IsSortedDescending(idx.phat[u]) {
 			return fmt.Errorf("lbindex: p̂ column of node %d not descending", u)
 		}
 		st := idx.states[u]
 		if st == nil {
-			if !idx.hubs.IsHub(graph.NodeID(u)) {
+			if !hm.IsHub(graph.NodeID(u)) {
 				return fmt.Errorf("lbindex: non-hub node %d has no state", u)
 			}
 			continue

@@ -134,10 +134,13 @@ func (b *binReader) floats(n int) []float64 {
 	return xs
 }
 
-// Save writes the index in the binary format above.
+// Save writes the index in the binary format above. All lock stripes are
+// held for the duration, so the snapshot is consistent even against
+// concurrent refinement commits.
 func (idx *Index) Save(w io.Writer) error {
-	idx.mu.RLock()
-	defer idx.mu.RUnlock()
+	hm := idx.HubMatrix()
+	idx.lockAll()
+	defer idx.unlockAll()
 
 	bw := &binWriter{w: bufio.NewWriterSize(w, 1<<20)}
 	if _, err := bw.w.WriteString(indexMagic); err != nil {
@@ -158,7 +161,7 @@ func (idx *Index) Save(w io.Writer) error {
 	bw.f64(o.RWR.Eps)
 	bw.u32(uint32(o.RWR.MaxIters))
 
-	n, hubIDs, cols, topK, dropped, _ := idx.hubs.Parts()
+	n, hubIDs, cols, topK, dropped, _ := hm.Parts()
 	if n != idx.n {
 		return fmt.Errorf("lbindex: hub matrix sized for %d nodes, index has %d", n, idx.n)
 	}
@@ -185,7 +188,7 @@ func (idx *Index) Save(w io.Writer) error {
 		}
 		bw.floats(idx.phat[u])
 	}
-	bw.i64(idx.refinements)
+	bw.i64(idx.refinements.Load())
 	if bw.err != nil {
 		return bw.err
 	}
@@ -273,7 +276,7 @@ func Load(r io.Reader) (*Index, error) {
 		}
 		idx.phat[u] = br.floats(o.K)
 	}
-	idx.refinements = br.i64()
+	idx.refinements.Store(br.i64())
 	if br.err != nil {
 		return nil, fmt.Errorf("lbindex: reading nodes: %w", br.err)
 	}

@@ -1,0 +1,253 @@
+package rwr
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/graph"
+	"repro/internal/vecmath"
+)
+
+// MulTransitionTRange computes dst[u] = (Aᵀ·x)(u) for u ∈ [lo, hi) only.
+// Entries outside the range are left untouched. Each row is a gather over
+// u's own out-adjacency accumulated in the same order as MulTransitionT, so
+// covering [0, n) with disjoint ranges — in any partition — reproduces
+// MulTransitionT bit for bit. This is the unit of work of the parallel PMPN
+// iteration.
+func MulTransitionTRange(g *graph.Graph, x, dst []float64, lo, hi int) {
+	if len(x) != g.N() || len(dst) != g.N() {
+		panic(fmt.Sprintf("rwr: MulTransitionTRange dimension mismatch: n=%d len(x)=%d len(dst)=%d", g.N(), len(x), len(dst)))
+	}
+	if lo < 0 || hi > g.N() || lo > hi {
+		panic(fmt.Sprintf("rwr: MulTransitionTRange range [%d,%d) outside [0,%d)", lo, hi, g.N()))
+	}
+	for u := graph.NodeID(lo); int(u) < hi; u++ {
+		nbrs := g.OutNeighbors(u)
+		ws := g.OutWeightsOf(u)
+		var acc float64
+		if ws == nil {
+			for _, v := range nbrs {
+				acc += x[v]
+			}
+			acc /= float64(len(nbrs))
+		} else {
+			for i, v := range nbrs {
+				acc += ws[i] * x[v]
+			}
+			acc /= g.TotalOutWeight(u)
+		}
+		dst[u] = acc
+	}
+}
+
+// MulTransitionRange computes dst[v] = (A·x)(v) for v ∈ [lo, hi) as a gather
+// over v's in-adjacency: dst[v] = Σ_{u ∈ in(v)} w(u,v)/W(u) · x[u]. Entries
+// outside the range are untouched.
+//
+// Unlike MulTransition — a scatter over out-edges whose additions interleave
+// across destinations — each output here is accumulated independently in
+// in-edge order, so the result is deterministic and identical for ANY
+// partition of [0, n), at the price of differing from the scatter result by
+// a few ulps (the additions associate differently). The parallel power
+// method builds on this form.
+func MulTransitionRange(g *graph.Graph, x, dst []float64, lo, hi int) {
+	if len(x) != g.N() || len(dst) != g.N() {
+		panic(fmt.Sprintf("rwr: MulTransitionRange dimension mismatch: n=%d len(x)=%d len(dst)=%d", g.N(), len(x), len(dst)))
+	}
+	if lo < 0 || hi > g.N() || lo > hi {
+		panic(fmt.Sprintf("rwr: MulTransitionRange range [%d,%d) outside [0,%d)", lo, hi, g.N()))
+	}
+	for v := graph.NodeID(lo); int(v) < hi; v++ {
+		nbrs := g.InNeighbors(v)
+		ws := g.InWeightsOf(v)
+		var acc float64
+		if ws == nil {
+			for _, u := range nbrs {
+				acc += x[u] / g.TotalOutWeight(u)
+			}
+		} else {
+			for i, u := range nbrs {
+				acc += ws[i] * x[u] / g.TotalOutWeight(u)
+			}
+		}
+		dst[v] = acc
+	}
+}
+
+// residualBlock is the fixed granularity of the parallel convergence check:
+// per-block L1 differences are reduced in block order, so the residual — and
+// with it the iteration count and the converged vector — is bit-identical
+// for every worker count. Worker segments are block-aligned so a block never
+// straddles two workers. 256 rows (≈ a few thousand flops on typical
+// degrees) amortizes the synchronization per block comfortably.
+const residualBlock = 256
+
+// blockSegments partitions [0, n) into at most workers block-aligned
+// contiguous segments (the trailing segment may end off-alignment at n).
+func blockSegments(n, workers int) []vecmath.Range {
+	nblocks := (n + residualBlock - 1) / residualBlock
+	bsegs := vecmath.Split(nblocks, workers)
+	segs := make([]vecmath.Range, len(bsegs))
+	for i, bs := range bsegs {
+		lo := bs.Lo * residualBlock
+		hi := bs.Hi * residualBlock
+		if hi > n {
+			hi = n
+		}
+		segs[i] = vecmath.Range{Lo: lo, Hi: hi}
+	}
+	return segs
+}
+
+// blockReduce computes per-block L1 differences for the blocks covered by
+// seg, writing them into partial (indexed by block number).
+func blockReduce(x, y []float64, seg vecmath.Range, partial []float64) {
+	for lo := seg.Lo; lo < seg.Hi; lo += residualBlock {
+		hi := lo + residualBlock
+		if hi > seg.Hi {
+			hi = seg.Hi
+		}
+		partial[lo/residualBlock] = vecmath.L1DiffRange(x, y, lo, hi)
+	}
+}
+
+// iterateParallel runs the fixed-point loop of iterate with the per-iteration
+// step sharded across block-aligned row segments, one per worker. The step
+// callback must fill dst[r.Lo:r.Hi] from cur without touching other ranges.
+// Workers persist across iterations (spawned once per call); buffers are
+// allocated once and reused. The convergence residual is reduced per fixed
+// block in block order, so the returned Result does not depend on workers.
+func iterateParallel(x, next []float64, p Params, workers int, step func(cur, dst []float64, r vecmath.Range)) (Result, error) {
+	n := len(x)
+	segs := blockSegments(n, workers)
+	partial := make([]float64, (n+residualBlock-1)/residualBlock)
+
+	reduce := func() float64 {
+		var s float64
+		for _, d := range partial {
+			s += d
+		}
+		return s
+	}
+
+	if len(segs) <= 1 {
+		// Single segment: run inline, keeping the blocked reduction so the
+		// residual matches the multi-worker runs bit for bit.
+		all := vecmath.Range{Lo: 0, Hi: n}
+		return iterate(x, next, p, func(cur, dst []float64) {
+			step(cur, dst, all)
+			blockReduce(cur, dst, all, partial)
+		}, reduce)
+	}
+
+	// cur/dst are published to the workers by the start sends (the channel
+	// send/recv pairs establish the happens-before edges; each worker writes
+	// only its own dst range and partial blocks).
+	var cur, dst []float64
+	start := make([]chan struct{}, len(segs))
+	for i := range start {
+		start[i] = make(chan struct{})
+	}
+	done := make(chan struct{}, len(segs))
+	for i, seg := range segs {
+		go func(i int, seg vecmath.Range) {
+			for range start[i] {
+				step(cur, dst, seg)
+				blockReduce(cur, dst, seg, partial)
+				done <- struct{}{}
+			}
+		}(i, seg)
+	}
+	defer func() {
+		for _, ch := range start {
+			close(ch)
+		}
+	}()
+
+	var res Result
+	for res.Iterations = 1; res.Iterations <= p.MaxIters; res.Iterations++ {
+		cur, dst = x, next
+		for _, ch := range start {
+			ch <- struct{}{}
+		}
+		for range segs {
+			<-done
+		}
+		res.Residual = reduce()
+		x, next = next, x
+		if res.Residual < p.Eps {
+			res.Vector = x
+			return res, nil
+		}
+	}
+	res.Vector = x
+	return res, fmt.Errorf("rwr: did not converge within %d iterations (residual %g)", p.MaxIters, res.Residual)
+}
+
+// normWorkers maps the workers convention (≤ 0 selects GOMAXPROCS) shared by
+// all parallel entry points.
+func normWorkers(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// ProximityToParallel is ProximityTo (Algorithm 2, PMPN) with the transposed
+// matvec of each iteration sharded over block-aligned row ranges across
+// workers (≤ 0 selects GOMAXPROCS). Every row is accumulated in the same
+// order as the sequential sweep and the convergence residual is reduced at
+// fixed block granularity, so the returned vector, residual and iteration
+// count are identical for every worker count.
+func ProximityToParallel(g *graph.Graph, q graph.NodeID, p Params, workers int) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	if int(q) < 0 || int(q) >= g.N() {
+		return Result{}, fmt.Errorf("rwr: node %d out of range [0,%d)", q, g.N())
+	}
+	workers = normWorkers(workers)
+	x := make([]float64, g.N())
+	next := make([]float64, g.N())
+	x[q] = 1
+	oneMinus := 1 - p.Alpha
+	return iterateParallel(x, next, p, workers, func(cur, dst []float64, r vecmath.Range) {
+		MulTransitionTRange(g, cur, dst, r.Lo, r.Hi)
+		for i := r.Lo; i < r.Hi; i++ {
+			dst[i] *= oneMinus
+		}
+		if r.Lo <= int(q) && int(q) < r.Hi {
+			dst[q] += p.Alpha
+		}
+	})
+}
+
+// ProximityVectorParallel is ProximityVector (the forward power method) with
+// each iteration sharded across workers (≤ 0 selects GOMAXPROCS). The
+// forward matvec is evaluated in gather form (MulTransitionRange) so each
+// output row is owned by exactly one worker; the result is identical for
+// every worker count, and agrees with the sequential scatter-based
+// ProximityVector to within the solver tolerance (the additions associate
+// differently, see MulTransitionRange).
+func ProximityVectorParallel(g *graph.Graph, u graph.NodeID, p Params, workers int) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	if int(u) < 0 || int(u) >= g.N() {
+		return Result{}, fmt.Errorf("rwr: node %d out of range [0,%d)", u, g.N())
+	}
+	workers = normWorkers(workers)
+	x := make([]float64, g.N())
+	next := make([]float64, g.N())
+	x[u] = 1
+	oneMinus := 1 - p.Alpha
+	return iterateParallel(x, next, p, workers, func(cur, dst []float64, r vecmath.Range) {
+		MulTransitionRange(g, cur, dst, r.Lo, r.Hi)
+		for i := r.Lo; i < r.Hi; i++ {
+			dst[i] *= oneMinus
+		}
+		if r.Lo <= int(u) && int(u) < r.Hi {
+			dst[u] += p.Alpha
+		}
+	})
+}

@@ -1,0 +1,266 @@
+package rwr
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/vecmath"
+)
+
+// workerSweep covers the interesting parallelism shapes: sequential, even
+// splits, odd splits, more workers than residual blocks, and more workers
+// than nodes.
+var workerSweep = []int{1, 2, 3, 8, 33}
+
+// TestProximityToParallelBitIdentical is the bit-identity contract of the
+// tentpole: the sharded PMPN must return the exact same vector, iteration
+// count and residual as the sequential Algorithm 2 at EVERY worker count —
+// each row is accumulated in the same order, and the convergence check
+// reduces over fixed blocks.
+func TestProximityToParallelBitIdentical(t *testing.T) {
+	g, err := gen.WebGraph(700, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams()
+	for _, q := range []graph.NodeID{0, 17, 350, 699} {
+		want, err := ProximityTo(g, q, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range workerSweep {
+			got, err := ProximityToParallel(g, q, p, w)
+			if err != nil {
+				t.Fatalf("q=%d workers=%d: %v", q, w, err)
+			}
+			if got.Iterations != want.Iterations {
+				t.Fatalf("q=%d workers=%d: %d iterations, sequential did %d", q, w, got.Iterations, want.Iterations)
+			}
+			for u := range got.Vector {
+				if got.Vector[u] != want.Vector[u] {
+					t.Fatalf("q=%d workers=%d: vector differs at node %d: %g vs %g",
+						q, w, u, got.Vector[u], want.Vector[u])
+				}
+			}
+		}
+	}
+}
+
+// TestProximityVectorParallelWorkerIndependent: the gather-form forward
+// power method must return identical bits for every worker count (each
+// output row is owned by one worker and accumulated in in-edge order), and
+// agree with the sequential scatter-based solver to solver precision.
+func TestProximityVectorParallelWorkerIndependent(t *testing.T) {
+	g, err := gen.SocialGraph(400, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams()
+	for _, u := range []graph.NodeID{0, 123, 399} {
+		base, err := ProximityVectorParallel(g, u, p, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range workerSweep[1:] {
+			got, err := ProximityVectorParallel(g, u, p, w)
+			if err != nil {
+				t.Fatalf("u=%d workers=%d: %v", u, w, err)
+			}
+			if got.Iterations != base.Iterations {
+				t.Fatalf("u=%d workers=%d: %d iterations, 1-worker did %d", u, w, got.Iterations, base.Iterations)
+			}
+			for i := range got.Vector {
+				if got.Vector[i] != base.Vector[i] {
+					t.Fatalf("u=%d workers=%d: vector differs at node %d", u, w, i)
+				}
+			}
+		}
+		seq, err := ProximityVector(g, u, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := vecmath.MaxAbsDiff(base.Vector, seq.Vector); d > 1e-9 {
+			t.Errorf("u=%d: gather vs scatter solver differ by %g", u, d)
+		}
+	}
+}
+
+// TestMulTransitionTRangePartition: any disjoint cover of [0,n) reproduces
+// the full sweep exactly.
+func TestMulTransitionTRangePartition(t *testing.T) {
+	g, err := gen.WebGraph(300, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, g.N())
+	for i := range x {
+		x[i] = 1 / float64(i+1)
+	}
+	want := make([]float64, g.N())
+	MulTransitionT(g, x, want)
+	for _, parts := range []int{1, 2, 7, 300, 1000} {
+		got := make([]float64, g.N())
+		for _, seg := range vecmath.Split(g.N(), parts) {
+			MulTransitionTRange(g, x, got, seg.Lo, seg.Hi)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("parts=%d: row %d differs: %g vs %g", parts, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestMulTransitionRangeMatchesScatter: the in-adjacency gather computes the
+// same operator as the out-edge scatter, up to reassociation noise.
+func TestMulTransitionRangeMatchesScatter(t *testing.T) {
+	for _, weighted := range []bool{false, true} {
+		b := graph.NewBuilder(6)
+		add := func(u, v graph.NodeID, w float64) {
+			if weighted {
+				b.AddWeightedEdge(u, v, w)
+			} else {
+				b.AddEdge(u, v)
+			}
+		}
+		add(0, 1, 2)
+		add(0, 2, 1)
+		add(1, 2, 3)
+		add(2, 0, 1)
+		add(3, 0, 0.5)
+		add(4, 3, 1)
+		add(5, 5, 1)
+		g, _, err := b.Build(graph.DanglingSelfLoop)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := []float64{0.3, 0.1, 0.25, 0.05, 0.2, 0.1}
+		want := make([]float64, g.N())
+		MulTransition(g, x, want)
+		got := make([]float64, g.N())
+		MulTransitionRange(g, x, got, 0, g.N())
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-14 {
+				t.Fatalf("weighted=%t: node %d: gather %g vs scatter %g", weighted, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestParallelDegenerateGraphs exercises the shapes that break naive
+// sharding: a single self-looped node, graphs with (self-loop-resolved)
+// dangling nodes, graphs smaller than one residual block, and worker counts
+// far beyond the node count.
+func TestParallelDegenerateGraphs(t *testing.T) {
+	p := DefaultParams()
+
+	t.Run("single-node", func(t *testing.T) {
+		b := graph.NewBuilder(1)
+		b.EnsureNode(0)
+		g, _, err := b.Build(graph.DanglingSelfLoop)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{1, 4} {
+			res, err := ProximityToParallel(g, 0, p, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(res.Vector[0]-1) > 1e-9 {
+				t.Errorf("workers=%d: self proximity %g, want 1", w, res.Vector[0])
+			}
+			fwd, err := ProximityVectorParallel(g, 0, p, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(fwd.Vector[0]-1) > 1e-9 {
+				t.Errorf("workers=%d: forward self proximity %g, want 1", w, fwd.Vector[0])
+			}
+		}
+	})
+
+	t.Run("dangling-nodes", func(t *testing.T) {
+		// Nodes 3 and 4 are dangling; the self-loop policy pins their walks.
+		b := graph.NewBuilder(5)
+		b.AddEdge(0, 1)
+		b.AddEdge(1, 2)
+		b.AddEdge(2, 0)
+		b.AddEdge(0, 3)
+		b.AddEdge(1, 4)
+		g, _, err := b.Build(graph.DanglingSelfLoop)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range []graph.NodeID{0, 3} {
+			want, err := ProximityTo(g, q, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range []int{2, 9} {
+				got, err := ProximityToParallel(g, q, p, w)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range got.Vector {
+					if got.Vector[i] != want.Vector[i] {
+						t.Fatalf("q=%d workers=%d: node %d differs", q, w, i)
+					}
+				}
+			}
+		}
+	})
+
+	t.Run("workers-exceed-nodes", func(t *testing.T) {
+		g, err := gen.WebGraph(37, 3) // far below one residual block
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ProximityTo(g, 5, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ProximityToParallel(g, 5, p, 512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Iterations != want.Iterations {
+			t.Fatalf("iterations %d vs %d", got.Iterations, want.Iterations)
+		}
+		for i := range got.Vector {
+			if got.Vector[i] != want.Vector[i] {
+				t.Fatalf("node %d differs", i)
+			}
+		}
+	})
+}
+
+// TestBlockSegments pins the invariants the parallel driver relies on:
+// segments are block-aligned, contiguous, non-empty, and cover [0, n).
+func TestBlockSegments(t *testing.T) {
+	for _, tc := range []struct{ n, workers int }{
+		{1, 1}, {1, 8}, {255, 4}, {256, 4}, {257, 4}, {1024, 3}, {5000, 16}, {100000, 7},
+	} {
+		segs := blockSegments(tc.n, tc.workers)
+		if len(segs) == 0 {
+			t.Fatalf("n=%d workers=%d: no segments", tc.n, tc.workers)
+		}
+		prev := 0
+		for i, s := range segs {
+			if s.Lo != prev || s.Hi <= s.Lo {
+				t.Fatalf("n=%d workers=%d: bad segment %d: %+v", tc.n, tc.workers, i, s)
+			}
+			if s.Lo%residualBlock != 0 {
+				t.Fatalf("n=%d workers=%d: segment %d not block-aligned: %+v", tc.n, tc.workers, i, s)
+			}
+			prev = s.Hi
+		}
+		if prev != tc.n {
+			t.Fatalf("n=%d workers=%d: segments cover [0,%d), want [0,%d)", tc.n, tc.workers, prev, tc.n)
+		}
+		if len(segs) > tc.workers {
+			t.Fatalf("n=%d workers=%d: %d segments exceed worker count", tc.n, tc.workers, len(segs))
+		}
+	}
+}

@@ -96,23 +96,7 @@ func MulTransitionT(g *graph.Graph, x, dst []float64) {
 	if len(x) != g.N() || len(dst) != g.N() {
 		panic(fmt.Sprintf("rwr: MulTransitionT dimension mismatch: n=%d len(x)=%d len(dst)=%d", g.N(), len(x), len(dst)))
 	}
-	for u := graph.NodeID(0); int(u) < g.N(); u++ {
-		nbrs := g.OutNeighbors(u)
-		ws := g.OutWeightsOf(u)
-		var acc float64
-		if ws == nil {
-			for _, v := range nbrs {
-				acc += x[v]
-			}
-			acc /= float64(len(nbrs))
-		} else {
-			for i, v := range nbrs {
-				acc += ws[i] * x[v]
-			}
-			acc /= g.TotalOutWeight(u)
-		}
-		dst[u] = acc
-	}
+	MulTransitionTRange(g, x, dst, 0, g.N())
 }
 
 // Result carries a computed proximity vector together with convergence
@@ -143,7 +127,7 @@ func ProximityVector(g *graph.Graph, u graph.NodeID, p Params) (Result, error) {
 		MulTransition(g, cur, dst)
 		vecmath.Scale(dst, 1-p.Alpha)
 		dst[u] += p.Alpha
-	})
+	}, nil)
 }
 
 // Personalized computes the personalized-PageRank vector P·v for an
@@ -173,7 +157,7 @@ func Personalized(g *graph.Graph, v []float64, p Params) (Result, error) {
 		for i := range dst {
 			dst[i] = (1-p.Alpha)*dst[i] + p.Alpha*v[i]
 		}
-	})
+	}, nil)
 }
 
 // PageRank computes the global PageRank vector pr = (1/n)·P·e (Eq. 3).
@@ -210,7 +194,7 @@ func ProximityTo(g *graph.Graph, q graph.NodeID, p Params) (Result, error) {
 		MulTransitionT(g, cur, dst)
 		vecmath.Scale(dst, 1-p.Alpha)
 		dst[q] += p.Alpha
-	})
+	}, nil)
 }
 
 // PageRankContributions decomposes node q's PageRank into the per-node
@@ -230,12 +214,19 @@ func PageRankContributions(g *graph.Graph, q graph.NodeID, p Params) (Result, er
 }
 
 // iterate runs the generic fixed-point loop with L1 stopping rule shared by
-// all power-method variants.
-func iterate(x, next []float64, p Params, step func(cur, dst []float64)) (Result, error) {
+// all power-method variants. residual, called after each step, returns the
+// L1 change of that step; nil selects the plain full-vector L1Diff. The
+// parallel driver passes a block-reduced variant so that its single-segment
+// fallback matches the multi-worker runs bit for bit.
+func iterate(x, next []float64, p Params, step func(cur, dst []float64), residual func() float64) (Result, error) {
 	var res Result
 	for res.Iterations = 1; res.Iterations <= p.MaxIters; res.Iterations++ {
 		step(x, next)
-		res.Residual = vecmath.L1Diff(x, next)
+		if residual != nil {
+			res.Residual = residual()
+		} else {
+			res.Residual = vecmath.L1Diff(x, next)
+		}
 		x, next = next, x
 		if res.Residual < p.Eps {
 			res.Vector = x

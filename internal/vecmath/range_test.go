@@ -1,0 +1,88 @@
+package vecmath
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSplitCoversAndBalances(t *testing.T) {
+	for _, tc := range []struct{ n, parts int }{
+		{0, 4}, {1, 1}, {1, 8}, {5, 2}, {7, 3}, {100, 7}, {64, 64}, {10, 100},
+	} {
+		segs := Split(tc.n, tc.parts)
+		if tc.n == 0 {
+			if segs != nil {
+				t.Fatalf("Split(0,%d) = %v, want nil", tc.parts, segs)
+			}
+			continue
+		}
+		if len(segs) > tc.parts || len(segs) > tc.n {
+			t.Fatalf("Split(%d,%d) returned %d segments", tc.n, tc.parts, len(segs))
+		}
+		prev, min, max := 0, math.MaxInt, 0
+		for _, s := range segs {
+			if s.Lo != prev || s.Len() <= 0 {
+				t.Fatalf("Split(%d,%d): bad segment %+v after %d", tc.n, tc.parts, s, prev)
+			}
+			prev = s.Hi
+			if s.Len() < min {
+				min = s.Len()
+			}
+			if s.Len() > max {
+				max = s.Len()
+			}
+		}
+		if prev != tc.n {
+			t.Fatalf("Split(%d,%d) covers [0,%d)", tc.n, tc.parts, prev)
+		}
+		if max-min > 1 {
+			t.Fatalf("Split(%d,%d): segment sizes range %d..%d, want near-equal", tc.n, tc.parts, min, max)
+		}
+	}
+}
+
+func TestL1DiffRangeSumsToL1Diff(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	x := make([]float64, 137)
+	y := make([]float64, 137)
+	for i := range x {
+		x[i], y[i] = rng.Float64(), rng.Float64()
+	}
+	want := L1Diff(x, y)
+	for _, parts := range []int{1, 2, 5, 137} {
+		var got float64
+		for _, s := range Split(len(x), parts) {
+			got += L1DiffRange(x, y, s.Lo, s.Hi)
+		}
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("parts=%d: segmented sum %g, full sweep %g", parts, got, want)
+		}
+	}
+	if d := L1DiffRange(x, y, 0, len(x)); d != want {
+		t.Errorf("full-range L1DiffRange %g != L1Diff %g", d, want)
+	}
+	if d := L1DiffRange(x, y, 10, 10); d != 0 {
+		t.Errorf("empty range gave %g, want 0", d)
+	}
+}
+
+func TestL1DiffRangePanics(t *testing.T) {
+	x := make([]float64, 4)
+	for _, tc := range [][2]int{{-1, 2}, {0, 5}, {3, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("range %v: want panic", tc)
+				}
+			}()
+			L1DiffRange(x, x, tc[0], tc[1])
+		}()
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch: want panic")
+		}
+	}()
+	L1DiffRange(x, make([]float64, 3), 0, 3)
+}

@@ -31,6 +31,62 @@ func L1Diff(x, y []float64) float64 {
 	return s
 }
 
+// L1DiffRange returns Σ|x_i − y_i| over i ∈ [lo, hi), accumulating in index
+// order. Summing per-range results in range order yields a deterministic
+// total for any fixed partition of the vector (the parallel power method
+// reduces over fixed-size blocks so its residual does not depend on the
+// worker count; note the blocked total may differ from the single-sweep
+// L1Diff by a few ulps, since the additions associate differently).
+func L1DiffRange(x, y []float64, lo, hi int) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("vecmath: L1DiffRange length mismatch %d vs %d", len(x), len(y)))
+	}
+	if lo < 0 || hi > len(x) || lo > hi {
+		panic(fmt.Sprintf("vecmath: L1DiffRange range [%d,%d) outside [0,%d)", lo, hi, len(x)))
+	}
+	var s float64
+	for i := lo; i < hi; i++ {
+		s += math.Abs(x[i] - y[i])
+	}
+	return s
+}
+
+// Range is a half-open index interval [Lo, Hi).
+type Range struct {
+	Lo, Hi int
+}
+
+// Len returns the number of indices in the range.
+func (r Range) Len() int { return r.Hi - r.Lo }
+
+// Split partitions [0, n) into at most parts contiguous, non-empty ranges of
+// near-equal length (sizes differ by at most one). Fewer than parts ranges
+// are returned when n < parts; zero ranges when n == 0. Workers iterating the
+// returned segments in order visit every index exactly once, in order.
+func Split(n, parts int) []Range {
+	if n <= 0 {
+		return nil
+	}
+	if parts > n {
+		parts = n
+	}
+	if parts <= 1 {
+		return []Range{{0, n}}
+	}
+	segs := make([]Range, 0, parts)
+	size, rem := n/parts, n%parts
+	lo := 0
+	for p := 0; p < parts; p++ {
+		hi := lo + size
+		if p < rem {
+			hi++
+		}
+		segs = append(segs, Range{lo, hi})
+		lo = hi
+	}
+	return segs
+}
+
 // MaxAbsDiff returns max_i |x_i − y_i|.
 func MaxAbsDiff(x, y []float64) float64 {
 	if len(x) != len(y) {
