@@ -27,7 +27,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("rtkbench: ")
 	var (
-		which   = flag.String("exp", "all", "experiment: datasets|table2|fig5|fig6|fig7|fig8|fig9|spam|table3|approx|evolve|all")
+		which   = flag.String("exp", "all", "experiment: datasets|table2|fig5|fig6|fig7|fig8|fig9|spam|table3|approx|evolve|serve|all")
 		scale   = flag.Int("scale", 1, "graph size multiplier (paper sizes ≈ 5–400)")
 		queries = flag.Int("queries", 0, "query workload size override (0 = experiment default; paper: 500)")
 		workers = flag.Int("workers", 1, "intra-query workers for the fig5/fig6 query sweep (0 = all cores)")
@@ -174,6 +174,21 @@ func main() {
 			log.Fatal(err)
 		}
 		if err := exp.WriteEvolveStudy(os.Stdout, rows); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if run("serve") {
+		header("Serving: rtkserve HTTP smoke — cold / warm-cache / post-refresh")
+		cfg := exp.DefaultServeConfig(*scale)
+		if *queries > 0 {
+			cfg.Queries = *queries
+		}
+		rows, err := exp.RunServeSmoke(cfg, progress)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := exp.WriteServeSmoke(os.Stdout, rows); err != nil {
 			log.Fatal(err)
 		}
 	}

@@ -1,0 +1,135 @@
+// Command rtkserve is the long-lived reverse top-k query daemon: it loads
+// (or builds) the lower-bound index once and serves queries over HTTP from
+// a shared snapshot, refreshing the snapshot in place as graph edits
+// arrive. See the README's "Serving" section for the architecture.
+//
+// Usage:
+//
+//	rtkserve -graph web.txt -index web.idx -addr :7471
+//	rtkserve -graph web.txt -K 50 -B 20 -addr 127.0.0.1:0   # build the index at startup
+//
+// Endpoints:
+//
+//	GET  /v1/reverse-topk?q=<node>&k=<k>
+//	GET  /v1/stats
+//	GET  /healthz
+//	POST /v1/edits        {"edits":[{"from":1,"to":2},{"from":3,"to":4,"remove":true}],"theta":0}
+//
+// On SIGTERM/SIGINT the daemon drains gracefully: /healthz flips to 503,
+// the listener stops accepting, in-flight requests finish (bounded by
+// -drain), then the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/lbindex"
+	"repro/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rtkserve: ")
+	var (
+		graphPath   = flag.String("graph", "", "edge-list path (required)")
+		indexPath   = flag.String("index", "", "prebuilt index path (omit to build at startup)")
+		addr        = flag.String("addr", ":7471", "listen address")
+		k           = flag.Int("K", 200, "maximum supported query k when building the index")
+		b           = flag.Int("B", 100, "hub budget when building the index")
+		cacheSize   = flag.Int("cache", serve.DefaultCacheSize, "result cache entries (negative disables caching)")
+		maxInflight = flag.Int("max-inflight", 0, "max concurrent engine computations (0 = 4×GOMAXPROCS)")
+		workers     = flag.Int("workers", 0, "total intra-query worker budget (0 = GOMAXPROCS)")
+		drain       = flag.Duration("drain", 15*time.Second, "graceful drain timeout on SIGTERM")
+	)
+	flag.Parse()
+	if *graphPath == "" {
+		log.Fatal("-graph is required")
+	}
+
+	gf, err := os.Open(*graphPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	builder, err := graph.ReadEdgeList(gf)
+	gf.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, _, err := builder.Build(graph.DanglingSelfLoop)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("graph: %s", graph.ComputeStats(g))
+
+	var idx *lbindex.Index
+	if *indexPath != "" {
+		f, err := os.Open(*indexPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		idx, err = lbindex.Load(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("index: loaded %s (K=%d, %d refinement commits)", *indexPath, idx.K(), idx.Refinements())
+	} else {
+		opts := lbindex.DefaultOptions()
+		opts.K = *k
+		opts.HubBudget = *b
+		start := time.Now()
+		var stats lbindex.BuildStats
+		idx, stats, err = lbindex.Build(g, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("index: built in %v (%d hubs, %d B)", time.Since(start).Round(time.Millisecond), stats.HubCount, stats.Bytes)
+	}
+
+	srv, err := serve.New(g, idx, serve.Config{
+		CacheSize:    *cacheSize,
+		MaxInflight:  *maxInflight,
+		WorkerBudget: *workers,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	drained := make(chan struct{})
+	go func() {
+		sig := <-sigCh
+		log.Printf("received %v: draining (timeout %v)", sig, *drain)
+		srv.StartDrain()
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("drain incomplete: %v", err)
+		}
+		close(drained)
+	}()
+
+	log.Printf("listening on %s", ln.Addr())
+	if err := httpSrv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	<-drained
+	log.Printf("drained; bye")
+}

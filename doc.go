@@ -5,8 +5,9 @@
 // node q and an integer k, find every node u that ranks q among its k
 // highest-proximity nodes under random walk with restart. See README.md
 // for the package architecture, the concurrency model (engine-per-goroutine
-// batching composed with intra-query worker sharding), and how to run the
-// paper experiments and benchmarks.
+// batching composed with intra-query worker sharding), the serving daemon
+// (cmd/rtkserve: snapshot epochs, result caching, admission control), and
+// how to run the paper experiments and benchmarks.
 //
 // The root package carries the repository-level benchmarks (bench_test.go):
 // one benchmark per table/figure of the paper plus ablations of the design

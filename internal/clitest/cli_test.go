@@ -3,18 +3,27 @@
 package clitest
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
+	"syscall"
 	"testing"
+	"time"
 )
 
-// buildTools compiles all four commands into a temp dir once per test run.
+// buildTools compiles all the commands into a temp dir once per test run.
 func buildTools(t *testing.T) string {
 	t.Helper()
 	dir := t.TempDir()
-	for _, tool := range []string{"rtkgen", "rtkindex", "rtkquery", "rtkbench"} {
+	for _, tool := range []string{"rtkgen", "rtkindex", "rtkquery", "rtkbench", "rtkserve"} {
 		out := filepath.Join(dir, tool)
 		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+tool)
 		cmd.Dir = repoRoot(t)
@@ -138,5 +147,123 @@ func TestGenerateLabeledKinds(t *testing.T) {
 	}
 	if !strings.Contains(string(authors), "Author-00000") {
 		t.Error("author file missing entries")
+	}
+}
+
+// TestServeDaemonEndToEnd drives the rtkserve daemon as a user would:
+// generate a graph, build its index, start the daemon, query it over HTTP
+// (cold then cached), cross-check the answer against the rtkquery CLI on
+// the same graph and index, and finally drain it with SIGTERM.
+func TestServeDaemonEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	bins := buildTools(t)
+	work := t.TempDir()
+	graphPath := filepath.Join(work, "g.txt")
+	indexPath := filepath.Join(work, "g.idx")
+	runTool(t, filepath.Join(bins, "rtkgen"),
+		"-kind", "web", "-n", "300", "-seed", "4", "-out", graphPath)
+	runTool(t, filepath.Join(bins, "rtkindex"),
+		"-graph", graphPath, "-out", indexPath, "-K", "10", "-B", "5")
+
+	cmd := exec.Command(filepath.Join(bins, "rtkserve"),
+		"-graph", graphPath, "-index", indexPath, "-addr", "127.0.0.1:0")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The daemon logs "listening on 127.0.0.1:PORT" once ready; keep
+	// draining its stderr afterwards so the child never blocks on a full
+	// pipe.
+	addrCh := make(chan string, 1)
+	var logBuf bytes.Buffer
+	var logMu sync.Mutex
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			logMu.Lock()
+			logBuf.WriteString(line + "\n")
+			logMu.Unlock()
+			if _, addr, ok := strings.Cut(line, "listening on "); ok {
+				select {
+				case addrCh <- addr:
+				default:
+				}
+			}
+		}
+	}()
+	var base string
+	select {
+	case addr := <-addrCh:
+		base = "http://" + addr
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not report its listen address")
+	}
+
+	httpGet := func(path string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, body
+	}
+
+	if resp, body := httpGet("/healthz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d %s", resp.StatusCode, body)
+	}
+	resp, body := httpGet("/v1/reverse-topk?q=42&k=5")
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Cache") != "MISS" {
+		t.Fatalf("cold query: %d %s %s", resp.StatusCode, resp.Header.Get("X-Cache"), body)
+	}
+	var qr struct {
+		Epoch   uint64  `json:"epoch"`
+		Count   int     `json:"count"`
+		Results []int32 `json:"results"`
+	}
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatalf("bad body %q: %v", body, err)
+	}
+	resp2, body2 := httpGet("/v1/reverse-topk?q=42&k=5")
+	if resp2.Header.Get("X-Cache") != "HIT" || !bytes.Equal(body, body2) {
+		t.Fatalf("cached query differs: %s vs %s (X-Cache=%s)", body, body2, resp2.Header.Get("X-Cache"))
+	}
+
+	// The CLI on the same graph+index must print the same answer set.
+	cliOut := runTool(t, filepath.Join(bins, "rtkquery"),
+		"-graph", graphPath, "-index", indexPath, "-q", "42", "-k", "5")
+	if want := fmt.Sprint(qr.Results); !strings.Contains(cliOut, want) {
+		t.Errorf("daemon answered %s but rtkquery printed:\n%s", want, cliOut)
+	}
+
+	if resp, body := httpGet("/v1/stats"); resp.StatusCode != http.StatusOK ||
+		!strings.Contains(string(body), `"served":2`) {
+		t.Errorf("stats: %d %s", resp.StatusCode, body)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		logMu.Lock()
+		defer logMu.Unlock()
+		t.Fatalf("daemon exited non-zero after SIGTERM: %v\n%s", err, logBuf.String())
+	}
+	logMu.Lock()
+	defer logMu.Unlock()
+	if !strings.Contains(logBuf.String(), "drained") {
+		t.Errorf("daemon log missing drain confirmation:\n%s", logBuf.String())
 	}
 }

@@ -46,50 +46,47 @@ func QueryBatch(g *graph.Graph, idx *lbindex.Index, queries []graph.NodeID, k, w
 	}
 	// Deal the budget: every engine gets ⌊workers/inter⌋ intra-query
 	// workers, and the remainder is distributed one extra each to the first
-	// engines so no core sits idle (8 workers over 5 queries → 3+3+... not
-	// 5×1 with 3 parked).
+	// engines so no core sits idle (8 workers over 5 queries → 2+2+2+1+1,
+	// not 5×1 with 3 parked).
 	intra, extra := 1, 0
 	if inter > 0 {
 		intra, extra = workers/inter, workers%inter
 	}
-	results := make([]BatchResult, len(queries))
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	var initErr error
-	var initMu sync.Mutex
-	for w := 0; w < inter; w++ {
-		wg.Add(1)
+	// Engines are constructed before any goroutine starts: a construction
+	// error (graph/index mismatch) must surface as an error, not leave the
+	// unbuffered jobs channel without receivers and deadlock the send loop.
+	engines := make([]*Engine, inter)
+	for w := range engines {
+		eng, err := NewEngine(g, idx, update)
+		if err != nil {
+			return nil, err
+		}
+		eng.SetPracticalDecisions(practical)
 		engineIntra := intra
 		if w < extra {
 			engineIntra++
 		}
-		go func() {
+		eng.SetWorkers(engineIntra)
+		engines[w] = eng
+	}
+	results := make([]BatchResult, len(queries))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for _, eng := range engines {
+		wg.Add(1)
+		go func(eng *Engine) {
 			defer wg.Done()
-			eng, err := NewEngine(g, idx, update)
-			if err != nil {
-				initMu.Lock()
-				if initErr == nil {
-					initErr = err
-				}
-				initMu.Unlock()
-				return
-			}
-			eng.SetPracticalDecisions(practical)
-			eng.SetWorkers(engineIntra)
 			for i := range jobs {
 				q := queries[i]
 				answer, stats, err := eng.Query(q, k)
 				results[i] = BatchResult{Query: q, Answer: answer, Stats: stats, Err: err}
 			}
-		}()
+		}(eng)
 	}
 	for i := range queries {
 		jobs <- i
 	}
 	close(jobs)
 	wg.Wait()
-	if initErr != nil {
-		return nil, initErr
-	}
 	return results, nil
 }

@@ -68,6 +68,16 @@ func TestQueryBatchValidation(t *testing.T) {
 	if results[1].Err == nil {
 		t.Error("out-of-range query should carry an error")
 	}
+
+	// A graph/index node-count mismatch must surface as an error — this
+	// used to leave the jobs channel without receivers and deadlock.
+	bigger, err := gen.WebGraph(g.N()+5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := QueryBatch(bigger, idx, []graph.NodeID{0}, 2, 2, false, false); err == nil {
+		t.Error("want engine-construction error for mismatched graph/index")
+	}
 }
 
 // buildIndexFromGraph mirrors buildIndex but for an arbitrary graph.

@@ -88,18 +88,19 @@ type QueryStats struct {
 }
 
 // Engine evaluates reverse top-k queries against a graph and its index.
-// An Engine is NOT safe for concurrent use (it owns a BCA workspace);
-// create one engine per goroutine sharing the same index. Within a single
-// query the engine can itself use multiple cores — see SetWorkers — without
-// changing its answers.
+// An Engine is NOT safe for concurrent use (its workspace pool is, but the
+// query state is not); create one engine per goroutine sharing the same
+// index. Within a single query the engine can itself use multiple cores —
+// see SetWorkers — without changing its answers.
 type Engine struct {
 	g      *graph.Graph
 	idx    *lbindex.Index
 	update bool
-	ws     *bca.Workspace
 	// workers is the intra-query parallelism degree: the PMPN power
 	// iteration is sharded over row ranges and the candidate-decision loop
-	// over node ranges, each shard drawing a workspace from wsPool.
+	// over node ranges, each shard drawing a workspace from wsPool. The
+	// sequential path draws one workspace per query from the same pool, so
+	// engines cost no dense scratch until their first query.
 	workers int
 	wsPool  *bca.Pool
 	// etaFloor bounds how far stalled refinement may shrink the
@@ -169,7 +170,6 @@ func NewEngine(g *graph.Graph, idx *lbindex.Index, update bool) (*Engine, error)
 		g:         g,
 		idx:       idx,
 		update:    update,
-		ws:        bca.NewWorkspace(g.N()),
 		workers:   1,
 		wsPool:    bca.NewPool(g.N()),
 		etaFloor:  1e-12,
@@ -236,8 +236,10 @@ func (e *Engine) Query(q graph.NodeID, k int) ([]graph.NodeID, QueryStats, error
 			return nil, stats, err
 		}
 	} else {
+		ws := e.wsPool.Get()
+		defer e.wsPool.Put(ws)
 		for u := graph.NodeID(0); int(u) < e.g.N(); u++ {
-			added, err := e.decide(e.ws, u, k, pq[u], &stats)
+			added, err := e.decide(ws, u, k, pq[u], &stats)
 			if err != nil {
 				return nil, stats, err
 			}
@@ -306,9 +308,10 @@ func (e *Engine) decideSharded(pq []float64, k int, stats *QueryStats) ([]graph.
 
 // decide implements the inner while loop of Algorithm 4 for one node u:
 // it returns whether u belongs to the reverse top-k set of the query,
-// given puq = p_u(q). ws is the BCA scratch to refine with — the engine's
-// own workspace on the sequential path, a pooled per-shard one under
-// decideSharded (stats must likewise be private to the calling shard).
+// given puq = p_u(q). ws is the BCA scratch to refine with — one pooled
+// workspace for the whole sweep on the sequential path, a per-shard one
+// under decideSharded (stats must likewise be private to the calling
+// shard).
 func (e *Engine) decide(ws *bca.Workspace, u graph.NodeID, k int, puq float64, stats *QueryStats) (bool, error) {
 	lb := e.idx.KthLowerBound(u, k)
 	if puq < lb-e.tieTol {

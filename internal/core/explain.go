@@ -13,8 +13,8 @@ import (
 
 // stepWithEtaShrink advances one BCA step, shrinking η when stalled (in
 // exact mode only, matching decide()'s behaviour).
-func stepWithEtaShrink(e *Engine, st *bca.State, cfg bca.Config, hm bca.HubProximities) int {
-	if n := bca.Step(e.g, st, hm, cfg, e.ws); n > 0 {
+func stepWithEtaShrink(e *Engine, ws *bca.Workspace, st *bca.State, cfg bca.Config, hm bca.HubProximities) int {
+	if n := bca.Step(e.g, st, hm, cfg, ws); n > 0 {
 		return n
 	}
 	if e.practical {
@@ -23,15 +23,11 @@ func stepWithEtaShrink(e *Engine, st *bca.State, cfg bca.Config, hm bca.HubProxi
 	for eta := cfg.Eta / 10; eta >= e.etaFloor; eta /= 10 {
 		c := cfg
 		c.Eta = eta
-		if n := bca.Step(e.g, st, hm, c, e.ws); n > 0 {
+		if n := bca.Step(e.g, st, hm, c, ws); n > 0 {
 			return n
 		}
 	}
 	return 0
-}
-
-func topKOf(e *Engine, st *bca.State, hm bca.HubProximities, k int) []float64 {
-	return bca.TopK(st, hm, e.ws, k)
 }
 
 func kthLargest(x []float64, k int) float64 { return vecmath.KthLargest(x, k) }
@@ -116,15 +112,17 @@ func (e *Engine) Explain(q graph.NodeID, k int, includePruned bool) (*Explanatio
 	if k <= 0 || k > e.idx.K() {
 		return nil, fmt.Errorf("core: k=%d outside [1,%d] supported by the index", k, e.idx.K())
 	}
-	pmpn, err := rwr.ProximityTo(e.g, q, e.idx.Options().RWR)
+	pmpn, err := rwr.ProximityToParallel(e.g, q, e.idx.Options().RWR, e.workers)
 	if err != nil {
 		return nil, err
 	}
 	stats.PMPNIters = pmpn.Iterations
 
 	ex := &Explanation{Query: q, K: k}
+	ws := e.wsPool.Get()
+	defer e.wsPool.Put(ws)
 	for u := graph.NodeID(0); int(u) < e.g.N(); u++ {
-		d, err := e.explainNode(u, k, pmpn.Vector[u], &stats)
+		d, err := e.explainNode(ws, u, k, pmpn.Vector[u], &stats)
 		if err != nil {
 			return nil, err
 		}
@@ -145,7 +143,7 @@ func (e *Engine) Explain(q graph.NodeID, k int, includePruned bool) (*Explanatio
 
 // explainNode mirrors decide() but on a throwaway state and with outcome
 // recording.
-func (e *Engine) explainNode(u graph.NodeID, k int, puq float64, stats *QueryStats) (Decision, error) {
+func (e *Engine) explainNode(ws *bca.Workspace, u graph.NodeID, k int, puq float64, stats *QueryStats) (Decision, error) {
 	d := Decision{
 		Node:       u,
 		Proximity:  puq,
@@ -191,12 +189,12 @@ func (e *Engine) explainNode(u graph.NodeID, k int, puq float64, stats *QuerySta
 		if d.RefineSteps >= e.maxRefine {
 			break
 		}
-		if stepWithEtaShrink(e, st, cfg, hm) == 0 {
+		if stepWithEtaShrink(e, ws, st, cfg, hm) == 0 {
 			break
 		}
 		d.RefineSteps++
 		stats.RefineSteps++
-		phat = topKOf(e, st, hm, k)
+		phat = bca.TopK(st, hm, ws, k)
 	}
 
 	if e.practical {

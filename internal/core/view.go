@@ -1,0 +1,69 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/lbindex"
+)
+
+// View is a read-only, concurrency-safe query façade over one immutable
+// (graph, index) pair. Where an Engine owns a BCA workspace and therefore
+// serves one goroutine at a time, a View maintains a free list of no-update
+// engines and hands each Query call a private one, so any number of
+// goroutines may query the same snapshot simultaneously.
+//
+// A View never mutates its index: its engines run in no-update mode, which
+// refines per-candidate state on deep copies (Index.StateSnapshot) and
+// commits nothing back. That makes a View safe to share not only across
+// goroutines but across index snapshots — a cloned index (lbindex.Clone)
+// being refreshed off to the side shares rows with the view's index, and
+// neither side ever writes through the shared rows.
+//
+// The serving daemon (internal/serve) publishes one View per snapshot epoch
+// behind an atomic pointer; requests grab the current View once and run
+// entirely against it, so a concurrent snapshot swap can never produce a
+// torn read.
+type View struct {
+	g       *graph.Graph
+	idx     *lbindex.Index
+	engines sync.Pool
+}
+
+// NewView binds a graph and index into a shareable read-only view. The pair
+// is validated once here, so engine construction inside the pool cannot
+// fail later.
+func NewView(g *graph.Graph, idx *lbindex.Index) (*View, error) {
+	// Surface the node-count mismatch (the only constructor error) now.
+	if _, err := NewEngine(g, idx, false); err != nil {
+		return nil, err
+	}
+	v := &View{g: g, idx: idx}
+	v.engines.New = func() any {
+		e, _ := NewEngine(g, idx, false)
+		return e
+	}
+	return v, nil
+}
+
+// Query answers one reverse top-k query with the given intra-query worker
+// count (≤ 0 selects GOMAXPROCS, as in Engine.SetWorkers). Safe for
+// concurrent use; answers are identical at any worker setting.
+func (v *View) Query(q graph.NodeID, k, workers int) ([]graph.NodeID, QueryStats, error) {
+	e := v.engines.Get().(*Engine)
+	defer v.engines.Put(e)
+	e.SetWorkers(workers)
+	return e.Query(q, k)
+}
+
+// Graph returns the graph the view queries.
+func (v *View) Graph() *graph.Graph { return v.g }
+
+// Index returns the view's index.
+func (v *View) Index() *lbindex.Index { return v.idx }
+
+// N returns the node count of the underlying graph.
+func (v *View) N() int { return v.g.N() }
+
+// MaxK returns the largest query k the underlying index supports.
+func (v *View) MaxK() int { return v.idx.K() }

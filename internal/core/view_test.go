@@ -1,0 +1,111 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/lbindex"
+)
+
+func viewTestGraph(t *testing.T, seed int64, n int) *graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for i := 0; i < 4*n; i++ {
+		b.AddEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)))
+	}
+	g, _, err := b.Build(graph.DanglingSelfLoop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestViewConcurrentQueriesMatchEngine runs many goroutines through one
+// View at mixed worker counts and checks every answer equals a sequential
+// engine's — and that the view left the index untouched.
+func TestViewConcurrentQueriesMatchEngine(t *testing.T) {
+	g := viewTestGraph(t, 51, 60)
+	opts := lbindex.DefaultOptions()
+	opts.K = 6
+	opts.HubBudget = 2
+	idx, _, err := lbindex.Build(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference answers from a plain sequential no-update engine.
+	eng, err := NewEngine(g, idx, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type qk struct {
+		q graph.NodeID
+		k int
+	}
+	var cases []qk
+	want := map[qk][]graph.NodeID{}
+	for q := graph.NodeID(0); int(q) < g.N(); q += 7 {
+		for _, k := range []int{1, 3, 6} {
+			ans, _, err := eng.Query(q, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cases = append(cases, qk{q, k})
+			want[qk{q, k}] = ans
+		}
+	}
+
+	v, err := NewView(g, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refinementsBefore := idx.Refinements()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i, c := range cases {
+				ans, _, err := v.Query(c.q, c.k, 1+(w+i)%3)
+				if err != nil {
+					t.Errorf("view q=%d k=%d: %v", c.q, c.k, err)
+					return
+				}
+				ref := want[c]
+				if len(ans) != len(ref) {
+					t.Errorf("view q=%d k=%d: %v, engine %v", c.q, c.k, ans, ref)
+					continue
+				}
+				for j := range ans {
+					if ans[j] != ref[j] {
+						t.Errorf("view q=%d k=%d: %v, engine %v", c.q, c.k, ans, ref)
+						break
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := idx.Refinements(); got != refinementsBefore {
+		t.Errorf("read-only view committed %d refinements", got-refinementsBefore)
+	}
+}
+
+// TestViewRejectsMismatchedPair mirrors NewEngine's only constructor error.
+func TestViewRejectsMismatchedPair(t *testing.T) {
+	g := viewTestGraph(t, 52, 30)
+	other := viewTestGraph(t, 53, 31)
+	opts := lbindex.DefaultOptions()
+	opts.K = 4
+	opts.HubBudget = 1
+	idx, _, err := lbindex.Build(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewView(other, idx); err == nil {
+		t.Fatal("NewView accepted a mismatched graph/index pair")
+	}
+}

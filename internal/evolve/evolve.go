@@ -159,6 +159,26 @@ type Stats struct {
 	Elapsed time.Duration
 }
 
+// RefreshSnapshot is the snapshot-isolated variant of Refresh: instead of
+// committing refreshed origins into idx, it clones the index (an O(n)
+// pointer copy — see lbindex.Index.Clone), refreshes the clone against the
+// edited graph and returns it, leaving idx untouched. Readers keep serving
+// from the old (graph, index) pair for the whole maintenance pass; the
+// caller publishes the returned index (paired with g2) atomically when it
+// is complete. The serving daemon (internal/serve) builds its epoch-swap
+// layer on exactly this call.
+func RefreshSnapshot(g2 *graph.Graph, idx *lbindex.Index, affected []graph.NodeID) (*lbindex.Index, Stats, error) {
+	if g2.N() != idx.N() {
+		return nil, Stats{}, fmt.Errorf("evolve: index built for %d nodes, edited graph has %d (rebuild instead)", idx.N(), g2.N())
+	}
+	next := idx.Clone()
+	stats, err := Refresh(g2, next, affected)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return next, stats, nil
+}
+
 // Refresh brings an index up to date with an edited graph: it recomputes
 // the hub proximity vectors on the new graph (hub vectors are global
 // quantities; with |H| ≪ n this is the cheap part) and re-runs the

@@ -180,6 +180,110 @@ func TestRefreshTheta0MatchesRebuild(t *testing.T) {
 	}
 }
 
+// TestRefreshSnapshotIsolation checks the snapshot-producing refresh:
+// the returned index answers brute-force-exact queries on the edited
+// graph, while the ORIGINAL index is bit-for-bit untouched — same hub
+// matrix, same p̂ rows, same refinement counter, same answers on the old
+// graph — which is the property the serving daemon's epoch swap relies on.
+func TestRefreshSnapshotIsolation(t *testing.T) {
+	g := buildWeb(t, 150)
+	idx := buildIdx(t, g)
+
+	edits := []Edit{
+		{From: 3, To: findMissingTarget(g, 3)},
+		{From: 77, To: findMissingTarget(g, 77)},
+	}
+	g2, err := ApplyEdits(g, edits, graph.DanglingSelfLoop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	affected, err := AffectedOrigins(g2, Sources(edits), 0, idx.Options().RWR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(affected) == 0 {
+		t.Fatal("edits affected no origins; test is vacuous")
+	}
+
+	// Fingerprint the original index.
+	queries, err := workload.Queries(g.N(), 12, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engOld, err := core.NewEngine(g, idx, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldAnswers := make([][]graph.NodeID, len(queries))
+	for i, q := range queries {
+		oldAnswers[i], _, err = engOld.Query(q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	oldHub := idx.HubMatrix()
+	oldRefinements := idx.Refinements()
+	oldRows := make([][]float64, len(affected))
+	for i, u := range affected {
+		oldRows[i] = idx.PHatRow(u)
+	}
+
+	next, stats, err := RefreshSnapshot(g2, idx, affected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next == idx {
+		t.Fatal("RefreshSnapshot returned the input index")
+	}
+	if stats.Affected != len(affected) {
+		t.Errorf("stats report %d affected, want %d", stats.Affected, len(affected))
+	}
+
+	// The original is untouched.
+	if idx.HubMatrix() != oldHub {
+		t.Error("RefreshSnapshot swapped the original's hub matrix")
+	}
+	if got := idx.Refinements(); got != oldRefinements {
+		t.Errorf("original's refinement counter moved %d → %d", oldRefinements, got)
+	}
+	for i, u := range affected {
+		if !reflect.DeepEqual(idx.PHatRow(u), oldRows[i]) {
+			t.Fatalf("p̂ row of affected node %d changed in the original", u)
+		}
+	}
+	for i, q := range queries {
+		ans, _, err := engOld.Query(q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ans, oldAnswers[i]) {
+			t.Fatalf("old pair's answer for q=%d changed after RefreshSnapshot", q)
+		}
+	}
+
+	// The new pair is brute-force exact on the edited graph.
+	if err := next.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	engNew, err := core.NewEngine(g2, next, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range queries {
+		got, _, err := engNew.Query(q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := core.BruteForce(g2, q, 5, next.Options().RWR, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("q=%d: snapshot index answers %v, brute force %v", q, got, want)
+		}
+	}
+}
+
 func findMissingTarget(g *graph.Graph, u graph.NodeID) graph.NodeID {
 	for v := graph.NodeID(0); int(v) < g.N(); v++ {
 		if v != u && !g.HasEdge(u, v) {

@@ -10,7 +10,6 @@
 package exp
 
 import (
-	"bytes"
 	"fmt"
 	"io"
 	"text/tabwriter"
@@ -75,14 +74,12 @@ func indexOptions(k, hubBudget int, omega float64) lbindex.Options {
 	return o
 }
 
-// cloneIndex deep-copies an index through its serialized form so that
-// update/no-update comparisons start from identical bounds.
+// cloneIndex copies an index so that update/no-update comparisons start
+// from identical bounds. Index.Clone is an O(n) pointer copy: committed
+// rows and states are immutable, and update-mode commits on either copy
+// replace pointers on that copy only.
 func cloneIndex(idx *lbindex.Index) (*lbindex.Index, error) {
-	var buf bytes.Buffer
-	if err := idx.Save(&buf); err != nil {
-		return nil, err
-	}
-	return lbindex.Load(&buf)
+	return idx.Clone(), nil
 }
 
 // newTable returns a tabwriter for aligned report rendering.

@@ -1,0 +1,140 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/lbindex"
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+// ServeRow is one phase of the HTTP serving smoke: a full drive of the
+// workload against the daemon in a given cache/snapshot regime.
+type ServeRow struct {
+	Phase string
+	Epoch uint64
+	Stats workload.DriveStats
+}
+
+// ServeConfig parameterizes the serving smoke.
+type ServeConfig struct {
+	Graph GraphSpec
+	// IndexK is the built index's K; K the served query k.
+	IndexK, K int
+	// Queries is the workload size; Concurrency the client parallelism.
+	Queries, Concurrency int
+	// CacheSize, MaxInflight, WorkerBudget configure the daemon.
+	CacheSize, MaxInflight, WorkerBudget int
+	// Edits is the size of the maintenance batch applied between the warm
+	// and post-refresh phases.
+	Edits int
+	Seed  int64
+}
+
+// DefaultServeConfig exercises the daemon on the Web-stanford-cs analog:
+// a cold sweep, a warm (fully cached) sweep, and a cold sweep after a
+// snapshot refresh.
+func DefaultServeConfig(scale int) ServeConfig {
+	graphs := DefaultGraphs(scale)
+	return ServeConfig{
+		Graph:       graphs[0],
+		IndexK:      50,
+		K:           10,
+		Queries:     300,
+		Concurrency: 8,
+		CacheSize:   serve.DefaultCacheSize,
+		Edits:       10,
+		Seed:        707,
+	}
+}
+
+// RunServeSmoke builds the graph and index, starts an rtkserve daemon on a
+// loopback port, and drives the workload through three phases: cold (every
+// answer computed), warm (every answer cached), and post-refresh (a
+// maintenance pass published a new snapshot, so the cache restarts cold at
+// the next epoch).
+func RunServeSmoke(cfg ServeConfig, progress io.Writer) ([]ServeRow, error) {
+	g, err := cfg.Graph.Build()
+	if err != nil {
+		return nil, err
+	}
+	opts := indexOptions(cfg.IndexK, cfg.Graph.HubBudget, 1e-6)
+	idx, _, err := lbindex.Build(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	if progress != nil {
+		fmt.Fprintf(progress, "serve: built %s index (n=%d)\n", cfg.Graph.Name, g.N())
+	}
+
+	srv, err := serve.New(g, idx, serve.Config{
+		CacheSize:    cfg.CacheSize,
+		MaxInflight:  cfg.MaxInflight,
+		WorkerBudget: cfg.WorkerBudget,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+
+	queries, err := workload.Queries(g.N(), cfg.Queries, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []ServeRow
+	drive := func(phase string) error {
+		st, err := workload.DriveHTTP(base, queries, cfg.K, cfg.Concurrency)
+		if err != nil {
+			return fmt.Errorf("exp: %s phase: %w", phase, err)
+		}
+		epoch := srv.Store().Current().Epoch
+		rows = append(rows, ServeRow{Phase: phase, Epoch: epoch, Stats: st})
+		if progress != nil {
+			fmt.Fprintf(progress, "serve: %s epoch=%d qps=%.0f p95=%v hits=%d\n",
+				phase, epoch, st.QPS, st.P95Latency.Round(time.Microsecond), st.CacheHits)
+		}
+		return nil
+	}
+	if err := drive("cold"); err != nil {
+		return nil, err
+	}
+	if err := drive("warm"); err != nil {
+		return nil, err
+	}
+
+	edits := randomEdits(g, cfg.Edits, cfg.Seed+2)
+	if _, _, err := srv.ApplyEdits(edits, 0); err != nil {
+		return nil, err
+	}
+	if err := drive("post-refresh"); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// WriteServeSmoke renders the per-phase serving numbers.
+func WriteServeSmoke(w io.Writer, rows []ServeRow) error {
+	tw := newTable(w)
+	fmt.Fprintln(tw, "phase\tepoch\trequests\tok\thits\tcoalesced\tcomputed\trejected\tqps\tmean\tp50\tp95\tmax")
+	for _, r := range rows {
+		s := r.Stats
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%.0f\t%v\t%v\t%v\t%v\n",
+			r.Phase, r.Epoch, s.Requests, s.OK, s.CacheHits, s.Coalesced, s.Computed, s.Rejected,
+			s.QPS,
+			s.MeanLatency.Round(time.Microsecond), s.P50Latency.Round(time.Microsecond),
+			s.P95Latency.Round(time.Microsecond), s.MaxLatency.Round(time.Microsecond))
+	}
+	return tw.Flush()
+}

@@ -45,6 +45,11 @@ func FromParts(n int, hubs []graph.NodeID, cols []vecmath.Sparse, exactTopK [][]
 		if err := c.Validate(); err != nil {
 			return nil, fmt.Errorf("hub: FromParts column %d: %w", i, err)
 		}
+		// Column entries are scattered into dense length-n vectors
+		// (ScatterHub); an out-of-range index would panic there.
+		if len(c.Idx) > 0 && (c.Idx[0] < 0 || int(c.Idx[len(c.Idx)-1]) >= n) {
+			return nil, fmt.Errorf("hub: FromParts column %d has indices outside [0,%d)", i, n)
+		}
 	}
 	return m, nil
 }

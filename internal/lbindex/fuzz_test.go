@@ -2,6 +2,7 @@ package lbindex
 
 import (
 	"bytes"
+	"math"
 	"testing"
 )
 
@@ -24,12 +25,30 @@ func FuzzLoad(f *testing.F) {
 	f.Add(valid)
 	f.Add([]byte{})
 	f.Add([]byte("RTKLBIX1"))
-	f.Add(valid[:len(valid)/3])
-	// A few deterministic corruptions of the valid image.
-	for _, pos := range []int{8, 20, 64, len(valid) / 2, len(valid) - 9} {
+	// Save→truncate→Load: prefixes that cut the image inside each section
+	// (header, hub matrix, node states, trailer).
+	for _, cut := range []int{
+		len(valid) / 5, len(valid) / 3, len(valid) / 2,
+		2 * len(valid) / 3, 4 * len(valid) / 5, len(valid) - 9, len(valid) - 1,
+	} {
+		if cut > 0 && cut < len(valid) {
+			f.Add(valid[:cut])
+		}
+	}
+	// Deterministic corruptions of the valid image: bit-flips spread across
+	// sections, plus length-field inflation near the front (the classic
+	// allocation-bomb shape).
+	for _, pos := range []int{8, 12, 16, 20, 64, 100, len(valid) / 4, len(valid) / 2, 3 * len(valid) / 4, len(valid) - 9} {
 		if pos < len(valid) {
 			c := append([]byte(nil), valid...)
 			c[pos] ^= 0xFF
+			f.Add(c)
+		}
+	}
+	for _, pos := range []int{8, 16, 90} {
+		if pos+4 <= len(valid) {
+			c := append([]byte(nil), valid...)
+			c[pos], c[pos+1], c[pos+2], c[pos+3] = 0xFF, 0xFF, 0xFF, 0x7F
 			f.Add(c)
 		}
 	}
@@ -42,4 +61,107 @@ func FuzzLoad(f *testing.F) {
 			t.Fatalf("Load accepted an index that fails invariants: %v", err)
 		}
 	})
+}
+
+// TestLoadTruncatedPrefixes runs Load on EVERY prefix of a valid image:
+// each must either round-trip (the full image) or return an error — no
+// prefix may panic or be accepted as valid.
+func TestLoadTruncatedPrefixes(t *testing.T) {
+	g := randomGraph(5, 12)
+	opts := testOptions(3)
+	idx, _, err := Build(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := idx.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+	for cut := 0; cut < len(valid); cut++ {
+		if _, err := Load(bytes.NewReader(valid[:cut])); err == nil {
+			t.Fatalf("Load accepted a %d/%d-byte truncation", cut, len(valid))
+		}
+	}
+	if _, err := Load(bytes.NewReader(valid)); err != nil {
+		t.Fatalf("Load rejected the untruncated image: %v", err)
+	}
+}
+
+// corruptIndex builds a small index, applies mutate to its in-memory form,
+// saves it, and returns the serialized image of the corrupted index.
+func corruptIndex(t *testing.T, mutate func(idx *Index, stateNode int)) []byte {
+	t.Helper()
+	g := randomGraph(7, 30)
+	idx, _, err := Build(g, testOptions(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a non-hub node whose state parks ink at a hub (S non-empty).
+	stateNode := -1
+	for u := range idx.states {
+		if idx.states[u] != nil && idx.states[u].S.NNZ() > 0 {
+			stateNode = u
+			break
+		}
+	}
+	if stateNode < 0 {
+		t.Fatal("no node with hub-parked ink; enlarge the test graph")
+	}
+	mutate(idx, stateNode)
+	var buf bytes.Buffer
+	if err := idx.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestLoadRejectsCorruptPayloads writes deliberately inconsistent indexes
+// and asserts Load refuses each: these are exactly the corruptions that
+// used to surface as panics deep inside query processing (out-of-range
+// scatter, dropped-mass lookup of a non-hub, NaN in the bound staircase).
+func TestLoadRejectsCorruptPayloads(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(idx *Index, stateNode int)
+	}{
+		{"state S parks ink at a non-hub", func(idx *Index, u int) {
+			// Redirect the hub ink to a node that is not a hub: DroppedMass
+			// would index pos[-1] at query time.
+			for v := int32(0); int(v) < idx.n; v++ {
+				if idx.states[int(v)] != nil && v > idx.states[u].S.Idx[idx.states[u].S.NNZ()-1] {
+					idx.states[u].S.Idx[idx.states[u].S.NNZ()-1] = v
+					return
+				}
+			}
+			panic("no replacement node found")
+		}},
+		{"state R index out of range", func(idx *Index, u int) {
+			if idx.states[u].R.NNZ() == 0 {
+				idx.states[u].R.Idx = append(idx.states[u].R.Idx, int32(idx.n+5))
+				idx.states[u].R.Val = append(idx.states[u].R.Val, 0)
+			} else {
+				idx.states[u].R.Idx[idx.states[u].R.NNZ()-1] = int32(idx.n + 5)
+			}
+		}},
+		{"negative ink value", func(idx *Index, u int) {
+			idx.states[u].S.Val[0] = -idx.states[u].S.Val[0]
+		}},
+		{"NaN in phat column", func(idx *Index, u int) {
+			idx.phat[u][0] = math.NaN()
+		}},
+		{"phat above proximity range", func(idx *Index, u int) {
+			idx.phat[u][0] = 2.5
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			img := corruptIndex(t, tc.mutate)
+			if _, err := Load(bytes.NewReader(img)); err == nil {
+				t.Fatal("Load accepted a corrupt image")
+			} else {
+				t.Logf("rejected as expected: %v", err)
+			}
+		})
+	}
 }

@@ -123,6 +123,13 @@ const lockStripes = 64
 //
 // Lock ordering: stripes are only ever acquired in ascending order, and the
 // hub lock is never held while acquiring a stripe.
+//
+// One operation sits outside this safety net: an IN-PLACE evolve.Refresh
+// (hub-matrix swap followed by many commits) is not atomic as a whole, so a
+// concurrent Save/Clone could pair the new hub matrix with not-yet-refreshed
+// rows. Run in-place refreshes with whole-index operations quiesced, or use
+// evolve.RefreshSnapshot, which refreshes a Clone and leaves this index
+// untouched — the serving daemon does the latter.
 type Index struct {
 	opts Options
 	n    int
@@ -453,6 +460,35 @@ func (idx *Index) CommitHub(u graph.NodeID, phat []float64) {
 	idx.phat[u] = phat
 }
 
+// Clone returns an independent index sharing this index's committed rows.
+// The copy is O(n) pointers, not a deep copy: p̂ columns and BCA states are
+// immutable once committed — every writer (Commit, CommitHub, the refresh
+// path in package evolve) replaces the per-node pointers wholesale and the
+// query engine refines deep copies (StateSnapshot), never the stored
+// objects — so sharing them is safe. Commits to the clone replace only the
+// clone's pointers, leaving the original untouched, which is what makes
+// snapshot isolation cheap: a maintenance pass refreshes a clone off to the
+// side while readers keep serving from the original.
+func (idx *Index) Clone() *Index {
+	// Stripes first, hub pointer second: with every row frozen, the pair
+	// (rows, hub matrix) can only disagree if an in-place evolve.Refresh is
+	// running concurrently — which whole-index operations do not support
+	// (see the Index doc); snapshot maintenance uses RefreshSnapshot on a
+	// Clone instead, which never mutates this index at all.
+	idx.lockAll()
+	defer idx.unlockAll()
+	hm := idx.HubMatrix()
+	c := &Index{
+		opts:   idx.opts,
+		n:      idx.n,
+		hubs:   hm,
+		phat:   append([][]float64(nil), idx.phat...),
+		states: append([]*bca.State(nil), idx.states...),
+	}
+	c.refinements.Store(idx.refinements.Load())
+	return c
+}
+
 // Refinements returns the number of committed refinement steps since build.
 func (idx *Index) Refinements() int64 {
 	return idx.refinements.Load()
@@ -461,9 +497,9 @@ func (idx *Index) Refinements() int64 {
 // SizeBytes returns the approximate payload footprint of the index: the
 // lower-bound matrix, all resumable states, and the rounded hub matrix.
 func (idx *Index) SizeBytes() int64 {
-	hm := idx.HubMatrix()
 	idx.lockAll()
 	defer idx.unlockAll()
+	hm := idx.HubMatrix()
 	total := int64(idx.n) * int64(idx.opts.K) * 8
 	for _, st := range idx.states {
 		if st != nil {
@@ -477,9 +513,9 @@ func (idx *Index) SizeBytes() int64 {
 // CheckInvariants verifies every stored state conserves ink and every p̂
 // column is descending — used by tests and after deserialization.
 func (idx *Index) CheckInvariants() error {
-	hm := idx.HubMatrix()
 	idx.lockAll()
 	defer idx.unlockAll()
+	hm := idx.HubMatrix()
 	for u := 0; u < idx.n; u++ {
 		if !vecmath.IsSortedDescending(idx.phat[u]) {
 			return fmt.Errorf("lbindex: p̂ column of node %d not descending", u)

@@ -83,6 +83,13 @@ type binReader struct {
 	buf [8]byte
 }
 
+// fail records the first decoding error; all subsequent reads short-circuit.
+func (b *binReader) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf(format, args...)
+	}
+}
+
 func (b *binReader) u8() uint8 {
 	if b.err != nil {
 		return 0
@@ -111,36 +118,81 @@ func (b *binReader) u64() uint64 {
 func (b *binReader) i64() int64   { return int64(b.u64()) }
 func (b *binReader) f64() float64 { return math.Float64frombits(b.u64()) }
 
-func (b *binReader) sparse() vecmath.Sparse {
+// growCap bounds speculative slice pre-allocation: claimed element counts in
+// a corrupt header can be enormous, so slices grow by append (memory stays
+// proportional to input actually consumed) with at most this much reserved
+// up front.
+const growCap = 1 << 12
+
+// sparse decodes a sparse vector over n nodes. Corrupt input must fail
+// here, not panic downstream: indices are required in [0,n) and strictly
+// increasing (so nnz ≤ n), and values finite and non-negative — every
+// consumer scatters by index into length-n arrays and treats values as ink
+// mass.
+func (b *binReader) sparse(n int, what string) vecmath.Sparse {
 	nnz := int(b.u32())
-	if b.err != nil || nnz < 0 {
+	if b.err != nil {
 		return vecmath.Sparse{}
 	}
-	s := vecmath.Sparse{Idx: make([]int32, nnz), Val: make([]float64, nnz)}
-	for i := range s.Idx {
-		s.Idx[i] = int32(b.u32())
+	if nnz < 0 || nnz > n {
+		b.fail("lbindex: %s: sparse nnz %d outside [0,%d]", what, nnz, n)
+		return vecmath.Sparse{}
 	}
-	for i := range s.Val {
-		s.Val[i] = b.f64()
+	s := vecmath.Sparse{Idx: make([]int32, 0, min(nnz, growCap))}
+	prev := int32(-1)
+	for i := 0; i < nnz; i++ {
+		v := int32(b.u32())
+		if b.err != nil {
+			return vecmath.Sparse{}
+		}
+		if v < 0 || int(v) >= n || v <= prev {
+			b.fail("lbindex: %s: sparse index %d at position %d (n=%d, previous %d)", what, v, i, n, prev)
+			return vecmath.Sparse{}
+		}
+		prev = v
+		s.Idx = append(s.Idx, v)
+	}
+	s.Val = make([]float64, 0, len(s.Idx))
+	for i := 0; i < nnz; i++ {
+		x := b.f64()
+		if b.err != nil {
+			return vecmath.Sparse{}
+		}
+		if !(x >= 0) || math.IsInf(x, 0) {
+			b.fail("lbindex: %s: sparse value %g at position %d not a finite non-negative", what, x, i)
+			return vecmath.Sparse{}
+		}
+		s.Val = append(s.Val, x)
 	}
 	return s
 }
 
-func (b *binReader) floats(n int) []float64 {
-	xs := make([]float64, n)
-	for i := range xs {
-		xs[i] = b.f64()
+// floats decodes n proximity values, requiring each to be a finite
+// probability-mass value in [0, 1+tol].
+func (b *binReader) floats(n int, what string) []float64 {
+	xs := make([]float64, 0, min(n, growCap))
+	for i := 0; i < n; i++ {
+		x := b.f64()
+		if b.err != nil {
+			return nil
+		}
+		if !(x >= 0) || x > 1+1e-6 {
+			b.fail("lbindex: %s: proximity %g at position %d outside [0,1]", what, x, i)
+			return nil
+		}
+		xs = append(xs, x)
 	}
 	return xs
 }
 
 // Save writes the index in the binary format above. All lock stripes are
 // held for the duration, so the snapshot is consistent even against
-// concurrent refinement commits.
+// concurrent refinement commits. (It is NOT atomic against an in-place
+// evolve.Refresh — see the Index doc.)
 func (idx *Index) Save(w io.Writer) error {
-	hm := idx.HubMatrix()
 	idx.lockAll()
 	defer idx.unlockAll()
+	hm := idx.HubMatrix()
 
 	bw := &binWriter{w: bufio.NewWriterSize(w, 1<<20)}
 	if _, err := bw.w.WriteString(indexMagic); err != nil {
@@ -195,7 +247,17 @@ func (idx *Index) Save(w io.Writer) error {
 	return bw.w.Flush()
 }
 
-// Load reads an index previously written by Save.
+// maxPlausibleK bounds the K a Load will accept. The paper's K is 200; a
+// larger claim in a header is far more likely corruption than a real index,
+// and rejecting it keeps the per-node read bounded.
+const maxPlausibleK = 1 << 20
+
+// Load reads an index previously written by Save. It is safe on truncated
+// or corrupt input: every quantity that later code indexes with is
+// bounds-checked here, and allocation stays proportional to the input
+// actually consumed (claimed element counts are never trusted with a large
+// up-front make), so a bad image yields an error — never a panic, a hang,
+// or an index that violates its invariants.
 func Load(r io.Reader) (*Index, error) {
 	br := &binReader{r: bufio.NewReaderSize(r, 1<<20)}
 	magic := make([]byte, len(indexMagic))
@@ -222,64 +284,106 @@ func Load(r io.Reader) (*Index, error) {
 	if br.err != nil {
 		return nil, fmt.Errorf("lbindex: reading header: %w", br.err)
 	}
-	if n <= 0 || o.K <= 0 || n > 1<<31 {
+	if n <= 0 || n > 1<<31 || o.K <= 0 || o.K > maxPlausibleK {
 		return nil, fmt.Errorf("lbindex: implausible header n=%d K=%d", n, o.K)
+	}
+	// A saved index was built from validated options; a header that fails
+	// validation (NaN thresholds, mismatched alphas, …) is corruption.
+	if err := o.Validate(); err != nil {
+		return nil, fmt.Errorf("lbindex: corrupt header options: %w", err)
 	}
 
 	hubCount := int(br.u32())
+	if br.err != nil {
+		return nil, fmt.Errorf("lbindex: reading hub count: %w", br.err)
+	}
 	if hubCount < 0 || hubCount > n {
 		return nil, fmt.Errorf("lbindex: implausible hub count %d", hubCount)
 	}
-	hubIDs := make([]graph.NodeID, hubCount)
-	for i := range hubIDs {
-		hubIDs[i] = graph.NodeID(br.u32())
-	}
-	cols := make([]vecmath.Sparse, hubCount)
-	topK := make([][]float64, hubCount)
-	dropped := make([]float64, hubCount)
+	hubIDs := make([]graph.NodeID, 0, min(hubCount, growCap))
+	isHub := make(map[graph.NodeID]bool, min(hubCount, growCap))
 	for i := 0; i < hubCount; i++ {
-		dropped[i] = br.f64()
-		topK[i] = br.floats(o.K)
-		cols[i] = br.sparse()
+		h := graph.NodeID(br.u32())
+		if br.err != nil {
+			return nil, fmt.Errorf("lbindex: reading hub ids: %w", br.err)
+		}
+		if int(h) < 0 || int(h) >= n {
+			return nil, fmt.Errorf("lbindex: hub id %d out of range [0,%d)", h, n)
+		}
+		if i > 0 && h <= hubIDs[i-1] {
+			return nil, fmt.Errorf("lbindex: hub ids not strictly ascending at position %d", i)
+		}
+		hubIDs = append(hubIDs, h)
+		isHub[h] = true
 	}
-	if br.err != nil {
-		return nil, fmt.Errorf("lbindex: reading hub matrix: %w", br.err)
-	}
-	hm, err := hub.FromParts(n, hubIDs, cols, topK, dropped, o.Omega)
-	if err != nil {
-		return nil, err
+	cols := make([]vecmath.Sparse, 0, min(hubCount, growCap))
+	topK := make([][]float64, 0, min(hubCount, growCap))
+	dropped := make([]float64, 0, min(hubCount, growCap))
+	for i := 0; i < hubCount; i++ {
+		d := br.f64()
+		if !(d >= 0) || math.IsInf(d, 0) {
+			br.fail("lbindex: hub %d dropped mass %g not a finite non-negative", i, d)
+		}
+		dropped = append(dropped, d)
+		topK = append(topK, br.floats(o.K, "hub top-K"))
+		cols = append(cols, br.sparse(n, "hub column"))
+		if br.err != nil {
+			return nil, fmt.Errorf("lbindex: reading hub matrix: %w", br.err)
+		}
 	}
 
-	idx := &Index{
-		opts:   o,
-		n:      n,
-		hubs:   hm,
-		phat:   make([][]float64, n),
-		states: make([]*bca.State, n),
-	}
+	phat := make([][]float64, 0, min(n, growCap))
+	states := make([]*bca.State, 0, min(n, growCap))
 	for u := 0; u < n; u++ {
 		tag := br.u8()
 		switch tag {
 		case 0:
-			if !hm.IsHub(graph.NodeID(u)) {
+			if br.err == nil && !isHub[graph.NodeID(u)] {
 				return nil, fmt.Errorf("lbindex: node %d tagged hub but absent from hub matrix", u)
 			}
+			states = append(states, nil)
 		case 1:
 			st := &bca.State{Origin: graph.NodeID(u), T: int(br.u32())}
-			st.R = br.sparse()
-			st.W = br.sparse()
-			st.S = br.sparse()
+			st.R = br.sparse(n, "state R")
+			st.W = br.sparse(n, "state W")
+			st.S = br.sparse(n, "state S")
 			st.RNorm = st.R.L1()
-			idx.states[u] = st
+			// S holds ink parked at hubs; a non-hub index would be read out
+			// of the hub matrix's dropped-mass and column arrays downstream.
+			for _, h := range st.S.Idx {
+				if !isHub[graph.NodeID(h)] {
+					br.fail("lbindex: node %d parks ink at non-hub %d", u, h)
+					break
+				}
+			}
+			states = append(states, st)
 		default:
-			return nil, fmt.Errorf("lbindex: node %d has unknown tag %d", u, tag)
+			if br.err == nil {
+				return nil, fmt.Errorf("lbindex: node %d has unknown tag %d", u, tag)
+			}
 		}
-		idx.phat[u] = br.floats(o.K)
+		phat = append(phat, br.floats(o.K, "phat"))
+		if br.err != nil {
+			return nil, fmt.Errorf("lbindex: reading nodes: %w", br.err)
+		}
 	}
-	idx.refinements.Store(br.i64())
+	refinements := br.i64()
 	if br.err != nil {
 		return nil, fmt.Errorf("lbindex: reading nodes: %w", br.err)
 	}
+
+	hm, err := hub.FromParts(n, hubIDs, cols, topK, dropped, o.Omega)
+	if err != nil {
+		return nil, err
+	}
+	idx := &Index{
+		opts:   o,
+		n:      n,
+		hubs:   hm,
+		phat:   phat,
+		states: states,
+	}
+	idx.refinements.Store(refinements)
 	if err := idx.CheckInvariants(); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,179 @@
+package serve
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// CacheKey identifies one cached result. The epoch component ties every
+// entry to the snapshot that produced it: after a snapshot swap, lookups
+// carry the new epoch and can never alias a stale answer.
+type CacheKey struct {
+	Q     graph.NodeID
+	K     int
+	Epoch uint64
+}
+
+// CacheStatus classifies how GetOrCompute satisfied a call.
+type CacheStatus int
+
+const (
+	// StatusMiss: this call ran compute and (on success) stored the result.
+	StatusMiss CacheStatus = iota
+	// StatusHit: served from a completed cache entry.
+	StatusHit
+	// StatusCoalesced: an identical call was already computing; this call
+	// waited for it and shares its result (single-flight deduplication).
+	StatusCoalesced
+	// StatusBypass: caching is disabled (capacity 0); compute ran directly.
+	StatusBypass
+)
+
+// String returns the HTTP X-Cache header value for the status.
+func (s CacheStatus) String() string {
+	switch s {
+	case StatusMiss:
+		return "MISS"
+	case StatusHit:
+		return "HIT"
+	case StatusCoalesced:
+		return "COALESCED"
+	case StatusBypass:
+		return "BYPASS"
+	default:
+		return fmt.Sprintf("CacheStatus(%d)", int(s))
+	}
+}
+
+// flight is one in-progress computation awaited by coalesced callers.
+type flight struct {
+	done chan struct{}
+	val  []byte
+	err  error
+}
+
+type entry struct {
+	key CacheKey
+	val []byte
+}
+
+// Cache is a bounded LRU result cache with single-flight deduplication.
+// Values are the exact serialized response bytes, so a cached response is
+// byte-identical to the fresh computation that produced it. Errors are
+// never cached: a failed compute leaves no entry, and its coalesced waiters
+// receive the same error.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	items    map[CacheKey]*list.Element
+	flights  map[CacheKey]*flight
+	// liveEpoch (valid when haveLive) is the newest epoch DropOtherEpochs
+	// kept. A compute that straggles past a publish must not re-insert an
+	// entry for a dropped epoch: the key could never be looked up again,
+	// so it would only waste an LRU slot.
+	liveEpoch uint64
+	haveLive  bool
+}
+
+// NewCache creates a cache bounded to capacity entries. capacity ≤ 0
+// disables caching AND deduplication: GetOrCompute always runs compute.
+func NewCache(capacity int) *Cache {
+	c := &Cache{capacity: capacity}
+	if capacity > 0 {
+		c.ll = list.New()
+		c.items = make(map[CacheKey]*list.Element)
+		c.flights = make(map[CacheKey]*flight)
+	}
+	return c
+}
+
+// Cap returns the configured entry bound (≤ 0 when disabled).
+func (c *Cache) Cap() int { return c.capacity }
+
+// Len returns the number of completed cached entries.
+func (c *Cache) Len() int {
+	if c.capacity <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// GetOrCompute returns the cached value for k, or computes it. Concurrent
+// calls for the same key are deduplicated: exactly one runs compute, the
+// rest wait and share its outcome. The returned status reports which path
+// served the call.
+func (c *Cache) GetOrCompute(k CacheKey, compute func() ([]byte, error)) ([]byte, CacheStatus, error) {
+	if c == nil || c.capacity <= 0 {
+		val, err := compute()
+		return val, StatusBypass, err
+	}
+	c.mu.Lock()
+	if el, ok := c.items[k]; ok {
+		c.ll.MoveToFront(el)
+		val := el.Value.(*entry).val
+		c.mu.Unlock()
+		return val, StatusHit, nil
+	}
+	if f, ok := c.flights[k]; ok {
+		c.mu.Unlock()
+		<-f.done
+		return f.val, StatusCoalesced, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[k] = f
+	c.mu.Unlock()
+
+	completed := false
+	defer func() {
+		c.mu.Lock()
+		delete(c.flights, k)
+		if completed && f.err == nil && (!c.haveLive || k.Epoch == c.liveEpoch) {
+			c.items[k] = c.ll.PushFront(&entry{key: k, val: f.val})
+			for c.ll.Len() > c.capacity {
+				oldest := c.ll.Back()
+				c.ll.Remove(oldest)
+				delete(c.items, oldest.Value.(*entry).key)
+			}
+		} else if !completed {
+			// compute panicked: release waiters with an error instead of
+			// leaving them blocked forever (the panic itself propagates).
+			f.err = fmt.Errorf("serve: compute aborted")
+		}
+		c.mu.Unlock()
+		close(f.done)
+	}()
+	f.val, f.err = compute()
+	completed = true
+	return f.val, StatusMiss, f.err
+}
+
+// DropOtherEpochs removes every completed entry whose epoch differs from
+// keep, returning how many were removed. Called after a snapshot publish:
+// old-epoch entries can never be looked up again (keys carry the new
+// epoch), so dropping them frees their LRU slots immediately instead of
+// waiting for eviction.
+func (c *Cache) DropOtherEpochs(keep uint64) int {
+	if c == nil || c.capacity <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.liveEpoch, c.haveLive = keep, true
+	dropped := 0
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		if e := el.Value.(*entry); e.key.Epoch != keep {
+			c.ll.Remove(el)
+			delete(c.items, e.key)
+			dropped++
+		}
+		el = next
+	}
+	return dropped
+}

@@ -1,0 +1,251 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestCacheByteIdenticalProperty drives a randomized (q, k) stream through
+// a caching server and a cache-disabled twin over the same snapshot: every
+// cached response must be byte-identical to the fresh recomputation.
+func TestCacheByteIdenticalProperty(t *testing.T) {
+	g := testGraph(t, 31, 40)
+	idx := testIndex(t, g, 6)
+	_, cached := newTestServer(t, g, idx, Config{})
+	_, fresh := newTestServer(t, g, idx, Config{CacheSize: -1})
+
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 120; i++ {
+		q, k := rng.Intn(g.N()), 1+rng.Intn(6)
+		path := fmt.Sprintf("/v1/reverse-topk?q=%d&k=%d", q, k)
+		respC, bodyC := get(t, cached.URL+path)
+		respF, bodyF := get(t, fresh.URL+path)
+		if respC.StatusCode != http.StatusOK || respF.StatusCode != http.StatusOK {
+			t.Fatalf("q=%d k=%d: statuses %d/%d", q, k, respC.StatusCode, respF.StatusCode)
+		}
+		if respF.Header.Get("X-Cache") != "BYPASS" {
+			t.Fatalf("cache-disabled server reported X-Cache=%s", respF.Header.Get("X-Cache"))
+		}
+		if !bytes.Equal(bodyC, bodyF) {
+			t.Fatalf("q=%d k=%d: cached body %s != fresh body %s (X-Cache=%s)",
+				q, k, bodyC, bodyF, respC.Header.Get("X-Cache"))
+		}
+	}
+}
+
+// TestCacheLRUBound checks the LRU never exceeds its capacity, evicts the
+// least recently used key, and recomputes evicted entries.
+func TestCacheLRUBound(t *testing.T) {
+	const capacity = 8
+	c := NewCache(capacity)
+	var computes atomic.Int64
+	val := func(i int) []byte { return []byte(fmt.Sprintf("v%d", i)) }
+	fetch := func(i int) CacheStatus {
+		_, status, err := c.GetOrCompute(CacheKey{Q: graph.NodeID(i), K: 1, Epoch: 1}, func() ([]byte, error) {
+			computes.Add(1)
+			return val(i), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return status
+	}
+
+	for i := 0; i < 50; i++ {
+		fetch(i)
+		if got := c.Len(); got > capacity {
+			t.Fatalf("after %d inserts the cache holds %d entries, cap %d", i+1, got, capacity)
+		}
+	}
+	if got := c.Len(); got != capacity {
+		t.Fatalf("cache holds %d entries, want full at %d", got, capacity)
+	}
+	// The last `capacity` keys survived; everything older was evicted.
+	for i := 50 - capacity; i < 50; i++ {
+		if status := fetch(i); status != StatusHit {
+			t.Errorf("key %d: status %v, want HIT", i, status)
+		}
+	}
+	if status := fetch(0); status != StatusMiss {
+		t.Errorf("evicted key 0 served with status %v, want MISS (recompute)", status)
+	}
+
+	// Cache now holds (oldest → newest) 43..49, 0. Touching the LRU entry
+	// protects it: the next insert evicts 44 instead.
+	if status := fetch(43); status != StatusHit {
+		t.Fatalf("key 43: status %v, want HIT", status)
+	}
+	fetch(99)
+	if status := fetch(43); status != StatusHit {
+		t.Errorf("recently touched key 43 was evicted (status %v)", status)
+	}
+	if status := fetch(44); status != StatusMiss {
+		t.Errorf("key 44 should have been the eviction victim (status %v)", status)
+	}
+}
+
+// TestCacheEpochInvalidation checks that an epoch bump invalidates every
+// prior entry: lookups at the new epoch recompute, and DropOtherEpochs
+// empties the stale generation.
+func TestCacheEpochInvalidation(t *testing.T) {
+	c := NewCache(64)
+	var computes atomic.Int64
+	fetch := func(q, epoch int) CacheStatus {
+		_, status, err := c.GetOrCompute(CacheKey{Q: graph.NodeID(q), K: 2, Epoch: uint64(epoch)}, func() ([]byte, error) {
+			computes.Add(1)
+			return []byte(fmt.Sprintf("e%dq%d", epoch, q)), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return status
+	}
+	for q := 0; q < 10; q++ {
+		fetch(q, 1)
+	}
+	if c.Len() != 10 || computes.Load() != 10 {
+		t.Fatalf("warmup: len=%d computes=%d", c.Len(), computes.Load())
+	}
+	// Same queries at the next epoch: nothing may alias.
+	for q := 0; q < 10; q++ {
+		if status := fetch(q, 2); status != StatusMiss {
+			t.Fatalf("q=%d at epoch 2 served with %v, want MISS", q, status)
+		}
+	}
+	if computes.Load() != 20 {
+		t.Fatalf("computes %d, want 20 (full recompute at the new epoch)", computes.Load())
+	}
+	if dropped := c.DropOtherEpochs(2); dropped != 10 {
+		t.Fatalf("DropOtherEpochs removed %d, want the 10 stale entries", dropped)
+	}
+	if c.Len() != 10 {
+		t.Fatalf("len %d after drop, want 10 live entries", c.Len())
+	}
+	for q := 0; q < 10; q++ {
+		if status := fetch(q, 2); status != StatusHit {
+			t.Fatalf("live entry q=%d lost by DropOtherEpochs (status %v)", q, status)
+		}
+	}
+
+	// A compute that straggles past the drop (its request pinned the old
+	// snapshot) still gets its answer but must NOT re-insert a dropped-epoch
+	// entry: the key can never be looked up at that epoch again.
+	if status := fetch(77, 1); status != StatusMiss {
+		t.Fatalf("straggler compute status %v, want MISS", status)
+	}
+	if c.Len() != 10 {
+		t.Fatalf("straggler compute re-inserted a dropped-epoch entry (len %d)", c.Len())
+	}
+	if status := fetch(77, 1); status != StatusMiss {
+		t.Fatalf("dropped-epoch key was served from cache (status %v)", status)
+	}
+}
+
+// TestCacheSingleFlight gates the compute function and checks N identical
+// concurrent calls run it exactly once and all share its bytes.
+func TestCacheSingleFlight(t *testing.T) {
+	c := NewCache(4)
+	const waiters = 32
+	var computes atomic.Int64
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	key := CacheKey{Q: 7, K: 3, Epoch: 1}
+
+	results := make([][]byte, waiters)
+	statuses := make([]CacheStatus, waiters)
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			val, status, err := c.GetOrCompute(key, func() ([]byte, error) {
+				close(entered)
+				<-release
+				computes.Add(1)
+				return []byte("answer"), nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i], statuses[i] = val, status
+		}(i)
+	}
+	<-entered // exactly one goroutine is computing; a second close would panic
+	close(release)
+	wg.Wait()
+
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("compute ran %d times, want 1", got)
+	}
+	misses := 0
+	for i := range results {
+		if string(results[i]) != "answer" {
+			t.Fatalf("waiter %d got %q", i, results[i])
+		}
+		if statuses[i] == StatusMiss {
+			misses++
+		} else if statuses[i] != StatusCoalesced && statuses[i] != StatusHit {
+			t.Fatalf("waiter %d status %v", i, statuses[i])
+		}
+	}
+	if misses != 1 {
+		t.Fatalf("%d misses, want exactly 1", misses)
+	}
+}
+
+// TestCacheErrorsNotCached checks a failed compute leaves no entry and its
+// error reaches coalesced waiters, while the next call retries.
+func TestCacheErrorsNotCached(t *testing.T) {
+	c := NewCache(4)
+	key := CacheKey{Q: 1, K: 1, Epoch: 1}
+	boom := errors.New("boom")
+	if _, _, err := c.GetOrCompute(key, func() ([]byte, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err %v, want boom", err)
+	}
+	if c.Len() != 0 {
+		t.Fatal("failed compute was cached")
+	}
+	val, status, err := c.GetOrCompute(key, func() ([]byte, error) { return []byte("ok"), nil })
+	if err != nil || string(val) != "ok" || status != StatusMiss {
+		t.Fatalf("retry: %q %v %v", val, status, err)
+	}
+}
+
+// TestCacheRandomizedStream is the cache property test at the HTTP layer:
+// a random stream of queries, repeats, and epoch bumps, asserting byte
+// identity between every response and an uncached recomputation AND that
+// the LRU bound holds throughout.
+func TestCacheRandomizedStream(t *testing.T) {
+	g := testGraph(t, 33, 36)
+	idx := testIndex(t, g, 5)
+	s, err := New(g, idx, Config{CacheSize: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	_, fresh := newTestServer(t, g, idx, Config{CacheSize: -1})
+
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		q, k := rng.Intn(g.N()), 1+rng.Intn(5)
+		path := fmt.Sprintf("/v1/reverse-topk?q=%d&k=%d", q, k)
+		_, body := get(t, ts.URL+path)
+		_, want := get(t, fresh.URL+path)
+		if !bytes.Equal(body, want) {
+			t.Fatalf("q=%d k=%d: %s != fresh %s", q, k, body, want)
+		}
+		if got := s.Cache().Len(); got > 6 {
+			t.Fatalf("cache exceeded its bound: %d > 6", got)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+
+	"repro/internal/evolve"
+	"repro/internal/graph"
+	"repro/internal/rwr"
+	"repro/internal/vecmath"
+)
+
+// TestServeConcurrentWithRefresh hammers the server with concurrent
+// queries while maintenance passes (evolve edits + snapshot swaps) run in
+// a loop. Every response must be internally consistent with exactly ONE
+// published epoch: its answer set must equal the brute-force oracle of the
+// graph that was published under the epoch the response claims. A torn
+// read across a swap (proximities from one snapshot screened against
+// bounds of another) would almost surely fail the claimed epoch's oracle.
+// Run under -race this also proves the swap layer is data-race-free.
+func TestServeConcurrentWithRefresh(t *testing.T) {
+	g := testGraph(t, 41, 48)
+	idx := testIndex(t, g, 6)
+	// MaxInflight must cover every reader: this test asserts 200s, and on a
+	// low-core machine (GOMAXPROCS small) the default 4×GOMAXPROCS limit
+	// could legitimately 503 a burst of readers.
+	s, err := New(g, idx, Config{CacheSize: 32, MaxInflight: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Every published epoch's graph, recorded by the (single) writer.
+	var (
+		epochMu     sync.Mutex
+		epochGraphs = map[uint64]*graph.Graph{1: g}
+	)
+
+	const (
+		maintenanceRounds = 4
+		editsPerRound     = 3
+		readers           = 8
+		requestsPerReader = 30
+	)
+
+	// Writer: apply edit batches and publish snapshots in a loop.
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		rng := rand.New(rand.NewSource(42))
+		cur := g
+		for round := 0; round < maintenanceRounds; round++ {
+			var edits []evolve.Edit
+			for len(edits) < editsPerRound {
+				u := graph.NodeID(rng.Intn(cur.N()))
+				if rng.Intn(2) == 0 && cur.OutDegree(u) > 1 {
+					nbrs := cur.OutNeighbors(u)
+					edits = append(edits, evolve.Edit{From: u, To: nbrs[rng.Intn(len(nbrs))], Remove: true})
+				} else {
+					v := graph.NodeID(rng.Intn(cur.N()))
+					already := false
+					for _, e := range edits {
+						if e.From == u && e.To == v {
+							already = true
+						}
+					}
+					if v == u || cur.HasEdge(u, v) || already {
+						continue
+					}
+					edits = append(edits, evolve.Edit{From: u, To: v})
+				}
+			}
+			_, epoch, err := s.ApplyEdits(edits, 0)
+			if err != nil {
+				t.Errorf("maintenance round %d: %v", round, err)
+				return
+			}
+			cur = s.Store().Current().View.Graph()
+			epochMu.Lock()
+			epochGraphs[epoch] = cur
+			epochMu.Unlock()
+		}
+	}()
+
+	// Readers: fire queries the whole time, recording each response.
+	type sample struct {
+		q       graph.NodeID
+		k       int
+		epoch   uint64
+		results []graph.NodeID
+	}
+	var (
+		sampleMu sync.Mutex
+		samples  []sample
+	)
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + r)))
+			for i := 0; i < requestsPerReader; i++ {
+				q, k := rng.Intn(g.N()), 1+rng.Intn(6)
+				resp, err := http.Get(fmt.Sprintf("%s/v1/reverse-topk?q=%d&k=%d", ts.URL, q, k))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("q=%d k=%d: status %d body %s", q, k, resp.StatusCode, body)
+					continue
+				}
+				var qr QueryResponse
+				if err := json.Unmarshal(body, &qr); err != nil {
+					t.Errorf("q=%d k=%d: bad body %q: %v", q, k, body, err)
+					continue
+				}
+				if hdr := resp.Header.Get("X-Epoch"); hdr != strconv.FormatUint(qr.Epoch, 10) {
+					t.Errorf("q=%d k=%d: X-Epoch header %s disagrees with body epoch %d", q, k, hdr, qr.Epoch)
+				}
+				if qr.Count != len(qr.Results) {
+					t.Errorf("q=%d k=%d: count %d but %d results", q, k, qr.Count, len(qr.Results))
+				}
+				sampleMu.Lock()
+				samples = append(samples, sample{graph.NodeID(q), k, qr.Epoch, qr.Results})
+				sampleMu.Unlock()
+			}
+		}(r)
+	}
+	wg.Wait()
+	<-writerDone
+
+	// Verify every sampled response against the oracle of its CLAIMED
+	// epoch. One exact proximity matrix per epoch answers all samples.
+	oracles := map[uint64][][]float64{}
+	for epoch, eg := range epochGraphs {
+		cols, err := rwr.ProximityMatrix(eg, rwr.DefaultParams(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracles[epoch] = cols
+	}
+	checked := 0
+	for _, sm := range samples {
+		cols, ok := oracles[sm.epoch]
+		if !ok {
+			t.Fatalf("response claims epoch %d, which was never published", sm.epoch)
+		}
+		var want []graph.NodeID
+		for u := range cols {
+			if cols[u][sm.q] >= vecmath.KthLargest(cols[u], sm.k) {
+				want = append(want, graph.NodeID(u))
+			}
+		}
+		if !sameNodes(sm.results, want) {
+			t.Errorf("q=%d k=%d epoch=%d: served %v, oracle %v", sm.q, sm.k, sm.epoch, sm.results, want)
+		}
+		checked++
+	}
+	if checked != readers*requestsPerReader {
+		t.Errorf("verified %d/%d responses", checked, readers*requestsPerReader)
+	}
+	if len(epochGraphs) != maintenanceRounds+1 {
+		t.Errorf("published %d epochs, want %d", len(epochGraphs), maintenanceRounds+1)
+	}
+}

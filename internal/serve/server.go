@@ -1,0 +1,396 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/evolve"
+	"repro/internal/graph"
+	"repro/internal/lbindex"
+)
+
+// Config parameterizes a Server. The zero value selects defaults.
+type Config struct {
+	// CacheSize bounds the result cache in entries; 0 selects the default,
+	// negative disables caching and single-flight deduplication.
+	CacheSize int
+	// MaxInflight bounds concurrent engine computations (admission
+	// control). Cache hits and coalesced waiters are not counted — they
+	// cost no engine work. Excess computations are rejected with 503.
+	// 0 selects 4×GOMAXPROCS.
+	MaxInflight int
+	// WorkerBudget is the total intra-query worker budget shared by
+	// concurrent computations, dealt the same way core.QueryBatch deals its
+	// budget: each active computation runs with budget/active workers
+	// (min 1), so a lone query spreads over all cores while a saturated
+	// server runs one goroutine per query. 0 selects GOMAXPROCS.
+	WorkerBudget int
+}
+
+// DefaultCacheSize is the result-cache bound when Config.CacheSize is 0.
+const DefaultCacheSize = 4096
+
+var errSaturated = errors.New("serve: too many in-flight queries")
+
+// Server is the HTTP serving layer: one snapshot store, one result cache,
+// admission control, and counters. Create with New, mount Handler.
+type Server struct {
+	store  *Store
+	cache  *Cache
+	budget int
+	maxInflight int64
+	// active counts currently running engine computations (admitted work,
+	// not raw connections).
+	active   atomic.Int64
+	draining atomic.Bool
+	// maintMu serializes maintenance passes (snapshot production + publish).
+	maintMu sync.Mutex
+	start   time.Time
+
+	served     atomic.Int64
+	computed   atomic.Int64
+	cacheHits  atomic.Int64
+	coalesced  atomic.Int64
+	rejected   atomic.Int64
+	errored    atomic.Int64
+	epochSwaps atomic.Int64
+
+	// testComputeGate, when set by tests, runs inside every admitted
+	// computation — used to hold computations open deterministically.
+	testComputeGate func()
+}
+
+// New creates a server over an initial (graph, index) pair, published as
+// epoch 1.
+func New(g *graph.Graph, idx *lbindex.Index, cfg Config) (*Server, error) {
+	store, err := NewStore(g, idx)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = DefaultCacheSize
+	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 4 * runtime.GOMAXPROCS(0)
+	}
+	if cfg.WorkerBudget <= 0 {
+		cfg.WorkerBudget = runtime.GOMAXPROCS(0)
+	}
+	return &Server{
+		store:       store,
+		cache:       NewCache(cfg.CacheSize),
+		budget:      cfg.WorkerBudget,
+		maxInflight: int64(cfg.MaxInflight),
+		start:       time.Now(),
+	}, nil
+}
+
+// Store returns the server's snapshot store.
+func (s *Server) Store() *Store { return s.store }
+
+// Cache returns the server's result cache.
+func (s *Server) Cache() *Cache { return s.cache }
+
+// StartDrain flips the server into draining mode: /healthz turns 503 so
+// load balancers stop routing here, while in-flight and follow-up requests
+// keep being served until the listener shuts down (http.Server.Shutdown).
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// Draining reports whether StartDrain was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Handler returns the daemon's route table:
+//
+//	GET  /v1/reverse-topk?q=<node>&k=<k>  — answer a query
+//	GET  /v1/stats                        — serving counters
+//	GET  /healthz                         — liveness (503 when draining)
+//	POST /v1/edits                        — apply graph edits, publish a new snapshot
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/reverse-topk", s.handleQuery)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("POST /v1/edits", s.handleEdits)
+	return mux
+}
+
+// QueryResponse is the JSON body of /v1/reverse-topk. Bodies are cached
+// verbatim, so a cached response is byte-identical to the fresh one.
+type QueryResponse struct {
+	Query   graph.NodeID   `json:"query"`
+	K       int            `json:"k"`
+	Epoch   uint64         `json:"epoch"`
+	Count   int            `json:"count"`
+	Results []graph.NodeID `json:"results"`
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	body, _ := json.Marshal(map[string]string{"error": fmt.Sprintf(format, args...)})
+	w.Write(body)
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	params := r.URL.Query()
+	qStr, kStr := params.Get("q"), params.Get("k")
+	if qStr == "" || kStr == "" {
+		writeError(w, http.StatusBadRequest, "q and k query parameters are required")
+		return
+	}
+	q, err := strconv.Atoi(qStr)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "malformed q=%q: %v", qStr, err)
+		return
+	}
+	k, err := strconv.Atoi(kStr)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "malformed k=%q: %v", kStr, err)
+		return
+	}
+
+	// One snapshot per request: every read below — validation bounds, the
+	// cache key epoch, and the engine computation — uses this one pair, so
+	// a concurrent snapshot swap cannot tear a response.
+	snap := s.store.Current()
+	if q < 0 || q >= snap.View.N() {
+		writeError(w, http.StatusNotFound, "unknown node %d (graph has %d nodes)", q, snap.View.N())
+		return
+	}
+	if k < 1 || k > snap.View.MaxK() {
+		writeError(w, http.StatusBadRequest, "k=%d outside [1,%d] supported by the index", k, snap.View.MaxK())
+		return
+	}
+
+	key := CacheKey{Q: graph.NodeID(q), K: k, Epoch: snap.Epoch}
+	body, status, err := s.cache.GetOrCompute(key, func() ([]byte, error) {
+		return s.compute(snap, graph.NodeID(q), k)
+	})
+	if err != nil {
+		if errors.Is(err, errSaturated) {
+			s.rejected.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, "server saturated: %d computations in flight", s.maxInflight)
+			return
+		}
+		s.errored.Add(1)
+		writeError(w, http.StatusInternalServerError, "query failed: %v", err)
+		return
+	}
+	switch status {
+	case StatusHit:
+		s.cacheHits.Add(1)
+	case StatusCoalesced:
+		s.coalesced.Add(1)
+	}
+	s.served.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", status.String())
+	w.Header().Set("X-Epoch", strconv.FormatUint(snap.Epoch, 10))
+	w.Write(body)
+}
+
+// compute runs one admitted engine computation against a pinned snapshot
+// and serializes the response body. Admission happens here — after the
+// cache — so cache hits and coalesced waiters are never rejected, only
+// work that would actually occupy an engine.
+func (s *Server) compute(snap *Snapshot, q graph.NodeID, k int) ([]byte, error) {
+	active := s.active.Add(1)
+	defer s.active.Add(-1)
+	if active > s.maxInflight {
+		return nil, errSaturated
+	}
+	if gate := s.testComputeGate; gate != nil {
+		gate()
+	}
+	// Deal the worker budget across active computations, mirroring
+	// core.QueryBatch: a lone query gets the whole budget, a busy server
+	// runs sequential engines.
+	workers := s.budget / int(active)
+	if workers < 1 {
+		workers = 1
+	}
+	results, _, err := snap.View.Query(q, k, workers)
+	if err != nil {
+		return nil, err
+	}
+	if results == nil {
+		results = []graph.NodeID{}
+	}
+	s.computed.Add(1)
+	return json.Marshal(QueryResponse{
+		Query:   q,
+		K:       k,
+		Epoch:   snap.Epoch,
+		Count:   len(results),
+		Results: results,
+	})
+}
+
+// StatsResponse is the JSON body of /v1/stats.
+type StatsResponse struct {
+	Epoch         uint64  `json:"epoch"`
+	Nodes         int     `json:"nodes"`
+	MaxK          int     `json:"max_k"`
+	Served        int64   `json:"served"`
+	Computed      int64   `json:"computed"`
+	CacheHits     int64   `json:"cache_hits"`
+	Coalesced     int64   `json:"coalesced"`
+	Rejected      int64   `json:"rejected"`
+	Errors        int64   `json:"errors"`
+	EpochSwaps    int64   `json:"epoch_swaps"`
+	CacheLen      int     `json:"cache_len"`
+	CacheCap      int     `json:"cache_cap"`
+	Inflight      int64   `json:"inflight"`
+	WorkerBudget  int     `json:"worker_budget"`
+	Draining      bool    `json:"draining"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// Stats snapshots the serving counters.
+func (s *Server) Stats() StatsResponse {
+	snap := s.store.Current()
+	return StatsResponse{
+		Epoch:         snap.Epoch,
+		Nodes:         snap.View.N(),
+		MaxK:          snap.View.MaxK(),
+		Served:        s.served.Load(),
+		Computed:      s.computed.Load(),
+		CacheHits:     s.cacheHits.Load(),
+		Coalesced:     s.coalesced.Load(),
+		Rejected:      s.rejected.Load(),
+		Errors:        s.errored.Load(),
+		EpochSwaps:    s.epochSwaps.Load(),
+		CacheLen:      s.cache.Len(),
+		CacheCap:      s.cache.Cap(),
+		Inflight:      s.active.Load(),
+		WorkerBudget:  s.budget,
+		Draining:      s.draining.Load(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	body, _ := json.Marshal(s.Stats())
+	w.Write(body)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte("draining\n"))
+		return
+	}
+	w.Write([]byte("ok\n"))
+}
+
+// EditJSON is the wire form of one evolve.Edit.
+type EditJSON struct {
+	From   graph.NodeID `json:"from"`
+	To     graph.NodeID `json:"to"`
+	Weight float64      `json:"weight,omitempty"`
+	Remove bool         `json:"remove,omitempty"`
+}
+
+// EditsRequest is the JSON body of POST /v1/edits.
+type EditsRequest struct {
+	Edits []EditJSON `json:"edits"`
+	// Theta is the evolve staleness threshold; 0 refreshes every origin
+	// that reaches an edited source (equivalent to a full rebuild).
+	Theta float64 `json:"theta"`
+}
+
+// EditsResponse reports a completed maintenance pass.
+type EditsResponse struct {
+	Epoch       uint64 `json:"epoch"`
+	Affected    int    `json:"affected"`
+	HubsRebuilt int    `json:"hubs_rebuilt"`
+	ElapsedMS   int64  `json:"elapsed_ms"`
+}
+
+// maxEditsBody caps the POST /v1/edits request body: edits are ~tens of
+// bytes each, so even a graph-wide batch fits comfortably, and an unbounded
+// decode would let one client grow the heap arbitrarily.
+const maxEditsBody = 8 << 20
+
+func (s *Server) handleEdits(w http.ResponseWriter, r *http.Request) {
+	var req EditsRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxEditsBody)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed edits body: %v", err)
+		return
+	}
+	if len(req.Edits) == 0 {
+		writeError(w, http.StatusBadRequest, "no edits given")
+		return
+	}
+	edits := make([]evolve.Edit, len(req.Edits))
+	for i, e := range req.Edits {
+		edits[i] = evolve.Edit{From: e.From, To: e.To, Weight: e.Weight, Remove: e.Remove}
+	}
+	stats, epoch, err := s.ApplyEdits(edits, req.Theta)
+	if err != nil {
+		// Edit validation errors (unknown edge, duplicate insert, node
+		// growth) are the caller's fault; anything else is internal.
+		status := http.StatusBadRequest
+		if !errors.Is(err, errBadEdits) {
+			status = http.StatusInternalServerError
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	body, _ := json.Marshal(EditsResponse{
+		Epoch:       epoch,
+		Affected:    stats.Affected,
+		HubsRebuilt: stats.HubsRebuilt,
+		ElapsedMS:   stats.Elapsed.Milliseconds(),
+	})
+	w.Write(body)
+}
+
+var errBadEdits = errors.New("serve: invalid edits")
+
+// ApplyEdits runs one full maintenance pass: apply the edits to the current
+// snapshot's graph, compute the affected origins at staleness threshold
+// theta, refresh a clone of the current index (RefreshSnapshot — readers
+// are untouched), publish the new pair as the next epoch, and drop
+// stale-epoch cache entries. Maintenance passes are serialized; queries
+// keep flowing against the old snapshot until the publish.
+func (s *Server) ApplyEdits(edits []evolve.Edit, theta float64) (evolve.Stats, uint64, error) {
+	s.maintMu.Lock()
+	defer s.maintMu.Unlock()
+
+	snap := s.store.Current()
+	g := snap.View.Graph()
+	g2, err := evolve.ApplyEdits(g, edits, graph.DanglingSelfLoop)
+	if err != nil {
+		return evolve.Stats{}, 0, fmt.Errorf("%w: %v", errBadEdits, err)
+	}
+	if g2.N() != g.N() {
+		return evolve.Stats{}, 0, fmt.Errorf("%w: edits grow the graph from %d to %d nodes (rebuild and restart instead)", errBadEdits, g.N(), g2.N())
+	}
+	opts := snap.View.Index().Options()
+	affected, err := evolve.AffectedOrigins(g2, evolve.Sources(edits), theta, opts.RWR)
+	if err != nil {
+		return evolve.Stats{}, 0, err
+	}
+	next, stats, err := evolve.RefreshSnapshot(g2, snap.View.Index(), affected)
+	if err != nil {
+		return evolve.Stats{}, 0, err
+	}
+	published, err := s.store.Publish(g2, next)
+	if err != nil {
+		return evolve.Stats{}, 0, err
+	}
+	s.cache.DropOtherEpochs(published.Epoch)
+	s.epochSwaps.Add(1)
+	return stats, published.Epoch, nil
+}
