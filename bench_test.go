@@ -8,6 +8,7 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"math/rand"
 	"runtime"
 	"sync"
 	"testing"
@@ -589,4 +590,127 @@ func BenchmarkIndexSaveLoad(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkOverlayApply measures the tentpole claim of the overlay layer:
+// applying a small edit batch as a delta (graph.Overlay.Apply, O(edits))
+// against the full CSR rebuild (evolve.ApplyEdits, O(N+M)) on a ≥100k-edge
+// graph. The expected shape is a ≥50× gap that widens with graph size; the
+// overlay/rebuild answer equivalence is enforced by the differential suite
+// in internal/evolve, and by rtkbench -exp evolve -json which records both
+// timings plus an oracle check in BENCH_evolve.json.
+func BenchmarkOverlayApply(b *testing.B) {
+	g, err := gen.RMAT(14, 8, 0.57, 0.19, 0.19, 0.05, 404) // 16384 nodes, ~131k edges
+	if err != nil {
+		b.Fatal(err)
+	}
+	edits := overlayBenchBatch(g, 10, 505)
+	b.Logf("graph: n=%d m=%d, batch=%d edits", g.N(), g.M(), len(edits))
+	b.Run("overlay", func(b *testing.B) {
+		o := graph.NewOverlay(g)
+		for i := 0; i < b.N; i++ {
+			if _, err := o.Apply(edits); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("rebuild", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := evolve.ApplyEdits(g, edits, graph.DanglingSelfLoop); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("compact", func(b *testing.B) {
+		o := graph.NewOverlay(g)
+		o, err := o.Apply(edits)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			if _, err := o.Compact(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkOverlayPMPN compares the sharded PMPN matvec on a pure CSR
+// against the same graph behind a 10-edit overlay and behind the generic
+// interface path — the "no regression on the pure-CSR path" guard for the
+// View abstraction (the csr series must match BenchmarkParallelPMPN, and
+// the overlay series should sit within a few percent of it).
+func BenchmarkOverlayPMPN(b *testing.B) {
+	g, err := gen.WebGraph(4000, 11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	edits := overlayBenchBatch(g, 10, 606)
+	o := graph.NewOverlay(g)
+	o, err = o.Apply(edits)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g2, err := evolve.ApplyEdits(g, edits, graph.DanglingSelfLoop)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := rwr.DefaultParams()
+	workers := runtime.GOMAXPROCS(0)
+	b.Run("csr", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := rwr.ProximityToParallel(g2, graph.NodeID(i%g2.N()), p, workers); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("overlay", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := rwr.ProximityToParallel(o, graph.NodeID(i%o.N()), p, workers); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("generic", func(b *testing.B) {
+		// A wrapper whose dynamic type is neither *graph.Graph nor
+		// *graph.Overlay: the kernels' type switch cannot unwrap it, so
+		// this genuinely measures the generic fallback loops.
+		v := opaqueView{o}
+		for i := 0; i < b.N; i++ {
+			if _, err := rwr.ProximityToParallel(v, graph.NodeID(i%v.N()), p, workers); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// opaqueView hides the concrete view type from the kernels' type switch,
+// forcing the generic fallback path (what an out-of-tree View would hit).
+type opaqueView struct{ graph.View }
+
+// overlayBenchBatch builds a mixed insert/remove batch against g.
+func overlayBenchBatch(g *graph.Graph, size int, seed int64) []evolve.Edit {
+	rng := rand.New(rand.NewSource(seed))
+	var edits []evolve.Edit
+	seen := map[[2]graph.NodeID]bool{}
+	for len(edits) < size {
+		u := graph.NodeID(rng.Intn(g.N()))
+		if rng.Intn(2) == 0 && g.OutDegree(u) > 1 {
+			nbrs := g.OutNeighbors(u)
+			v := nbrs[rng.Intn(len(nbrs))]
+			if seen[[2]graph.NodeID{u, v}] {
+				continue
+			}
+			seen[[2]graph.NodeID{u, v}] = true
+			edits = append(edits, evolve.Edit{From: u, To: v, Remove: true})
+		} else {
+			v := graph.NodeID(rng.Intn(g.N()))
+			if u == v || g.HasEdge(u, v) || seen[[2]graph.NodeID{u, v}] {
+				continue
+			}
+			seen[[2]graph.NodeID{u, v}] = true
+			edits = append(edits, evolve.Edit{From: u, To: v})
+		}
+	}
+	return edits
 }

@@ -31,6 +31,7 @@ func main() {
 		scale   = flag.Int("scale", 1, "graph size multiplier (paper sizes ≈ 5–400)")
 		queries = flag.Int("queries", 0, "query workload size override (0 = experiment default; paper: 500)")
 		workers = flag.Int("workers", 1, "intra-query workers for the fig5/fig6 query sweep (0 = all cores)")
+		jsonOut = flag.String("json", "", "evolve experiment: also run the edit-throughput bench and write BENCH_evolve.json to this path")
 		verbose = flag.Bool("v", false, "print progress while running")
 	)
 	flag.Parse()
@@ -164,17 +165,31 @@ func main() {
 	}
 
 	if run("evolve") {
-		header("Extension: evolving graphs (§7 future work) — incremental refresh vs rebuild")
 		cfg := exp.DefaultEvolveConfig(*scale)
 		if *queries > 0 {
 			cfg.Queries = *queries
 		}
-		rows, err := exp.RunEvolveStudy(cfg, progress)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := exp.WriteEvolveStudy(os.Stdout, rows); err != nil {
-			log.Fatal(err)
+		if *jsonOut != "" {
+			header("Extension: evolving graphs — overlay edit throughput + incremental refresh vs rebuild")
+			res, err := exp.RunEvolveBench(cfg, progress)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := exp.WriteEvolveBench(os.Stdout, res, *jsonOut); err != nil {
+				log.Fatal(err)
+			}
+			if err := exp.WriteEvolveStudy(os.Stdout, res.Refresh); err != nil {
+				log.Fatal(err)
+			}
+		} else {
+			header("Extension: evolving graphs (§7 future work) — incremental refresh vs rebuild")
+			rows, err := exp.RunEvolveStudy(cfg, progress)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := exp.WriteEvolveStudy(os.Stdout, rows); err != nil {
+				log.Fatal(err)
+			}
 		}
 	}
 

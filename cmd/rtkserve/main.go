@@ -15,6 +15,12 @@
 //	GET  /healthz
 //	POST /v1/edits        {"edits":[{"from":1,"to":2},{"from":3,"to":4,"remove":true}],"theta":0}
 //
+// Edits are asynchronous by default: the POST returns 202 with a journal
+// watermark and a single maintenance goroutine applies batches to the graph
+// overlay in the background (queries never block); pass "wait":true in the
+// body for synchronous edit-then-read semantics. Track progress via
+// /v1/stats (applied_watermark, overlay_delta_edges, compactions).
+//
 // On SIGTERM/SIGINT the daemon drains gracefully: /healthz flips to 503,
 // the listener stops accepting, in-flight requests finish (bounded by
 // -drain), then the process exits 0.
@@ -41,15 +47,16 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("rtkserve: ")
 	var (
-		graphPath   = flag.String("graph", "", "edge-list path (required)")
-		indexPath   = flag.String("index", "", "prebuilt index path (omit to build at startup)")
-		addr        = flag.String("addr", ":7471", "listen address")
-		k           = flag.Int("K", 200, "maximum supported query k when building the index")
-		b           = flag.Int("B", 100, "hub budget when building the index")
-		cacheSize   = flag.Int("cache", serve.DefaultCacheSize, "result cache entries (negative disables caching)")
-		maxInflight = flag.Int("max-inflight", 0, "max concurrent engine computations (0 = 4×GOMAXPROCS)")
-		workers     = flag.Int("workers", 0, "total intra-query worker budget (0 = GOMAXPROCS)")
-		drain       = flag.Duration("drain", 15*time.Second, "graceful drain timeout on SIGTERM")
+		graphPath    = flag.String("graph", "", "edge-list path (required)")
+		indexPath    = flag.String("index", "", "prebuilt index path (omit to build at startup)")
+		addr         = flag.String("addr", ":7471", "listen address")
+		k            = flag.Int("K", 200, "maximum supported query k when building the index")
+		b            = flag.Int("B", 100, "hub budget when building the index")
+		cacheSize    = flag.Int("cache", serve.DefaultCacheSize, "result cache entries (negative disables caching)")
+		maxInflight  = flag.Int("max-inflight", 0, "max concurrent engine computations (0 = 4×GOMAXPROCS)")
+		workers      = flag.Int("workers", 0, "total intra-query worker budget (0 = GOMAXPROCS)")
+		drain        = flag.Duration("drain", 15*time.Second, "graceful drain timeout on SIGTERM")
+		compactAfter = flag.Int("compact-after", 0, "overlay delta edges before background compaction (0 = max(4096, M/8), negative disables)")
 	)
 	flag.Parse()
 	if *graphPath == "" {
@@ -100,6 +107,7 @@ func main() {
 		CacheSize:    *cacheSize,
 		MaxInflight:  *maxInflight,
 		WorkerBudget: *workers,
+		CompactAfter: *compactAfter,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -131,5 +139,6 @@ func main() {
 		log.Fatal(err)
 	}
 	<-drained
+	srv.Close()
 	log.Printf("drained; bye")
 }

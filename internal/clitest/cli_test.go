@@ -182,9 +182,11 @@ func TestServeDaemonEndToEnd(t *testing.T) {
 	// draining its stderr afterwards so the child never blocks on a full
 	// pipe.
 	addrCh := make(chan string, 1)
+	scanDone := make(chan struct{})
 	var logBuf bytes.Buffer
 	var logMu sync.Mutex
 	go func() {
+		defer close(scanDone)
 		sc := bufio.NewScanner(stderr)
 		for sc.Scan() {
 			line := sc.Text()
@@ -255,6 +257,13 @@ func TestServeDaemonEndToEnd(t *testing.T) {
 
 	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
 		t.Fatal(err)
+	}
+	// Let the stderr scanner reach EOF before Wait: Wait closes the pipe,
+	// which could otherwise drop the daemon's final drain log lines.
+	select {
+	case <-scanDone:
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon stderr never reached EOF after SIGTERM")
 	}
 	if err := cmd.Wait(); err != nil {
 		logMu.Lock()

@@ -33,7 +33,7 @@ type BatchResult struct {
 // splits each query across the idle cores instead of leaving them parked.
 //
 // practical toggles the paper-literal decision mode on every worker engine.
-func QueryBatch(g *graph.Graph, idx *lbindex.Index, queries []graph.NodeID, k, workers int, update, practical bool) ([]BatchResult, error) {
+func QueryBatch(g graph.View, idx *lbindex.Index, queries []graph.NodeID, k, workers int, update, practical bool) ([]BatchResult, error) {
 	if k <= 0 || k > idx.K() {
 		return nil, fmt.Errorf("core: k=%d outside [1,%d] supported by the index", k, idx.K())
 	}

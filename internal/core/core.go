@@ -93,7 +93,7 @@ type QueryStats struct {
 // index. Within a single query the engine can itself use multiple cores —
 // see SetWorkers — without changing its answers.
 type Engine struct {
-	g      *graph.Graph
+	g      graph.View
 	idx    *lbindex.Index
 	update bool
 	// workers is the intra-query parallelism degree: the PMPN power
@@ -162,7 +162,7 @@ func (e *Engine) SetMaxRefineSteps(n int) {
 
 // NewEngine creates a query engine. update selects whether refinements are
 // committed back to the index (§4.2.3) — the "update" series of Fig. 5/7.
-func NewEngine(g *graph.Graph, idx *lbindex.Index, update bool) (*Engine, error) {
+func NewEngine(g graph.View, idx *lbindex.Index, update bool) (*Engine, error) {
 	if g.N() != idx.N() {
 		return nil, fmt.Errorf("core: index built for %d nodes, graph has %d", idx.N(), g.N())
 	}
@@ -438,7 +438,7 @@ func (e *Engine) decide(ws *bca.Workspace, u graph.NodeID, k int, puq float64, s
 // vector of every node (the BF method of §3). It is the correctness oracle
 // for the engine and the cost yardstick of Fig. 8. workers ≤ 0 selects
 // GOMAXPROCS.
-func BruteForce(g *graph.Graph, q graph.NodeID, k int, p rwr.Params, workers int) ([]graph.NodeID, error) {
+func BruteForce(g graph.View, q graph.NodeID, k int, p rwr.Params, workers int) ([]graph.NodeID, error) {
 	if int(q) < 0 || int(q) >= g.N() {
 		return nil, fmt.Errorf("core: query node %d out of range [0,%d)", q, g.N())
 	}

@@ -25,7 +25,7 @@ import (
 // entirely against it, so a concurrent snapshot swap can never produce a
 // torn read.
 type View struct {
-	g       *graph.Graph
+	g       graph.View
 	idx     *lbindex.Index
 	engines sync.Pool
 }
@@ -33,7 +33,7 @@ type View struct {
 // NewView binds a graph and index into a shareable read-only view. The pair
 // is validated once here, so engine construction inside the pool cannot
 // fail later.
-func NewView(g *graph.Graph, idx *lbindex.Index) (*View, error) {
+func NewView(g graph.View, idx *lbindex.Index) (*View, error) {
 	// Surface the node-count mismatch (the only constructor error) now.
 	if _, err := NewEngine(g, idx, false); err != nil {
 		return nil, err
@@ -56,8 +56,9 @@ func (v *View) Query(q graph.NodeID, k, workers int) ([]graph.NodeID, QueryStats
 	return e.Query(q, k)
 }
 
-// Graph returns the graph the view queries.
-func (v *View) Graph() *graph.Graph { return v.g }
+// Graph returns the graph view this View queries (a base CSR *graph.Graph
+// or a *graph.Overlay carrying un-compacted edits).
+func (v *View) Graph() graph.View { return v.g }
 
 // Index returns the view's index.
 func (v *View) Index() *lbindex.Index { return v.idx }

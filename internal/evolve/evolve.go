@@ -1,23 +1,30 @@
 // Package evolve implements the paper's stated future work (§7): reverse
 // top-k search on evolving graphs. "The key challenge is how to maintain
-// the index incrementally" — this package provides that maintenance:
+// the index incrementally" — this package provides that maintenance, at
+// two granularities:
 //
-//  1. ApplyEdits rebuilds the (immutable) graph with edge insertions,
-//     deletions and weight changes.
-//  2. AffectedOrigins bounds the blast radius of an edit: changing the
-//     out-edges of source node s changes column s of the transition
-//     matrix, and the proximity vector p_w of origin w changes only in
-//     proportion to how much random-walk mass w sends through s — i.e.
-//     p_w(s). One PMPN run per edited source (Theorem 2) yields these
-//     quantities for ALL origins exactly, and origins with p_w(s) below a
+//  1. Graph: ApplyEdits rebuilds the immutable CSR from scratch (O(N+M),
+//     the reference semantics), while graph.Overlay.Apply realizes the
+//     same edit batch as a delta in O(edits). The differential tests in
+//     this package hold the two equal.
+//  2. Index: AffectedNodes bounds the blast radius of an edit batch:
+//     changing the out-edges of source node s changes column s of the
+//     transition matrix, and the proximity vector p_w of origin w changes
+//     only in proportion to how much random-walk mass w sends through s —
+//     i.e. p_w(s). One PMPN run per edited source (Theorem 2) yields these
+//     quantities for ALL origins exactly; origins with p_w(s) below a
 //     staleness threshold θ keep their (slightly stale) index entries.
-//  3. Refresh recomputes the hub proximity matrix on the new graph and
-//     re-runs the indexing BCA for every affected origin, committing the
-//     results into the existing index.
+//     The same quantity classifies hubs: a hub vector p_h changes only if
+//     p_h(s) > 0 for some edited source, so RefreshPartial recomputes only
+//     the affected hubs' proximity vectors and reuses the rest bit for
+//     bit.
 //
-// With θ = 0 the refresh is equivalent to a full rebuild (every origin
-// that can reach an edited source is refreshed); θ > 0 trades accuracy on
+// With θ = 0 a refresh is equivalent to a full rebuild (every origin that
+// can reach an edited source is refreshed); θ > 0 trades accuracy on
 // far-away origins for speed, with the error vanishing as p_w(s) → 0.
+// The serving daemon (internal/serve) composes these pieces into its
+// asynchronous maintenance pipeline: overlay apply → affected-set
+// computation → partial refresh of an index clone → epoch publish.
 package evolve
 
 import (
@@ -35,18 +42,20 @@ import (
 )
 
 // Edit describes one edge mutation. Weight is used for insertions into
-// weighted graphs (1 if zero); Remove deletes the edge if present.
-type Edit struct {
-	From, To graph.NodeID
-	Weight   float64
-	Remove   bool
-}
+// weighted graphs (1 if zero); Remove deletes the edge if present. It is
+// an alias of graph.EdgeEdit so batches flow between the rebuild path here
+// and graph.Overlay.Apply without conversion.
+type Edit = graph.EdgeEdit
 
 // ApplyEdits rebuilds the graph with the edits applied, in order. Node
 // identifiers are preserved (the node count can grow if an edit names a
 // new node). The dangling policy handles sources whose last out-edge was
 // removed. Removing a non-existent edge is an error, as is inserting a
 // duplicate.
+//
+// This is the O(N+M) reference implementation; graph.Overlay.Apply applies
+// the same batch as an O(edits) delta with identical semantics (under the
+// self-loop policy) and is what the serving pipeline uses.
 func ApplyEdits(g *graph.Graph, edits []Edit, policy graph.DanglingPolicy) (*graph.Graph, error) {
 	type key struct{ u, v graph.NodeID }
 	removed := make(map[key]bool)
@@ -118,10 +127,14 @@ func Sources(edits []Edit) []graph.NodeID {
 	return out
 }
 
-// AffectedOrigins returns every origin w with p_w(s) ≥ θ for at least one
-// edited source s, computed exactly on the NEW graph with one PMPN run per
-// source. θ = 0 returns every origin that reaches any edited source.
-func AffectedOrigins(g2 *graph.Graph, sources []graph.NodeID, theta float64, p rwr.Params) ([]graph.NodeID, error) {
+// AffectedNodes returns, for every node w of the NEW graph, whether
+// p_w(s) ≥ θ for at least one edited source s — computed exactly with one
+// PMPN run per source. θ = 0 flags every node that reaches any edited
+// source. The returned mask drives both origin refreshes (every flagged
+// non-hub origin is re-indexed) and partial hub refreshes (every flagged
+// hub's proximity vector is recomputed); unflagged nodes keep their index
+// entries and hub vectors untouched.
+func AffectedNodes[G graph.View](g2 G, sources []graph.NodeID, theta float64, p rwr.Params) ([]bool, error) {
 	if theta < 0 {
 		return nil, fmt.Errorf("evolve: negative staleness threshold %g", theta)
 	}
@@ -140,6 +153,16 @@ func AffectedOrigins(g2 *graph.Graph, sources []graph.NodeID, theta float64, p r
 			}
 		}
 	}
+	return affected, nil
+}
+
+// AffectedOrigins returns every origin w with p_w(s) ≥ θ for at least one
+// edited source s, sorted ascending. See AffectedNodes.
+func AffectedOrigins[G graph.View](g2 G, sources []graph.NodeID, theta float64, p rwr.Params) ([]graph.NodeID, error) {
+	affected, err := AffectedNodes(g2, sources, theta, p)
+	if err != nil {
+		return nil, err
+	}
 	var out []graph.NodeID
 	for w, a := range affected {
 		if a {
@@ -149,11 +172,13 @@ func AffectedOrigins(g2 *graph.Graph, sources []graph.NodeID, theta float64, p r
 	return out, nil
 }
 
-// Stats reports what a Refresh did.
+// Stats reports what a refresh did.
 type Stats struct {
 	// Affected is the number of origins re-indexed.
 	Affected int
-	// HubsRebuilt is the hub count of the rebuilt hub matrix.
+	// HubsRebuilt is the number of hub proximity vectors recomputed —
+	// every hub for a full Refresh, only the affected ones for
+	// RefreshPartial.
 	HubsRebuilt int
 	// Elapsed is total wall-clock time.
 	Elapsed time.Duration
@@ -166,8 +191,8 @@ type Stats struct {
 // from the old (graph, index) pair for the whole maintenance pass; the
 // caller publishes the returned index (paired with g2) atomically when it
 // is complete. The serving daemon (internal/serve) builds its epoch-swap
-// layer on exactly this call.
-func RefreshSnapshot(g2 *graph.Graph, idx *lbindex.Index, affected []graph.NodeID) (*lbindex.Index, Stats, error) {
+// layer on exactly this call (with RefreshPartial underneath).
+func RefreshSnapshot[G graph.View](g2 G, idx *lbindex.Index, affected []graph.NodeID) (*lbindex.Index, Stats, error) {
 	if g2.N() != idx.N() {
 		return nil, Stats{}, fmt.Errorf("evolve: index built for %d nodes, edited graph has %d (rebuild instead)", idx.N(), g2.N())
 	}
@@ -180,11 +205,11 @@ func RefreshSnapshot(g2 *graph.Graph, idx *lbindex.Index, affected []graph.NodeI
 }
 
 // Refresh brings an index up to date with an edited graph: it recomputes
-// the hub proximity vectors on the new graph (hub vectors are global
-// quantities; with |H| ≪ n this is the cheap part) and re-runs the
-// indexing BCA for every affected origin, committing results in place.
-// Unaffected origins keep their states — exactly stale by less than the
-// refresh threshold used to compute `affected`.
+// EVERY hub proximity vector on the new graph and re-runs the indexing BCA
+// for every affected origin, committing results in place. Unaffected
+// origins keep their states — exactly stale by less than the refresh
+// threshold used to compute `affected`. RefreshPartial is the cheaper
+// variant that also restricts the hub recomputation to affected hubs.
 //
 // Hub IDENTITY is preserved: existing per-node states park ink at the
 // current hubs, so swapping hub membership would orphan that ink. Any node
@@ -193,14 +218,27 @@ func RefreshSnapshot(g2 *graph.Graph, idx *lbindex.Index, affected []graph.NodeI
 // for a drifted degree distribution requires a full rebuild.
 //
 // The index must have been built for a graph with the same node count.
-func Refresh(g2 *graph.Graph, idx *lbindex.Index, affected []graph.NodeID) (Stats, error) {
+func Refresh[G graph.View](g2 G, idx *lbindex.Index, affected []graph.NodeID) (Stats, error) {
+	return RefreshPartial(g2, idx, affected, idx.HubMatrix().Hubs())
+}
+
+// RefreshPartial is Refresh restricted to a known blast radius on the hub
+// side as well: only the proximity vectors of affectedHubs are recomputed
+// (and only their exact top-K columns re-committed); every other hub's
+// rounded column is reused bit for bit (see hub.Rebuild for why that is
+// sound). affectedHubs must be hub nodes; affected origins that are hubs
+// are skipped as before.
+//
+// Unlike Refresh, the graph may have GROWN relative to the index: pass an
+// index pre-sized with lbindex.CloneGrown and list every new node in
+// `affected` so its fresh BCA state is committed here.
+func RefreshPartial[G graph.View](g2 G, idx *lbindex.Index, affected, affectedHubs []graph.NodeID) (Stats, error) {
 	start := time.Now()
 	if g2.N() != idx.N() {
-		return Stats{}, fmt.Errorf("evolve: index built for %d nodes, edited graph has %d (rebuild instead)", idx.N(), g2.N())
+		return Stats{}, fmt.Errorf("evolve: index built for %d nodes, edited graph has %d (grow the clone first)", idx.N(), g2.N())
 	}
 	opts := idx.Options()
-	hubIDs := idx.HubMatrix().Hubs()
-	hm, err := hub.Build(g2, hubIDs, hub.BuildOptions{
+	hm, err := hub.Rebuild(g2, idx.HubMatrix(), affectedHubs, hub.BuildOptions{
 		Omega:   opts.Omega,
 		RWR:     opts.RWR,
 		TopK:    opts.K,
@@ -212,9 +250,8 @@ func Refresh(g2 *graph.Graph, idx *lbindex.Index, affected []graph.NodeID) (Stat
 	if err := idx.SetHubMatrix(hm); err != nil {
 		return Stats{}, err
 	}
-	// Hub vectors changed, so every hub's exact top-K column is refreshed
-	// unconditionally (|H| ≪ n keeps this cheap).
-	for _, h := range hubIDs {
+	// Only recomputed hub vectors can change their exact top-K column.
+	for _, h := range affectedHubs {
 		idx.CommitHub(h, hm.ExactTopK(h))
 	}
 
@@ -258,7 +295,7 @@ func Refresh(g2 *graph.Graph, idx *lbindex.Index, affected []graph.NodeID) (Stat
 	}
 	return Stats{
 		Affected:    len(affected),
-		HubsRebuilt: hm.NumHubs(),
+		HubsRebuilt: len(affectedHubs),
 		Elapsed:     time.Since(start),
 	}, nil
 }

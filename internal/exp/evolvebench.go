@@ -1,31 +1,35 @@
 package exp
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"math/rand"
+	"os"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/evolve"
+	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/lbindex"
+	"repro/internal/rwr"
 	"repro/internal/workload"
 )
 
 // EvolveRow reports incremental index maintenance (the paper's §7 future
 // work, implemented in package evolve) for one staleness threshold θ.
 type EvolveRow struct {
-	Theta float64
+	Theta float64 `json:"theta"`
 	// Affected is the number of origins re-indexed at this θ.
-	Affected int
+	Affected int `json:"affected"`
 	// RefreshTime is the incremental maintenance cost; RebuildTime the
 	// from-scratch alternative.
-	RefreshTime time.Duration
-	RebuildTime time.Duration
+	RefreshTime time.Duration `json:"refresh_ns"`
+	RebuildTime time.Duration `json:"rebuild_ns"`
 	// Jaccard compares post-refresh answers against a fresh rebuild.
-	Jaccard float64
-	Queries int
+	Jaccard float64 `json:"jaccard"`
+	Queries int     `json:"queries"`
 }
 
 // EvolveConfig parameterizes the study.
@@ -58,7 +62,7 @@ func DefaultEvolveConfig(scale int) EvolveConfig {
 }
 
 // randomEdits produces a valid mix of insertions and deletions.
-func randomEdits(g *graph.Graph, count int, seed int64) []evolve.Edit {
+func randomEdits(g graph.View, count int, seed int64) []evolve.Edit {
 	rng := rand.New(rand.NewSource(seed))
 	var edits []evolve.Edit
 	touched := map[graph.NodeID]bool{}
@@ -184,4 +188,192 @@ func WriteEvolveStudy(w io.Writer, rows []EvolveRow) error {
 			r.Theta, r.Affected, r.RefreshTime.Round(time.Millisecond), r.RebuildTime.Round(time.Millisecond), r.Jaccard, r.Queries)
 	}
 	return tw.Flush()
+}
+
+// EvolveBenchResult is the machine-readable edit-throughput record emitted
+// as BENCH_evolve.json (rtkbench -exp evolve -json <path>), so the perf
+// trajectory of the maintenance pipeline has durable data points: overlay
+// apply vs full rebuild on a ≥100k-edge graph, compaction cost, and the
+// staleness-threshold refresh sweep.
+type EvolveBenchResult struct {
+	GraphNodes int `json:"graph_nodes"`
+	GraphEdges int `json:"graph_edges"`
+	BatchEdits int `json:"batch_edits"`
+	Batches    int `json:"batches"`
+	// Per-batch apply costs.
+	OverlayApplyNS int64   `json:"overlay_apply_ns"`
+	RebuildNS      int64   `json:"rebuild_ns"`
+	ApplySpeedup   float64 `json:"apply_speedup"`
+	EditsPerSec    float64 `json:"edits_per_sec_overlay"`
+	// CompactNS is one overlay→CSR fold after all batches.
+	CompactNS int64 `json:"compact_ns"`
+	// OracleEquivalent records the end-of-run check that the compacted
+	// overlay chain equals the rebuild chain (adjacency + one bitwise
+	// PMPN matvec).
+	OracleEquivalent bool `json:"oracle_equivalent"`
+	// Refresh is the incremental-refresh-vs-rebuild sweep on the study
+	// graph (durations in nanoseconds).
+	Refresh []EvolveRow `json:"refresh"`
+}
+
+// RunEvolveBench measures edit throughput of the overlay layer on an RMAT
+// graph with ≥100k edges: it chains `Batches` batches of `BatchEdits`
+// random edits through both the O(edits) overlay apply and the O(N+M)
+// rebuild, timing each, verifies the two chains stay equivalent, and times
+// one compaction. The refresh sweep rows come from RunEvolveStudy on the
+// (smaller) study graph.
+func RunEvolveBench(cfg EvolveConfig, progress io.Writer) (*EvolveBenchResult, error) {
+	const (
+		rmatScale  = 14 // 16384 nodes
+		edgeFactor = 8  // ~131k edges before dedup
+		batchEdits = 10
+		batches    = 20
+	)
+	g, err := gen.RMAT(rmatScale, edgeFactor, 0.57, 0.19, 0.19, 0.05, 404)
+	if err != nil {
+		return nil, err
+	}
+	res := &EvolveBenchResult{
+		GraphNodes: g.N(),
+		GraphEdges: g.M(),
+		BatchEdits: batchEdits,
+		Batches:    batches,
+	}
+
+	// Chain the same batches through both implementations.
+	ov := graph.NewOverlay(g)
+	rebuilt := g
+	var overlayNS, rebuildNS int64
+	for i := 0; i < batches; i++ {
+		edits := randomEdits(ov, batchEdits, 505+int64(i))
+		start := time.Now()
+		next, err := ov.Apply(edits)
+		if err != nil {
+			return nil, fmt.Errorf("exp: overlay batch %d: %w", i, err)
+		}
+		overlayNS += int64(time.Since(start))
+		ov = next
+
+		start = time.Now()
+		rebuilt, err = evolve.ApplyEdits(rebuilt, edits, graph.DanglingSelfLoop)
+		if err != nil {
+			return nil, fmt.Errorf("exp: rebuild batch %d: %w", i, err)
+		}
+		rebuildNS += int64(time.Since(start))
+	}
+	res.OverlayApplyNS = overlayNS / batches
+	res.RebuildNS = rebuildNS / batches
+	if overlayNS > 0 {
+		res.ApplySpeedup = float64(rebuildNS) / float64(overlayNS)
+		res.EditsPerSec = float64(batches*batchEdits) / (float64(overlayNS) / 1e9)
+	}
+
+	start := time.Now()
+	compacted, err := ov.Compact()
+	if err != nil {
+		return nil, err
+	}
+	res.CompactNS = int64(time.Since(start))
+	res.OracleEquivalent = viewsAgree(rebuilt, ov) && viewsAgree(rebuilt, compacted)
+	if !res.OracleEquivalent {
+		return nil, fmt.Errorf("exp: overlay chain diverged from rebuild chain")
+	}
+	if progress != nil {
+		fmt.Fprintf(progress, "evolve-bench: n=%d m=%d apply=%v rebuild=%v speedup=%.0fx compact=%v\n",
+			res.GraphNodes, res.GraphEdges,
+			time.Duration(res.OverlayApplyNS).Round(time.Microsecond),
+			time.Duration(res.RebuildNS).Round(time.Microsecond),
+			res.ApplySpeedup, time.Duration(res.CompactNS).Round(time.Millisecond))
+	}
+
+	rows, err := RunEvolveStudy(cfg, progress)
+	if err != nil {
+		return nil, err
+	}
+	res.Refresh = rows
+	return res, nil
+}
+
+// viewsAgree checks adjacency equality on BOTH sides plus one bitwise
+// matvec per kernel family (gather-over-out and gather-over-in) on a
+// deterministic probe vector — cheap but sharp: any divergent edge,
+// weight or normalizer on either adjacency side shifts some output
+// coordinate.
+func viewsAgree(a, b graph.View) bool {
+	if a.N() != b.N() || a.M() != b.M() {
+		return false
+	}
+	for u := graph.NodeID(0); int(u) < a.N(); u++ {
+		ao, bo := a.OutNeighbors(u), b.OutNeighbors(u)
+		if len(ao) != len(bo) {
+			return false
+		}
+		for i := range ao {
+			if ao[i] != bo[i] {
+				return false
+			}
+		}
+		if a.TotalOutWeight(u) != b.TotalOutWeight(u) {
+			return false
+		}
+		ai, bi := a.InNeighbors(u), b.InNeighbors(u)
+		if len(ai) != len(bi) {
+			return false
+		}
+		for i := range ai {
+			if ai[i] != bi[i] {
+				return false
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(7))
+	x := make([]float64, a.N())
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	da, db := make([]float64, a.N()), make([]float64, a.N())
+	rwr.MulTransitionT(a, x, da)
+	rwr.MulTransitionT(b, x, db)
+	for i := range da {
+		if da[i] != db[i] {
+			return false
+		}
+	}
+	rwr.MulTransitionRange(a, x, da, 0, a.N())
+	rwr.MulTransitionRange(b, x, db, 0, b.N())
+	for i := range da {
+		if da[i] != db[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// WriteEvolveBench renders the throughput numbers and writes the JSON
+// record to jsonPath when non-empty.
+func WriteEvolveBench(w io.Writer, res *EvolveBenchResult, jsonPath string) error {
+	tw := newTable(w)
+	fmt.Fprintln(tw, "graph_nodes\tgraph_edges\tbatch\toverlay_apply\trebuild\tspeedup\tedits/sec\tcompact\toracle")
+	fmt.Fprintf(tw, "%d\t%d\t%d\t%v\t%v\t%.0fx\t%.0f\t%v\t%v\n",
+		res.GraphNodes, res.GraphEdges, res.BatchEdits,
+		time.Duration(res.OverlayApplyNS).Round(time.Microsecond),
+		time.Duration(res.RebuildNS).Round(time.Microsecond),
+		res.ApplySpeedup, res.EditsPerSec,
+		time.Duration(res.CompactNS).Round(time.Millisecond),
+		res.OracleEquivalent)
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if jsonPath == "" {
+		return nil
+	}
+	blob, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s\n", jsonPath)
+	return nil
 }

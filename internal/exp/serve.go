@@ -79,6 +79,7 @@ func RunServeSmoke(cfg ServeConfig, progress io.Writer) ([]ServeRow, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer srv.Close()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, err

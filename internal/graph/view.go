@@ -1,0 +1,49 @@
+package graph
+
+// View is the read-only operator surface every RWR/BCA consumer needs from a
+// graph: exactly the accessors of the immutable CSR Graph, factored into an
+// interface so the same algorithms run unchanged over a base CSR or over a
+// CSR-plus-delta Overlay.
+//
+// All slice-returning methods alias internal storage and must not be
+// modified by callers. Implementations must be safe for concurrent readers
+// (both Graph and Overlay are immutable once published).
+//
+// The hot numeric kernels (package rwr) do not pay interface dispatch per
+// node for the common cases: they type-switch to concrete *Graph and
+// *Overlay loops and fall back to the generic code only for third-party
+// implementations.
+type View interface {
+	// N returns the number of nodes.
+	N() int
+	// M returns the number of directed edges.
+	M() int
+	// Weighted reports whether the view carries explicit edge weights.
+	Weighted() bool
+	// OutDegree returns the number of out-edges of u.
+	OutDegree(u NodeID) int
+	// InDegree returns the number of in-edges of u.
+	InDegree(u NodeID) int
+	// OutNeighbors returns u's out-neighbors, strictly sorted ascending.
+	OutNeighbors(u NodeID) []NodeID
+	// InNeighbors returns u's in-neighbors, sorted ascending.
+	InNeighbors(u NodeID) []NodeID
+	// OutWeightsOf returns weights aligned with OutNeighbors(u), or nil
+	// when every edge of u weighs 1.
+	OutWeightsOf(u NodeID) []float64
+	// InWeightsOf returns weights aligned with InNeighbors(u), or nil when
+	// every in-edge of u weighs 1.
+	InWeightsOf(u NodeID) []float64
+	// TotalOutWeight returns the transition-matrix column normalizer of u:
+	// the sum of u's out-edge weights (== out-degree when unweighted).
+	TotalOutWeight(u NodeID) float64
+	// HasEdge reports whether the directed edge u→v exists.
+	HasEdge(u, v NodeID) bool
+	// EdgeWeight returns the weight of u→v, or 0 if the edge is absent.
+	EdgeWeight(u, v NodeID) float64
+}
+
+var (
+	_ View = (*Graph)(nil)
+	_ View = (*Overlay)(nil)
+)

@@ -22,7 +22,7 @@ import (
 // SelectByDegree implements the paper's hub selection (§4.1.1): the union
 // of the B highest in-degree and B highest out-degree nodes. It is
 // independent of graph size and hub count, unlike the greedy scheme.
-func SelectByDegree(g *graph.Graph, b int) []graph.NodeID {
+func SelectByDegree[G graph.View](g G, b int) []graph.NodeID {
 	seen := make(map[graph.NodeID]bool, 2*b)
 	var hubs []graph.NodeID
 	for _, u := range graph.TopByInDegree(g, b) {
@@ -45,7 +45,7 @@ func SelectByDegree(g *graph.Graph, b int) []graph.NodeID {
 // baseline: repeatedly run (hub-aware) BCA from a random start node and
 // promote the non-hub node with the most retained ink to hub status, until
 // `count` hubs are chosen. Deterministic for a fixed seed.
-func SelectGreedy(g *graph.Graph, count int, cfg bca.Config, seed int64) ([]graph.NodeID, error) {
+func SelectGreedy[G graph.View](g G, count int, cfg bca.Config, seed int64) ([]graph.NodeID, error) {
 	if count > g.N() {
 		count = g.N()
 	}
@@ -139,7 +139,7 @@ type BuildOptions struct {
 
 // Build computes the exact proximity vector of every hub with the power
 // method (Algorithm 1 line 2), rounds it at ω, and assembles the matrix.
-func Build(g *graph.Graph, hubs []graph.NodeID, opts BuildOptions) (*Matrix, error) {
+func Build[G graph.View](g G, hubs []graph.NodeID, opts BuildOptions) (*Matrix, error) {
 	if err := opts.RWR.Validate(); err != nil {
 		return nil, err
 	}
@@ -173,9 +173,30 @@ func Build(g *graph.Graph, hubs []graph.NodeID, opts BuildOptions) (*Matrix, err
 		m.pos[h] = int32(i)
 	}
 
+	cols := make([]int, len(hubs))
+	for i := range cols {
+		cols[i] = i
+	}
+	if err := computeColumns(m, g, cols, opts); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// computeColumns fills the given column positions of the matrix — exact
+// vector via the power method, unrounded top-K, rounding at ω, dropped
+// mass — across a worker pool. Build computes every column with it and
+// Rebuild only the affected ones, so the two can never drift apart on the
+// per-hub column format (the premise behind Rebuild's bit-for-bit reuse of
+// unaffected columns). A free function because Go methods cannot carry
+// type parameters.
+func computeColumns[G graph.View](m *Matrix, g G, cols []int, opts BuildOptions) error {
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cols) && len(cols) > 0 {
+		workers = len(cols)
 	}
 	var wg sync.WaitGroup
 	var mu sync.Mutex
@@ -203,19 +224,19 @@ func Build(g *graph.Graph, hubs []graph.NodeID, opts BuildOptions) (*Matrix, err
 			}
 		}()
 	}
-	for i := range hubs {
+	for _, i := range cols {
 		jobs <- i
 	}
 	close(jobs)
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return m, nil
+	return firstErr
 }
 
-// IsHub implements bca.HubProximities.
-func (m *Matrix) IsHub(v graph.NodeID) bool { return m.pos[v] >= 0 }
+// IsHub implements bca.HubProximities. Nodes beyond the matrix's node
+// range (added to the graph after the matrix was built) are never hubs.
+func (m *Matrix) IsHub(v graph.NodeID) bool {
+	return int(v) < len(m.pos) && m.pos[v] >= 0
+}
 
 // NumHubs implements bca.HubProximities.
 func (m *Matrix) NumHubs() int { return len(m.hubs) }
@@ -321,4 +342,59 @@ func RoundingErrorBound(n int, omega, beta float64) float64 {
 		return 1
 	}
 	return bound
+}
+
+// Rebuild produces the hub matrix for an edited graph by recomputing ONLY
+// the given affected hubs' proximity vectors and reusing every other hub's
+// rounded column, exact top-K list and dropped-mass record from the old
+// matrix. A hub is affected by an edit batch exactly when it sends
+// random-walk mass through an edited source (p_h(s) > 0 for some edited
+// source s) — every other hub's proximity vector is untouched by the edit,
+// so recomputing it would reproduce the stored values bit for bit.
+//
+// Hub membership is preserved (same hubs, same order). The graph may have
+// grown: new nodes are never hubs, and unaffected hubs cannot reach them
+// (an edge into a new node is an edit, which would have made every hub
+// reaching its source affected).
+func Rebuild[G graph.View](g G, old *Matrix, affected []graph.NodeID, opts BuildOptions) (*Matrix, error) {
+	if err := opts.RWR.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.TopK <= 0 {
+		return nil, fmt.Errorf("hub: TopK must be positive, got %d", opts.TopK)
+	}
+	if g.N() < old.n {
+		return nil, fmt.Errorf("hub: rebuild graph has %d nodes, matrix covers %d (graphs only grow)", g.N(), old.n)
+	}
+	m := &Matrix{
+		n:         g.N(),
+		hubs:      old.hubs,
+		pos:       make([]int32, g.N()),
+		cols:      append([]vecmath.Sparse(nil), old.cols...),
+		omega:     old.omega,
+		exactTopK: append([][]float64(nil), old.exactTopK...),
+		droppedL1: append([]float64(nil), old.droppedL1...),
+	}
+	for i := range m.pos {
+		m.pos[i] = -1
+	}
+	for i, h := range m.hubs {
+		m.pos[h] = int32(i)
+	}
+
+	cols := make([]int, 0, len(affected))
+	for _, h := range affected {
+		p := int32(-1)
+		if int(h) < len(m.pos) {
+			p = m.pos[h]
+		}
+		if p < 0 {
+			return nil, fmt.Errorf("hub: affected node %d is not a hub", h)
+		}
+		cols = append(cols, int(p))
+	}
+	if err := computeColumns(m, g, cols, opts); err != nil {
+		return nil, err
+	}
+	return m, nil
 }

@@ -193,7 +193,7 @@ type BuildStats struct {
 // Build runs Algorithm 1: select hubs, compute their exact proximity
 // vectors, then run partial batch-BCA from every non-hub node, keeping the
 // top-K lower bounds and the resumable state.
-func Build(g *graph.Graph, opts Options) (*Index, BuildStats, error) {
+func Build[G graph.View](g G, opts Options) (*Index, BuildStats, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, BuildStats{}, err
 	}
@@ -484,6 +484,34 @@ func (idx *Index) Clone() *Index {
 		hubs:   hm,
 		phat:   append([][]float64(nil), idx.phat...),
 		states: append([]*bca.State(nil), idx.states...),
+	}
+	c.refinements.Store(idx.refinements.Load())
+	return c
+}
+
+// CloneGrown returns a Clone extended to cover n2 ≥ N() nodes: the new
+// origins' p̂ columns and states are unset and MUST be committed (via
+// Commit, typically through an evolve refresh that lists every new node as
+// affected) before the clone serves queries — reading an uncommitted new
+// row panics. Node growth never changes hub membership: new nodes are
+// plain origins with fresh BCA runs.
+func (idx *Index) CloneGrown(n2 int) *Index {
+	if n2 < idx.n {
+		panic(fmt.Sprintf("lbindex: CloneGrown shrinking %d → %d nodes", idx.n, n2))
+	}
+	idx.lockAll()
+	defer idx.unlockAll()
+	hm := idx.HubMatrix()
+	phat := make([][]float64, n2)
+	copy(phat, idx.phat)
+	states := make([]*bca.State, n2)
+	copy(states, idx.states)
+	c := &Index{
+		opts:   idx.opts,
+		n:      n2,
+		hubs:   hm,
+		phat:   phat,
+		states: states,
 	}
 	c.refinements.Store(idx.refinements.Load())
 	return c

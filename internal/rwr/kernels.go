@@ -1,0 +1,195 @@
+package rwr
+
+import (
+	"repro/internal/graph"
+)
+
+// This file holds the concrete matvec loop bodies behind the generic
+// transition operators. The exported kernels (MulTransition and friends)
+// are generic over graph.View so every consumer — engines, the index
+// builder, the maintenance pipeline — runs on a base CSR or an Overlay
+// unchanged; but generic method calls on pointer-shaped type parameters go
+// through a dictionary and defeat inlining, so the exported entry points
+// type-switch to these devirtualized loops for the two in-tree view types.
+// Each loop accumulates in exactly the same neighbor order, so CSR,
+// overlay and generic paths produce bit-identical vectors.
+
+func mulTransitionTRangeCSR(g *graph.Graph, x, dst []float64, lo, hi int) {
+	for u := graph.NodeID(lo); int(u) < hi; u++ {
+		nbrs := g.OutNeighbors(u)
+		ws := g.OutWeightsOf(u)
+		var acc float64
+		if ws == nil {
+			for _, v := range nbrs {
+				acc += x[v]
+			}
+			acc /= float64(len(nbrs))
+		} else {
+			for i, v := range nbrs {
+				acc += ws[i] * x[v]
+			}
+			acc /= g.TotalOutWeight(u)
+		}
+		dst[u] = acc
+	}
+}
+
+func mulTransitionTRangeOverlay(g *graph.Overlay, x, dst []float64, lo, hi int) {
+	for u := graph.NodeID(lo); int(u) < hi; u++ {
+		nbrs := g.OutNeighbors(u)
+		ws := g.OutWeightsOf(u)
+		var acc float64
+		if ws == nil {
+			for _, v := range nbrs {
+				acc += x[v]
+			}
+			acc /= float64(len(nbrs))
+		} else {
+			for i, v := range nbrs {
+				acc += ws[i] * x[v]
+			}
+			acc /= g.TotalOutWeight(u)
+		}
+		dst[u] = acc
+	}
+}
+
+func mulTransitionTRangeGeneric[G graph.View](g G, x, dst []float64, lo, hi int) {
+	for u := graph.NodeID(lo); int(u) < hi; u++ {
+		nbrs := g.OutNeighbors(u)
+		ws := g.OutWeightsOf(u)
+		var acc float64
+		if ws == nil {
+			for _, v := range nbrs {
+				acc += x[v]
+			}
+			acc /= float64(len(nbrs))
+		} else {
+			for i, v := range nbrs {
+				acc += ws[i] * x[v]
+			}
+			acc /= g.TotalOutWeight(u)
+		}
+		dst[u] = acc
+	}
+}
+
+func mulTransitionRangeCSR(g *graph.Graph, x, dst []float64, lo, hi int) {
+	for v := graph.NodeID(lo); int(v) < hi; v++ {
+		nbrs := g.InNeighbors(v)
+		ws := g.InWeightsOf(v)
+		var acc float64
+		if ws == nil {
+			for _, u := range nbrs {
+				acc += x[u] / g.TotalOutWeight(u)
+			}
+		} else {
+			for i, u := range nbrs {
+				acc += ws[i] * x[u] / g.TotalOutWeight(u)
+			}
+		}
+		dst[v] = acc
+	}
+}
+
+func mulTransitionRangeOverlay(g *graph.Overlay, x, dst []float64, lo, hi int) {
+	for v := graph.NodeID(lo); int(v) < hi; v++ {
+		nbrs := g.InNeighbors(v)
+		ws := g.InWeightsOf(v)
+		var acc float64
+		if ws == nil {
+			for _, u := range nbrs {
+				acc += x[u] / g.TotalOutWeight(u)
+			}
+		} else {
+			for i, u := range nbrs {
+				acc += ws[i] * x[u] / g.TotalOutWeight(u)
+			}
+		}
+		dst[v] = acc
+	}
+}
+
+func mulTransitionRangeGeneric[G graph.View](g G, x, dst []float64, lo, hi int) {
+	for v := graph.NodeID(lo); int(v) < hi; v++ {
+		nbrs := g.InNeighbors(v)
+		ws := g.InWeightsOf(v)
+		var acc float64
+		if ws == nil {
+			for _, u := range nbrs {
+				acc += x[u] / g.TotalOutWeight(u)
+			}
+		} else {
+			for i, u := range nbrs {
+				acc += ws[i] * x[u] / g.TotalOutWeight(u)
+			}
+		}
+		dst[v] = acc
+	}
+}
+
+func mulTransitionCSR(g *graph.Graph, x, dst []float64) {
+	for u := graph.NodeID(0); int(u) < g.N(); u++ {
+		base := x[u]
+		if base == 0 {
+			continue
+		}
+		nbrs := g.OutNeighbors(u)
+		ws := g.OutWeightsOf(u)
+		if ws == nil {
+			share := base / float64(len(nbrs))
+			for _, v := range nbrs {
+				dst[v] += share
+			}
+		} else {
+			inv := base / g.TotalOutWeight(u)
+			for i, v := range nbrs {
+				dst[v] += inv * ws[i]
+			}
+		}
+	}
+}
+
+func mulTransitionOverlay(g *graph.Overlay, x, dst []float64) {
+	for u := graph.NodeID(0); int(u) < g.N(); u++ {
+		base := x[u]
+		if base == 0 {
+			continue
+		}
+		nbrs := g.OutNeighbors(u)
+		ws := g.OutWeightsOf(u)
+		if ws == nil {
+			share := base / float64(len(nbrs))
+			for _, v := range nbrs {
+				dst[v] += share
+			}
+		} else {
+			inv := base / g.TotalOutWeight(u)
+			for i, v := range nbrs {
+				dst[v] += inv * ws[i]
+			}
+		}
+	}
+}
+
+func mulTransitionGeneric[G graph.View](g G, x, dst []float64) {
+	for u := graph.NodeID(0); int(u) < g.N(); u++ {
+		base := x[u]
+		if base == 0 {
+			continue
+		}
+		nbrs := g.OutNeighbors(u)
+		ws := g.OutWeightsOf(u)
+		if ws == nil {
+			share := base / float64(len(nbrs))
+			for _, v := range nbrs {
+				dst[v] += share
+			}
+		} else {
+			inv := base / g.TotalOutWeight(u)
+			for i, v := range nbrs {
+				dst[v] += inv * ws[i]
+			}
+		}
+	}
+}

@@ -19,7 +19,7 @@ const MaxMatrixNodes = 20000
 // and is deliberately expensive: O(n·m) per full build.
 //
 // workers ≤ 0 selects GOMAXPROCS.
-func ProximityMatrix(g *graph.Graph, p Params, workers int) ([][]float64, error) {
+func ProximityMatrix[G graph.View](g G, p Params, workers int) ([][]float64, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}

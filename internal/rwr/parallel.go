@@ -14,29 +14,20 @@ import (
 // covering [0, n) with disjoint ranges — in any partition — reproduces
 // MulTransitionT bit for bit. This is the unit of work of the parallel PMPN
 // iteration.
-func MulTransitionTRange(g *graph.Graph, x, dst []float64, lo, hi int) {
+func MulTransitionTRange[G graph.View](g G, x, dst []float64, lo, hi int) {
 	if len(x) != g.N() || len(dst) != g.N() {
 		panic(fmt.Sprintf("rwr: MulTransitionTRange dimension mismatch: n=%d len(x)=%d len(dst)=%d", g.N(), len(x), len(dst)))
 	}
 	if lo < 0 || hi > g.N() || lo > hi {
 		panic(fmt.Sprintf("rwr: MulTransitionTRange range [%d,%d) outside [0,%d)", lo, hi, g.N()))
 	}
-	for u := graph.NodeID(lo); int(u) < hi; u++ {
-		nbrs := g.OutNeighbors(u)
-		ws := g.OutWeightsOf(u)
-		var acc float64
-		if ws == nil {
-			for _, v := range nbrs {
-				acc += x[v]
-			}
-			acc /= float64(len(nbrs))
-		} else {
-			for i, v := range nbrs {
-				acc += ws[i] * x[v]
-			}
-			acc /= g.TotalOutWeight(u)
-		}
-		dst[u] = acc
+	switch cg := any(g).(type) {
+	case *graph.Graph:
+		mulTransitionTRangeCSR(cg, x, dst, lo, hi)
+	case *graph.Overlay:
+		mulTransitionTRangeOverlay(cg, x, dst, lo, hi)
+	default:
+		mulTransitionTRangeGeneric(g, x, dst, lo, hi)
 	}
 }
 
@@ -50,27 +41,20 @@ func MulTransitionTRange(g *graph.Graph, x, dst []float64, lo, hi int) {
 // partition of [0, n), at the price of differing from the scatter result by
 // a few ulps (the additions associate differently). The parallel power
 // method builds on this form.
-func MulTransitionRange(g *graph.Graph, x, dst []float64, lo, hi int) {
+func MulTransitionRange[G graph.View](g G, x, dst []float64, lo, hi int) {
 	if len(x) != g.N() || len(dst) != g.N() {
 		panic(fmt.Sprintf("rwr: MulTransitionRange dimension mismatch: n=%d len(x)=%d len(dst)=%d", g.N(), len(x), len(dst)))
 	}
 	if lo < 0 || hi > g.N() || lo > hi {
 		panic(fmt.Sprintf("rwr: MulTransitionRange range [%d,%d) outside [0,%d)", lo, hi, g.N()))
 	}
-	for v := graph.NodeID(lo); int(v) < hi; v++ {
-		nbrs := g.InNeighbors(v)
-		ws := g.InWeightsOf(v)
-		var acc float64
-		if ws == nil {
-			for _, u := range nbrs {
-				acc += x[u] / g.TotalOutWeight(u)
-			}
-		} else {
-			for i, u := range nbrs {
-				acc += ws[i] * x[u] / g.TotalOutWeight(u)
-			}
-		}
-		dst[v] = acc
+	switch cg := any(g).(type) {
+	case *graph.Graph:
+		mulTransitionRangeCSR(cg, x, dst, lo, hi)
+	case *graph.Overlay:
+		mulTransitionRangeOverlay(cg, x, dst, lo, hi)
+	default:
+		mulTransitionRangeGeneric(g, x, dst, lo, hi)
 	}
 }
 
@@ -199,7 +183,7 @@ func normWorkers(workers int) int {
 // order as the sequential sweep and the convergence residual is reduced at
 // fixed block granularity, so the returned vector, residual and iteration
 // count are identical for every worker count.
-func ProximityToParallel(g *graph.Graph, q graph.NodeID, p Params, workers int) (Result, error) {
+func ProximityToParallel[G graph.View](g G, q graph.NodeID, p Params, workers int) (Result, error) {
 	if err := p.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -229,7 +213,7 @@ func ProximityToParallel(g *graph.Graph, q graph.NodeID, p Params, workers int) 
 // every worker count, and agrees with the sequential scatter-based
 // ProximityVector to within the solver tolerance (the additions associate
 // differently, see MulTransitionRange).
-func ProximityVectorParallel(g *graph.Graph, u graph.NodeID, p Params, workers int) (Result, error) {
+func ProximityVectorParallel[G graph.View](g G, u graph.NodeID, p Params, workers int) (Result, error) {
 	if err := p.Validate(); err != nil {
 		return Result{}, err
 	}

@@ -62,37 +62,28 @@ func (p Params) PredictedIters() int {
 
 // MulTransition computes dst = A·x where A is the column-stochastic
 // transition matrix (a_{i,j} = w(j,i)/W(j) for edge j→i). dst is cleared
-// first. Cost O(n+m).
-func MulTransition(g *graph.Graph, x, dst []float64) {
+// first. Cost O(n+m). Generic over graph.View: base CSR graphs and
+// overlays dispatch to devirtualized concrete loops (see kernels.go), so
+// the pure-CSR hot path pays nothing for the abstraction.
+func MulTransition[G graph.View](g G, x, dst []float64) {
 	if len(x) != g.N() || len(dst) != g.N() {
 		panic(fmt.Sprintf("rwr: MulTransition dimension mismatch: n=%d len(x)=%d len(dst)=%d", g.N(), len(x), len(dst)))
 	}
 	vecmath.Zero(dst)
-	for u := graph.NodeID(0); int(u) < g.N(); u++ {
-		base := x[u]
-		if base == 0 {
-			continue
-		}
-		nbrs := g.OutNeighbors(u)
-		ws := g.OutWeightsOf(u)
-		if ws == nil {
-			share := base / float64(len(nbrs))
-			for _, v := range nbrs {
-				dst[v] += share
-			}
-		} else {
-			inv := base / g.TotalOutWeight(u)
-			for i, v := range nbrs {
-				dst[v] += inv * ws[i]
-			}
-		}
+	switch cg := any(g).(type) {
+	case *graph.Graph:
+		mulTransitionCSR(cg, x, dst)
+	case *graph.Overlay:
+		mulTransitionOverlay(cg, x, dst)
+	default:
+		mulTransitionGeneric(g, x, dst)
 	}
 }
 
 // MulTransitionT computes dst = Aᵀ·x. Because (Aᵀx)(u) only needs u's own
 // out-neighbors, this is a gather over out-adjacency: dst[u] =
 // Σ_{v ∈ out(u)} w(u,v)/W(u) · x[v]. dst is cleared first. Cost O(n+m).
-func MulTransitionT(g *graph.Graph, x, dst []float64) {
+func MulTransitionT[G graph.View](g G, x, dst []float64) {
 	if len(x) != g.N() || len(dst) != g.N() {
 		panic(fmt.Sprintf("rwr: MulTransitionT dimension mismatch: n=%d len(x)=%d len(dst)=%d", g.N(), len(x), len(dst)))
 	}
@@ -113,7 +104,7 @@ type Result struct {
 // ProximityVector computes p_u, the RWR proximity from u to every node, by
 // the iterative Power Method of Eq. (12): x ← (1−α)·A·x + α·e_u, starting
 // from e_u. The result is exact up to ε.
-func ProximityVector(g *graph.Graph, u graph.NodeID, p Params) (Result, error) {
+func ProximityVector[G graph.View](g G, u graph.NodeID, p Params) (Result, error) {
 	if err := p.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -133,7 +124,7 @@ func ProximityVector(g *graph.Graph, u graph.NodeID, p Params) (Result, error) {
 // Personalized computes the personalized-PageRank vector P·v for an
 // arbitrary preference distribution v (Eq. 3). v must be non-negative with
 // L1 norm 1.
-func Personalized(g *graph.Graph, v []float64, p Params) (Result, error) {
+func Personalized[G graph.View](g G, v []float64, p Params) (Result, error) {
 	if err := p.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -161,7 +152,7 @@ func Personalized(g *graph.Graph, v []float64, p Params) (Result, error) {
 }
 
 // PageRank computes the global PageRank vector pr = (1/n)·P·e (Eq. 3).
-func PageRank(g *graph.Graph, p Params) (Result, error) {
+func PageRank[G graph.View](g G, p Params) (Result, error) {
 	if g.N() == 0 {
 		return Result{}, errors.New("rwr: empty graph")
 	}
@@ -180,7 +171,7 @@ func PageRank(g *graph.Graph, p Params) (Result, error) {
 // proximity column, which is the paper's key enabling observation.
 //
 // The returned vector r satisfies r[u] = p_u(q).
-func ProximityTo(g *graph.Graph, q graph.NodeID, p Params) (Result, error) {
+func ProximityTo[G graph.View](g G, q graph.NodeID, p Params) (Result, error) {
 	if err := p.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -204,7 +195,7 @@ func ProximityTo(g *graph.Graph, q graph.NodeID, p Params) (Result, error) {
 // of Theorem 2: one PMPN run yields ALL contributions to q exactly.
 //
 // The returned vector c satisfies Σ_u c[u] = PageRank(q).
-func PageRankContributions(g *graph.Graph, q graph.NodeID, p Params) (Result, error) {
+func PageRankContributions[G graph.View](g G, q graph.NodeID, p Params) (Result, error) {
 	res, err := ProximityTo(g, q, p)
 	if err != nil {
 		return Result{}, err

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -10,6 +11,7 @@ import (
 	"strconv"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/evolve"
 	"repro/internal/graph"
@@ -18,31 +20,32 @@ import (
 )
 
 // TestServeConcurrentWithRefresh hammers the server with concurrent
-// queries while maintenance passes (evolve edits + snapshot swaps) run in
-// a loop. Every response must be internally consistent with exactly ONE
-// published epoch: its answer set must equal the brute-force oracle of the
-// graph that was published under the epoch the response claims. A torn
-// read across a swap (proximities from one snapshot screened against
-// bounds of another) would almost surely fail the claimed epoch's oracle.
-// Run under -race this also proves the swap layer is data-race-free.
+// queries while asynchronous maintenance (journaled edit batches applied
+// to the overlay, epoch publishes, and forced background compactions) runs
+// underneath. Every response must be internally consistent with exactly
+// ONE published epoch: its answer set must equal the brute-force oracle of
+// the graph published under the epoch the response claims — and the oracle
+// graphs are built through the INDEPENDENT rebuild path (evolve.ApplyEdits
+// chain), so this is also an end-to-end differential test of the overlay
+// pipeline. A torn read across a swap (proximities from one snapshot
+// screened against bounds of another) would almost surely fail the claimed
+// epoch's oracle. Run under -race this also proves the swap, journal and
+// compaction layers are data-race-free.
 func TestServeConcurrentWithRefresh(t *testing.T) {
 	g := testGraph(t, 41, 48)
 	idx := testIndex(t, g, 6)
 	// MaxInflight must cover every reader: this test asserts 200s, and on a
 	// low-core machine (GOMAXPROCS small) the default 4×GOMAXPROCS limit
-	// could legitimately 503 a burst of readers.
-	s, err := New(g, idx, Config{CacheSize: 32, MaxInflight: 16})
+	// could legitimately 503 a burst of readers. CompactAfter 1 forces a
+	// compaction republish after every batch, so queries also race the
+	// same-epoch view swap.
+	s, err := New(g, idx, Config{CacheSize: 32, MaxInflight: 16, CompactAfter: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(s.Close)
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
-
-	// Every published epoch's graph, recorded by the (single) writer.
-	var (
-		epochMu     sync.Mutex
-		epochGraphs = map[uint64]*graph.Graph{1: g}
-	)
 
 	const (
 		maintenanceRounds = 4
@@ -51,8 +54,13 @@ func TestServeConcurrentWithRefresh(t *testing.T) {
 		requestsPerReader = 30
 	)
 
-	// Writer: apply edit batches and publish snapshots in a loop.
+	// Writer: enqueue async edit batches over HTTP and track, per epoch,
+	// the graph the REBUILD path produces for the same batch chain. Epochs
+	// are deterministic (all batches are valid, compaction keeps the
+	// epoch), so batch i publishes epoch i+2.
+	epochGraphs := map[uint64]*graph.Graph{1: g}
 	writerDone := make(chan struct{})
+	var lastWatermark uint64
 	go func() {
 		defer close(writerDone)
 		rng := rand.New(rand.NewSource(42))
@@ -78,15 +86,37 @@ func TestServeConcurrentWithRefresh(t *testing.T) {
 					edits = append(edits, evolve.Edit{From: u, To: v})
 				}
 			}
-			_, epoch, err := s.ApplyEdits(edits, 0)
+			var wire []EditJSON
+			for _, e := range edits {
+				wire = append(wire, EditJSON{From: e.From, To: e.To, Weight: e.Weight, Remove: e.Remove})
+			}
+			body, _ := json.Marshal(EditsRequest{Edits: wire})
+			resp, err := http.Post(ts.URL+"/v1/edits", "application/json", bytes.NewReader(body))
 			if err != nil {
 				t.Errorf("maintenance round %d: %v", round, err)
 				return
 			}
-			cur = s.Store().Current().View.Graph()
-			epochMu.Lock()
-			epochGraphs[epoch] = cur
-			epochMu.Unlock()
+			raw, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusAccepted {
+				t.Errorf("maintenance round %d: status %d body %s", round, resp.StatusCode, raw)
+				return
+			}
+			var er EditsResponse
+			if err := json.Unmarshal(raw, &er); err != nil {
+				t.Errorf("maintenance round %d: bad body %q", round, raw)
+				return
+			}
+			lastWatermark = er.Watermark
+
+			// Independent oracle chain through the rebuild path.
+			g2, err := evolve.ApplyEdits(cur, edits, graph.DanglingSelfLoop)
+			if err != nil {
+				t.Errorf("oracle rebuild round %d: %v", round, err)
+				return
+			}
+			cur = g2
+			epochGraphs[uint64(round)+2] = g2
 		}
 	}()
 
@@ -144,6 +174,18 @@ func TestServeConcurrentWithRefresh(t *testing.T) {
 	wg.Wait()
 	<-writerDone
 
+	// Drain the journal before verifying.
+	deadline := time.Now().Add(30 * time.Second)
+	for s.AppliedWatermark() < lastWatermark {
+		if time.Now().After(deadline) {
+			t.Fatalf("journal never drained: applied %d of %d", s.AppliedWatermark(), lastWatermark)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st := s.Stats(); st.MaintErrors != 0 {
+		t.Fatalf("maintenance errors during the run: %+v", st)
+	}
+
 	// Verify every sampled response against the oracle of its CLAIMED
 	// epoch. One exact proximity matrix per epoch answers all samples.
 	oracles := map[uint64][][]float64{}
@@ -174,7 +216,7 @@ func TestServeConcurrentWithRefresh(t *testing.T) {
 	if checked != readers*requestsPerReader {
 		t.Errorf("verified %d/%d responses", checked, readers*requestsPerReader)
 	}
-	if len(epochGraphs) != maintenanceRounds+1 {
-		t.Errorf("published %d epochs, want %d", len(epochGraphs), maintenanceRounds+1)
+	if got := s.Stats().Compactions; got != maintenanceRounds {
+		t.Errorf("compactions %d, want %d (CompactAfter=1 forces one per batch)", got, maintenanceRounds)
 	}
 }

@@ -53,7 +53,7 @@ type oracle struct {
 	cols [][]float64
 }
 
-func newOracle(t *testing.T, g *graph.Graph) *oracle {
+func newOracle(t *testing.T, g graph.View) *oracle {
 	t.Helper()
 	cols, err := rwr.ProximityMatrix(g, rwr.DefaultParams(), 0)
 	if err != nil {
@@ -78,6 +78,7 @@ func newTestServer(t *testing.T, g *graph.Graph, idx *lbindex.Index, cfg Config)
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(s.Close)
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	return s, ts
@@ -184,7 +185,7 @@ func TestServePostRefreshMatchesOracle(t *testing.T) {
 			}
 		}
 	}
-	reqBody, _ := json.Marshal(EditsRequest{Edits: edits})
+	reqBody, _ := json.Marshal(EditsRequest{Edits: edits, Wait: true})
 	postResp, err := http.Post(ts.URL+"/v1/edits", "application/json", bytes.NewReader(reqBody))
 	if err != nil {
 		t.Fatal(err)
@@ -207,6 +208,9 @@ func TestServePostRefreshMatchesOracle(t *testing.T) {
 
 	// Served answers now match the oracle of the EDITED graph.
 	g2 := s.Store().Current().View.Graph()
+	if _, ok := g2.(*graph.Overlay); !ok {
+		t.Fatalf("post-edit snapshot serves %T, want *graph.Overlay", g2)
+	}
 	orc2 := newOracle(t, g2)
 	for _, q := range []int{0, 5, 17, 39} {
 		for _, k := range []int{1, 4, 6} {
@@ -293,7 +297,7 @@ func TestServeErrorPaths(t *testing.T) {
 				}
 			}
 		}
-		body, _ := json.Marshal(EditsRequest{Edits: []EditJSON{{From: u, To: v, Remove: true}}})
+		body, _ := json.Marshal(EditsRequest{Edits: []EditJSON{{From: u, To: v, Remove: true}}, Wait: true})
 		resp, err := http.Post(ts.URL+"/v1/edits", "application/json", bytes.NewReader(body))
 		if err != nil {
 			t.Fatal(err)
@@ -368,6 +372,7 @@ func TestServeAdmissionControl(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(s.Close)
 	gateEntered := make(chan struct{}, 8)
 	gateRelease := make(chan struct{})
 	var gateActive, computedWhileInactive atomic.Bool
@@ -431,6 +436,7 @@ func TestServeSingleFlight(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(s.Close)
 	// Hold the first computation at the gate until all clients have sent
 	// their requests, so the identical queries genuinely overlap.
 	const clients = 16

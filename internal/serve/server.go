@@ -32,27 +32,66 @@ type Config struct {
 	// (min 1), so a lone query spreads over all cores while a saturated
 	// server runs one goroutine per query. 0 selects GOMAXPROCS.
 	WorkerBudget int
+	// CompactAfter is the overlay delta size (patched adjacency entries)
+	// past which the maintenance goroutine folds the overlay back into a
+	// fresh CSR after a batch. 0 selects max(4096, M/8) of the initial
+	// graph; negative disables compaction.
+	CompactAfter int
 }
 
 // DefaultCacheSize is the result-cache bound when Config.CacheSize is 0.
 const DefaultCacheSize = 4096
 
-var errSaturated = errors.New("serve: too many in-flight queries")
+var (
+	errSaturated = errors.New("serve: too many in-flight queries")
+	errBadEdits  = errors.New("serve: invalid edits")
+	// ErrClosed is reported by edit batches still queued when the server
+	// shuts down.
+	ErrClosed = errors.New("serve: server closed")
+)
+
+// maxGrowthPerEdit bounds how many fresh node identifiers one edit may
+// introduce: each edit names two endpoints, so a valid growing batch never
+// needs more than 2·len(edits) new ids. Batches jumping further (e.g. one
+// edit naming node 10⁹ on a 10⁴-node graph) are rejected cleanly instead
+// of allocating the id range.
+const maxGrowthPerEdit = 2
 
 // Server is the HTTP serving layer: one snapshot store, one result cache,
-// admission control, and counters. Create with New, mount Handler.
+// admission control, an asynchronous maintenance pipeline, and counters.
+// Create with New, mount Handler, and Close when done (stops the
+// maintenance goroutine).
 type Server struct {
-	store  *Store
-	cache  *Cache
-	budget int
+	store       *Store
+	cache       *Cache
+	budget      int
 	maxInflight int64
 	// active counts currently running engine computations (admitted work,
 	// not raw connections).
 	active   atomic.Int64
 	draining atomic.Bool
-	// maintMu serializes maintenance passes (snapshot production + publish).
-	maintMu sync.Mutex
-	start   time.Time
+	start    time.Time
+
+	// Maintenance pipeline: POST /v1/edits enqueues a journaled batch and
+	// returns a watermark; the single maintenance goroutine drains the
+	// queue, applies each batch to the overlay (O(edits)), refreshes only
+	// the affected origins and hubs on an index clone, publishes the new
+	// epoch, and compacts the overlay once its delta crosses the
+	// threshold. Queries never wait on any of this.
+	mu     sync.Mutex // guards queue and closed
+	queue  []*editBatch
+	closed bool
+	wake   chan struct{} // cap-1 doorbell for the maintenance goroutine
+	stop   chan struct{}
+	done   chan struct{}
+	// overlay is the graph state of the NEWEST published epoch (readers
+	// use their snapshot's own view; this pointer is for the maintenance
+	// goroutine and the stats endpoint).
+	overlay      atomic.Pointer[graph.Overlay]
+	compactAfter int
+
+	enqueuedWM atomic.Uint64
+	appliedWM  atomic.Uint64
 
 	served     atomic.Int64
 	computed   atomic.Int64
@@ -62,13 +101,60 @@ type Server struct {
 	errored    atomic.Int64
 	epochSwaps atomic.Int64
 
+	maintErrors    atomic.Int64
+	lastRejectedWM atomic.Uint64
+	compactions    atomic.Int64
+	lastMaintNS    atomic.Int64
+	lastAffOrigins atomic.Int64
+	lastAffHubs    atomic.Int64
+	lastMaintError atomic.Pointer[string]
+	nodesGrown     atomic.Int64
+
 	// testComputeGate, when set by tests, runs inside every admitted
 	// computation — used to hold computations open deterministically.
 	testComputeGate func()
+	// testMaintGate, when set by tests, runs at the start of every
+	// maintenance batch — used to hold a maintenance pass open while
+	// queries flow.
+	testMaintGate func()
+}
+
+// editBatch is one journaled maintenance unit: an edit batch with its
+// staleness threshold, the watermark it was enqueued at, and the outcome
+// fields the maintenance goroutine fills before closing done.
+type editBatch struct {
+	edits     []evolve.Edit
+	theta     float64
+	watermark uint64
+	done      chan struct{}
+
+	stats evolve.Stats
+	epoch uint64
+	err   error
+}
+
+// Pending is the caller's handle on an enqueued edit batch.
+type Pending struct {
+	// Watermark identifies the batch in the maintenance journal; the
+	// /v1/stats applied_watermark reaches it when the batch has been
+	// applied (or rejected).
+	Watermark uint64
+	b         *editBatch
+}
+
+// Done returns a channel closed when the batch has been fully processed.
+func (p *Pending) Done() <-chan struct{} { return p.b.done }
+
+// Wait blocks until the batch is processed and returns its outcome: the
+// refresh stats and published epoch, or the validation/internal error.
+func (p *Pending) Wait() (evolve.Stats, uint64, error) {
+	<-p.b.done
+	return p.b.stats, p.b.epoch, p.b.err
 }
 
 // New creates a server over an initial (graph, index) pair, published as
-// epoch 1.
+// epoch 1, and starts its maintenance goroutine. Callers must Close the
+// server to stop it.
 func New(g *graph.Graph, idx *lbindex.Index, cfg Config) (*Server, error) {
 	store, err := NewStore(g, idx)
 	if err != nil {
@@ -83,13 +169,38 @@ func New(g *graph.Graph, idx *lbindex.Index, cfg Config) (*Server, error) {
 	if cfg.WorkerBudget <= 0 {
 		cfg.WorkerBudget = runtime.GOMAXPROCS(0)
 	}
-	return &Server{
-		store:       store,
-		cache:       NewCache(cfg.CacheSize),
-		budget:      cfg.WorkerBudget,
-		maxInflight: int64(cfg.MaxInflight),
-		start:       time.Now(),
-	}, nil
+	if cfg.CompactAfter == 0 {
+		cfg.CompactAfter = 4096
+		if m := g.M() / 8; m > cfg.CompactAfter {
+			cfg.CompactAfter = m
+		}
+	}
+	s := &Server{
+		store:        store,
+		cache:        NewCache(cfg.CacheSize),
+		budget:       cfg.WorkerBudget,
+		maxInflight:  int64(cfg.MaxInflight),
+		wake:         make(chan struct{}, 1),
+		stop:         make(chan struct{}),
+		done:         make(chan struct{}),
+		compactAfter: cfg.CompactAfter,
+		start:        time.Now(),
+	}
+	s.overlay.Store(graph.NewOverlay(g))
+	go s.maintLoop()
+	return s, nil
+}
+
+// Close stops the maintenance goroutine. Batches still queued are failed
+// with ErrClosed. Safe to call more than once.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.stop)
+	}
+	s.mu.Unlock()
+	<-s.done
 }
 
 // Store returns the server's snapshot store.
@@ -97,6 +208,13 @@ func (s *Server) Store() *Store { return s.store }
 
 // Cache returns the server's result cache.
 func (s *Server) Cache() *Cache { return s.cache }
+
+// Overlay returns the graph overlay of the newest published epoch.
+func (s *Server) Overlay() *graph.Overlay { return s.overlay.Load() }
+
+// AppliedWatermark returns the journal watermark of the last fully
+// processed edit batch.
+func (s *Server) AppliedWatermark() uint64 { return s.appliedWM.Load() }
 
 // StartDrain flips the server into draining mode: /healthz turns 503 so
 // load balancers stop routing here, while in-flight and follow-up requests
@@ -109,9 +227,9 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // Handler returns the daemon's route table:
 //
 //	GET  /v1/reverse-topk?q=<node>&k=<k>  — answer a query
-//	GET  /v1/stats                        — serving counters
+//	GET  /v1/stats                        — serving + maintenance counters
 //	GET  /healthz                         — liveness (503 when draining)
-//	POST /v1/edits                        — apply graph edits, publish a new snapshot
+//	POST /v1/edits                        — enqueue graph edits (202 + watermark; "wait":true blocks)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/reverse-topk", s.handleQuery)
@@ -252,12 +370,37 @@ type StatsResponse struct {
 	WorkerBudget  int     `json:"worker_budget"`
 	Draining      bool    `json:"draining"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
+
+	// Maintenance pipeline observability.
+	EnqueuedWatermark   uint64 `json:"enqueued_watermark"`
+	AppliedWatermark    uint64 `json:"applied_watermark"`
+	PendingEdits        uint64 `json:"pending_edits"`
+	OverlayPatchedNodes int    `json:"overlay_patched_nodes"`
+	OverlayDeltaEdges   int    `json:"overlay_delta_edges"`
+	OverlayGeneration   int    `json:"overlay_generation"`
+	Compactions         int64  `json:"compactions"`
+	MaintErrors         int64  `json:"maint_errors"`
+	LastRejectedWM      uint64 `json:"last_rejected_watermark,omitempty"`
+	LastMaintMS         int64  `json:"last_maint_ms"`
+	LastAffectedOrigins int64  `json:"last_affected_origins"`
+	LastAffectedHubs    int64  `json:"last_affected_hubs"`
+	LastMaintError      string `json:"last_maint_error,omitempty"`
+	NodesGrown          int64  `json:"nodes_grown"`
 }
 
 // Stats snapshots the serving counters.
 func (s *Server) Stats() StatsResponse {
 	snap := s.store.Current()
-	return StatsResponse{
+	ov := s.overlay.Load()
+	// applied is loaded FIRST: a batch enqueued+applied between the two
+	// loads then only inflates enq, keeping the unsigned pending count
+	// from underflowing.
+	app := s.appliedWM.Load()
+	enq := s.enqueuedWM.Load()
+	if enq < app {
+		enq = app
+	}
+	resp := StatsResponse{
 		Epoch:         snap.Epoch,
 		Nodes:         snap.View.N(),
 		MaxK:          snap.View.MaxK(),
@@ -274,7 +417,25 @@ func (s *Server) Stats() StatsResponse {
 		WorkerBudget:  s.budget,
 		Draining:      s.draining.Load(),
 		UptimeSeconds: time.Since(s.start).Seconds(),
+
+		EnqueuedWatermark:   enq,
+		AppliedWatermark:    app,
+		PendingEdits:        enq - app,
+		OverlayPatchedNodes: ov.PatchedNodes(),
+		OverlayDeltaEdges:   ov.DeltaEdges(),
+		OverlayGeneration:   ov.Generation(),
+		Compactions:         s.compactions.Load(),
+		MaintErrors:         s.maintErrors.Load(),
+		LastRejectedWM:      s.lastRejectedWM.Load(),
+		LastMaintMS:         s.lastMaintNS.Load() / 1e6,
+		LastAffectedOrigins: s.lastAffOrigins.Load(),
+		LastAffectedHubs:    s.lastAffHubs.Load(),
+		NodesGrown:          s.nodesGrown.Load(),
 	}
+	if msg := s.lastMaintError.Load(); msg != nil {
+		resp.LastMaintError = *msg
+	}
+	return resp
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -306,14 +467,26 @@ type EditsRequest struct {
 	// Theta is the evolve staleness threshold; 0 refreshes every origin
 	// that reaches an edited source (equivalent to a full rebuild).
 	Theta float64 `json:"theta"`
+	// Wait makes the request block until the batch is applied (or
+	// rejected), restoring synchronous semantics: 200 with the full
+	// EditsResponse, 400/500 on failure. Without it the request returns
+	// 202 immediately with the journal watermark; poll /v1/stats until
+	// applied_watermark reaches it to observe completion. A 202-accepted
+	// batch can still FAIL validation when applied: the watermark advances
+	// (it was processed), and the rejection is reported via maint_errors,
+	// last_rejected_watermark and last_maint_error. Clients that need the
+	// outcome per batch should use Wait.
+	Wait bool `json:"wait,omitempty"`
 }
 
-// EditsResponse reports a completed maintenance pass.
+// EditsResponse reports a completed maintenance pass (Wait=true), or the
+// journal position of an accepted batch (202: only Watermark is set).
 type EditsResponse struct {
-	Epoch       uint64 `json:"epoch"`
-	Affected    int    `json:"affected"`
-	HubsRebuilt int    `json:"hubs_rebuilt"`
-	ElapsedMS   int64  `json:"elapsed_ms"`
+	Watermark   uint64 `json:"watermark"`
+	Epoch       uint64 `json:"epoch,omitempty"`
+	Affected    int    `json:"affected,omitempty"`
+	HubsRebuilt int    `json:"hubs_rebuilt,omitempty"`
+	ElapsedMS   int64  `json:"elapsed_ms,omitempty"`
 }
 
 // maxEditsBody caps the POST /v1/edits request body: edits are ~tens of
@@ -327,18 +500,31 @@ func (s *Server) handleEdits(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "malformed edits body: %v", err)
 		return
 	}
-	if len(req.Edits) == 0 {
-		writeError(w, http.StatusBadRequest, "no edits given")
-		return
-	}
 	edits := make([]evolve.Edit, len(req.Edits))
 	for i, e := range req.Edits {
 		edits[i] = evolve.Edit{From: e.From, To: e.To, Weight: e.Weight, Remove: e.Remove}
 	}
-	stats, epoch, err := s.ApplyEdits(edits, req.Theta)
+	pending, err := s.EnqueueEdits(edits, req.Theta)
 	if err != nil {
-		// Edit validation errors (unknown edge, duplicate insert, node
-		// growth) are the caller's fault; anything else is internal.
+		status := http.StatusBadRequest
+		if !errors.Is(err, errBadEdits) {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if !req.Wait {
+		w.WriteHeader(http.StatusAccepted)
+		body, _ := json.Marshal(EditsResponse{Watermark: pending.Watermark})
+		w.Write(body)
+		return
+	}
+	stats, epoch, err := pending.Wait()
+	if err != nil {
+		// Edit validation errors (unknown edge, duplicate insert, growth
+		// beyond the per-batch bound) are the caller's fault; anything
+		// else is internal.
 		status := http.StatusBadRequest
 		if !errors.Is(err, errBadEdits) {
 			status = http.StatusInternalServerError
@@ -346,8 +532,8 @@ func (s *Server) handleEdits(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, "%v", err)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
 	body, _ := json.Marshal(EditsResponse{
+		Watermark:   pending.Watermark,
 		Epoch:       epoch,
 		Affected:    stats.Affected,
 		HubsRebuilt: stats.HubsRebuilt,
@@ -356,41 +542,220 @@ func (s *Server) handleEdits(w http.ResponseWriter, r *http.Request) {
 	w.Write(body)
 }
 
-var errBadEdits = errors.New("serve: invalid edits")
+// EnqueueEdits appends an edit batch to the maintenance journal and
+// returns immediately with its watermark handle. The single maintenance
+// goroutine applies batches in watermark order; queries keep flowing
+// against the current snapshot throughout.
+func (s *Server) EnqueueEdits(edits []evolve.Edit, theta float64) (*Pending, error) {
+	if len(edits) == 0 {
+		return nil, fmt.Errorf("%w: no edits given", errBadEdits)
+	}
+	if theta < 0 {
+		return nil, fmt.Errorf("%w: negative staleness threshold %g", errBadEdits, theta)
+	}
+	b := &editBatch{edits: edits, theta: theta, done: make(chan struct{})}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	b.watermark = s.enqueuedWM.Add(1)
+	s.queue = append(s.queue, b)
+	s.mu.Unlock()
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+	return &Pending{Watermark: b.watermark, b: b}, nil
+}
 
-// ApplyEdits runs one full maintenance pass: apply the edits to the current
-// snapshot's graph, compute the affected origins at staleness threshold
-// theta, refresh a clone of the current index (RefreshSnapshot — readers
-// are untouched), publish the new pair as the next epoch, and drop
-// stale-epoch cache entries. Maintenance passes are serialized; queries
-// keep flowing against the old snapshot until the publish.
+// ApplyEdits runs one maintenance pass synchronously: it enqueues the
+// batch and blocks until the maintenance goroutine has applied it and
+// published the new epoch (or rejected it). Kept for callers that want
+// edit-then-read semantics; the HTTP path is asynchronous by default.
 func (s *Server) ApplyEdits(edits []evolve.Edit, theta float64) (evolve.Stats, uint64, error) {
-	s.maintMu.Lock()
-	defer s.maintMu.Unlock()
+	pending, err := s.EnqueueEdits(edits, theta)
+	if err != nil {
+		return evolve.Stats{}, 0, err
+	}
+	return pending.Wait()
+}
+
+// maintLoop is the single maintenance goroutine: it drains the journal in
+// watermark order, runs each batch through the incremental pipeline, and
+// compacts the overlay when its delta crosses the threshold. It exits when
+// Close is called, failing any batches still queued.
+func (s *Server) maintLoop() {
+	defer close(s.done)
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 {
+			if s.closed {
+				s.mu.Unlock()
+				return
+			}
+			s.mu.Unlock()
+			select {
+			case <-s.wake:
+			case <-s.stop:
+			}
+			s.mu.Lock()
+		}
+		b := s.queue[0]
+		s.queue = s.queue[1:]
+		closed := s.closed
+		s.mu.Unlock()
+
+		if closed {
+			b.err = ErrClosed
+		} else {
+			s.runBatch(b)
+			// Compact BEFORE advancing the watermark: once a batch's
+			// watermark is visible as applied, every side effect it
+			// scheduled — including its compaction — has settled.
+			s.maybeCompact()
+		}
+		s.appliedWM.Store(b.watermark)
+		close(b.done)
+	}
+}
+
+// runBatch executes one journaled batch end to end: O(edits) overlay
+// apply, affected-set computation (one PMPN per edited source), partial
+// refresh of an index clone (affected origins + affected hubs only, new
+// origins included), and the epoch publish. Readers keep serving the old
+// snapshot until the final pointer swap.
+func (s *Server) runBatch(b *editBatch) {
+	start := time.Now()
+	fail := func(err error) {
+		b.err = err
+		s.maintErrors.Add(1)
+		s.lastRejectedWM.Store(b.watermark)
+		msg := err.Error()
+		s.lastMaintError.Store(&msg)
+		s.lastMaintNS.Store(int64(time.Since(start)))
+	}
+	if gate := s.testMaintGate; gate != nil {
+		gate()
+	}
+	cur := s.overlay.Load()
+
+	// Bound node growth before applying: one edit introduces at most two
+	// fresh identifiers, so anything larger is a fat-finger (or hostile)
+	// id jump that would allocate the whole range. Mirror the overlay's
+	// netting — an insert cancelled by a later remove of the same edge
+	// never grows the graph.
+	maxID := graph.NodeID(-1)
+	live := make(map[[2]graph.NodeID]bool, len(b.edits))
+	for _, e := range b.edits {
+		if e.Remove {
+			delete(live, [2]graph.NodeID{e.From, e.To})
+			continue
+		}
+		live[[2]graph.NodeID{e.From, e.To}] = true
+	}
+	for k := range live {
+		if k[0] > maxID {
+			maxID = k[0]
+		}
+		if k[1] > maxID {
+			maxID = k[1]
+		}
+	}
+	if growth := int(maxID) + 1 - cur.N(); growth > maxGrowthPerEdit*len(b.edits) {
+		fail(fmt.Errorf("%w: edits grow the graph by %d nodes (max %d for %d edits); add nodes in contiguous batches",
+			errBadEdits, growth, maxGrowthPerEdit*len(b.edits), len(b.edits)))
+		return
+	}
+
+	next, err := cur.Apply(b.edits)
+	if err != nil {
+		fail(fmt.Errorf("%w: %v", errBadEdits, err))
+		return
+	}
 
 	snap := s.store.Current()
-	g := snap.View.Graph()
-	g2, err := evolve.ApplyEdits(g, edits, graph.DanglingSelfLoop)
+	idx := snap.View.Index()
+	opts := idx.Options()
+	affected, err := evolve.AffectedNodes(next, evolve.Sources(b.edits), b.theta, opts.RWR)
 	if err != nil {
-		return evolve.Stats{}, 0, fmt.Errorf("%w: %v", errBadEdits, err)
+		fail(err)
+		return
 	}
-	if g2.N() != g.N() {
-		return evolve.Stats{}, 0, fmt.Errorf("%w: edits grow the graph from %d to %d nodes (rebuild and restart instead)", errBadEdits, g.N(), g2.N())
+	hm := idx.HubMatrix()
+	var origins, hubs []graph.NodeID
+	for u, a := range affected {
+		if !a {
+			continue
+		}
+		id := graph.NodeID(u)
+		if hm.IsHub(id) {
+			hubs = append(hubs, id)
+		} else {
+			origins = append(origins, id)
+		}
 	}
-	opts := snap.View.Index().Options()
-	affected, err := evolve.AffectedOrigins(g2, evolve.Sources(edits), theta, opts.RWR)
+	// Grown graphs: pad the index and index every new origin, whether or
+	// not it reaches an edited source (it has no entry at all yet).
+	var nextIdx *lbindex.Index
+	if next.N() > idx.N() {
+		nextIdx = idx.CloneGrown(next.N())
+		for u := idx.N(); u < next.N(); u++ {
+			if !affected[u] {
+				origins = append(origins, graph.NodeID(u))
+			}
+		}
+		s.nodesGrown.Add(int64(next.N() - idx.N()))
+	} else {
+		nextIdx = idx.Clone()
+	}
+	stats, err := evolve.RefreshPartial(next, nextIdx, origins, hubs)
 	if err != nil {
-		return evolve.Stats{}, 0, err
+		fail(err)
+		return
 	}
-	next, stats, err := evolve.RefreshSnapshot(g2, snap.View.Index(), affected)
+	published, err := s.store.Publish(next, nextIdx)
 	if err != nil {
-		return evolve.Stats{}, 0, err
+		fail(err)
+		return
 	}
-	published, err := s.store.Publish(g2, next)
-	if err != nil {
-		return evolve.Stats{}, 0, err
-	}
+	s.overlay.Store(next)
 	s.cache.DropOtherEpochs(published.Epoch)
 	s.epochSwaps.Add(1)
-	return stats, published.Epoch, nil
+
+	b.stats = stats
+	b.epoch = published.Epoch
+	s.lastAffOrigins.Store(int64(len(origins)))
+	s.lastAffHubs.Store(int64(len(hubs)))
+	s.lastMaintNS.Store(int64(time.Since(start)))
+}
+
+// maybeCompact folds the overlay back into a fresh CSR once its delta
+// footprint crosses the threshold. The compacted graph is semantically
+// identical, so it is republished at the SAME epoch (Store.Replace) and
+// cached results stay valid; subsequent queries sweep pure CSR again.
+func (s *Server) maybeCompact() {
+	if s.compactAfter <= 0 {
+		return
+	}
+	ov := s.overlay.Load()
+	if ov.DeltaEdges() < s.compactAfter {
+		return
+	}
+	g2, err := ov.Compact()
+	if err != nil {
+		s.maintErrors.Add(1)
+		msg := fmt.Sprintf("compaction failed: %v", err)
+		s.lastMaintError.Store(&msg)
+		return
+	}
+	snap := s.store.Current()
+	if _, err := s.store.Replace(g2, snap.View.Index()); err != nil {
+		s.maintErrors.Add(1)
+		msg := fmt.Sprintf("compaction republish failed: %v", err)
+		s.lastMaintError.Store(&msg)
+		return
+	}
+	s.overlay.Store(graph.NewOverlay(g2))
+	s.compactions.Add(1)
 }
