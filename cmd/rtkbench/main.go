@@ -27,11 +27,11 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("rtkbench: ")
 	var (
-		which   = flag.String("exp", "all", "experiment: datasets|table2|fig5|fig6|fig7|fig8|fig9|spam|table3|approx|evolve|serve|all")
+		which   = flag.String("exp", "all", "experiment: datasets|table2|fig5|fig6|fig7|fig8|fig9|spam|table3|approx|evolve|serve|all, or coldstart (not in all: builds a ~100k-node index)")
 		scale   = flag.Int("scale", 1, "graph size multiplier (paper sizes ≈ 5–400)")
 		queries = flag.Int("queries", 0, "query workload size override (0 = experiment default; paper: 500)")
 		workers = flag.Int("workers", 1, "intra-query workers for the fig5/fig6 query sweep (0 = all cores)")
-		jsonOut = flag.String("json", "", "evolve experiment: also run the edit-throughput bench and write BENCH_evolve.json to this path")
+		jsonOut = flag.String("json", "", "evolve/coldstart experiments: write the machine-readable BENCH_<exp>.json record to this path")
 		verbose = flag.Bool("v", false, "print progress while running")
 	)
 	flag.Parse()
@@ -190,6 +190,17 @@ func main() {
 			if err := exp.WriteEvolveStudy(os.Stdout, rows); err != nil {
 				log.Fatal(err)
 			}
+		}
+	}
+
+	if *which == "coldstart" {
+		header("Persistence: index load cost per format generation (v1 parse / v2 heap / v2 mmap)")
+		res, err := exp.RunColdstart(exp.DefaultColdstartConfig(*scale), progress)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := exp.WriteColdstart(os.Stdout, res, *jsonOut); err != nil {
+			log.Fatal(err)
 		}
 	}
 

@@ -20,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/lbindex"
+	"repro/internal/serve"
 )
 
 func main() {
@@ -33,6 +34,7 @@ func main() {
 		workers   = flag.Int("workers", 1, "intra-query worker count (0 = all cores); answers are identical at any setting")
 		update    = flag.Bool("update", false, "refine the in-memory index during the query")
 		save      = flag.Bool("save", false, "write the refined index back (implies -update)")
+		mmapMode  = flag.String("mmap", "on", "load a v2 index zero-copy via mmap: on|off (off = portable heap load)")
 		approx    = flag.Bool("approx", false, "hits-only approximate mode (§5.3): no refinement, subset answer")
 		explain   = flag.Bool("explain", false, "print the per-candidate decision trace instead of running the query")
 	)
@@ -58,14 +60,19 @@ func main() {
 		log.Fatal(err)
 	}
 
-	idxf, err := os.Open(*indexPath)
+	useMmap, err := lbindex.ParseMmapMode(*mmapMode)
 	if err != nil {
 		log.Fatal(err)
 	}
-	idx, err := lbindex.Load(idxf)
-	idxf.Close()
+	idx, err := lbindex.LoadFile(*indexPath, lbindex.LoadOptions{Mmap: useMmap})
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	// Reject bad parameters exactly like the rtkserve HTTP handler does —
+	// same helper, same message.
+	if perr := serve.ValidateQueryParams(*q, *k, g.N(), idx.K()); perr != nil {
+		log.Fatal(perr)
 	}
 
 	eng, err := core.NewEngine(g, idx, *update)
@@ -101,19 +108,7 @@ func main() {
 		stats.Elapsed.Round(time.Microsecond), stats.PMPNElapsed.Round(time.Microsecond), stats.PMPNIters)
 
 	if *save {
-		tmp := *indexPath + ".tmp"
-		of, err := os.Create(tmp)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := idx.Save(of); err != nil {
-			of.Close()
-			log.Fatal(err)
-		}
-		if err := of.Close(); err != nil {
-			log.Fatal(err)
-		}
-		if err := os.Rename(tmp, *indexPath); err != nil {
+		if err := idx.SaveFile(*indexPath); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("saved refined index (%d refinement commits total)\n", idx.Refinements())

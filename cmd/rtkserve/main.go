@@ -6,7 +6,13 @@
 // Usage:
 //
 //	rtkserve -graph web.txt -index web.idx -addr :7471
+//	rtkserve -graph web.txt -index web.idx -mmap=off         # portable heap load
 //	rtkserve -graph web.txt -K 50 -B 20 -addr 127.0.0.1:0   # build the index at startup
+//
+// Format-v2 index files are served zero-copy from an mmap'd image by
+// default, making daemon cold start a matter of mapping and checksum
+// verification instead of a full parse; -mmap=off is the portable escape
+// hatch. See the README's "Persistence & cold start" section.
 //
 // Endpoints:
 //
@@ -52,7 +58,8 @@ func main() {
 		addr         = flag.String("addr", ":7471", "listen address")
 		k            = flag.Int("K", 200, "maximum supported query k when building the index")
 		b            = flag.Int("B", 100, "hub budget when building the index")
-		cacheSize    = flag.Int("cache", serve.DefaultCacheSize, "result cache entries (negative disables caching)")
+		cacheBytes   = flag.Int64("cache-bytes", serve.DefaultCacheBytes, "result cache budget in bytes (negative disables caching)")
+		mmapMode     = flag.String("mmap", "on", "serve a v2 index zero-copy from the mapped file: on|off (off = portable heap load)")
 		maxInflight  = flag.Int("max-inflight", 0, "max concurrent engine computations (0 = 4×GOMAXPROCS)")
 		workers      = flag.Int("workers", 0, "total intra-query worker budget (0 = GOMAXPROCS)")
 		drain        = flag.Duration("drain", 15*time.Second, "graceful drain timeout on SIGTERM")
@@ -80,16 +87,17 @@ func main() {
 
 	var idx *lbindex.Index
 	if *indexPath != "" {
-		f, err := os.Open(*indexPath)
+		useMmap, err := lbindex.ParseMmapMode(*mmapMode)
 		if err != nil {
 			log.Fatal(err)
 		}
-		idx, err = lbindex.Load(f)
-		f.Close()
+		start := time.Now()
+		idx, err = lbindex.LoadFile(*indexPath, lbindex.LoadOptions{Mmap: useMmap})
 		if err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("index: loaded %s (K=%d, %d refinement commits)", *indexPath, idx.K(), idx.Refinements())
+		log.Printf("index: loaded %s in %v (K=%d, %d refinement commits, mmap=%v)",
+			*indexPath, time.Since(start).Round(time.Microsecond), idx.K(), idx.Refinements(), idx.MmapBacked())
 	} else {
 		opts := lbindex.DefaultOptions()
 		opts.K = *k
@@ -104,7 +112,7 @@ func main() {
 	}
 
 	srv, err := serve.New(g, idx, serve.Config{
-		CacheSize:    *cacheSize,
+		CacheBytes:   *cacheBytes,
 		MaxInflight:  *maxInflight,
 		WorkerBudget: *workers,
 		CompactAfter: *compactAfter,

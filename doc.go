@@ -6,11 +6,13 @@
 // highest-proximity nodes under random walk with restart. See README.md
 // for the package architecture, the concurrency model (engine-per-goroutine
 // batching composed with intra-query worker sharding), the serving daemon
-// (cmd/rtkserve: snapshot epochs, result caching, admission control), the
-// evolving-graph pipeline (graph.Overlay deltas behind the graph.View
-// interface, an asynchronous journaled edit queue with watermarks,
-// blast-radius-only index refreshes and background compaction), and how to
-// run the paper experiments and benchmarks.
+// (cmd/rtkserve: snapshot epochs, byte-accounted result caching, admission
+// control), the persistence layer (checksummed index format v2 served
+// zero-copy via mmap for millisecond cold starts; v1 files migrate with
+// rtkindex -rewrite), the evolving-graph pipeline (graph.Overlay deltas
+// behind the graph.View interface, an asynchronous journaled edit queue
+// with watermarks, blast-radius-only index refreshes and background
+// compaction), and how to run the paper experiments and benchmarks.
 //
 // The root package carries the repository-level benchmarks (bench_test.go):
 // one benchmark per table/figure of the paper plus ablations of the design

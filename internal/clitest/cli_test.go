@@ -92,6 +92,66 @@ func TestGenerateIndexQueryPipeline(t *testing.T) {
 	if !strings.Contains(out, "reverse top-10 of node 42") {
 		t.Errorf("rtkquery -approx output unexpected: %q", out)
 	}
+
+	// The answer must not depend on how the index is loaded: mmap'd
+	// zero-copy (the default), heap (-mmap=off), and a rewritten copy
+	// (rtkindex -rewrite, the v1→v2 migration path) all agree.
+	baseline := runTool(t, filepath.Join(bins, "rtkquery"),
+		"-graph", graphPath, "-index", indexPath, "-q", "42", "-k", "10")
+	answer := answerLine(t, baseline)
+	heapOut := runTool(t, filepath.Join(bins, "rtkquery"),
+		"-graph", graphPath, "-index", indexPath, "-q", "42", "-k", "10", "-mmap=off")
+	if got := answerLine(t, heapOut); got != answer {
+		t.Errorf("-mmap=off answers differ: %q vs %q", got, answer)
+	}
+	rewritten := filepath.Join(work, "g.rewritten.idx")
+	out = runTool(t, filepath.Join(bins, "rtkindex"), "-rewrite", indexPath, "-out", rewritten)
+	if !strings.Contains(out, "format v2") {
+		t.Errorf("rtkindex -rewrite output unexpected: %q", out)
+	}
+	rewOut := runTool(t, filepath.Join(bins, "rtkquery"),
+		"-graph", graphPath, "-index", rewritten, "-q", "42", "-k", "10")
+	if got := answerLine(t, rewOut); got != answer {
+		t.Errorf("rewritten index answers differ: %q vs %q", got, answer)
+	}
+
+	// A corrupted index file must be rejected, not served: flip one byte in
+	// the middle of the (checksummed v2) image.
+	img, err := os.ReadFile(rewritten)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img[len(img)/2] ^= 0x10
+	corrupt := filepath.Join(work, "g.corrupt.idx")
+	if err := os.WriteFile(corrupt, img, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if msg, err := runToolErr(t, filepath.Join(bins, "rtkquery"),
+		"-graph", graphPath, "-index", corrupt, "-q", "42", "-k", "10"); err == nil {
+		t.Errorf("rtkquery served a corrupt index:\n%s", msg)
+	} else if !strings.Contains(msg, "checksum") {
+		t.Errorf("corrupt index error does not mention the checksum: %q", msg)
+	}
+}
+
+// answerLine extracts the printed answer-set line of an rtkquery run.
+func answerLine(t *testing.T, out string) string {
+	t.Helper()
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "[") {
+			return line
+		}
+	}
+	t.Fatalf("no answer line in rtkquery output:\n%s", out)
+	return ""
+}
+
+// runToolErr runs a tool expecting a non-zero exit, returning its combined
+// output and the exit error.
+func runToolErr(t *testing.T, bin string, args ...string) (string, error) {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	return string(out), err
 }
 
 // TestExamplesRun executes the fast runnable examples end to end (the
@@ -251,8 +311,32 @@ func TestServeDaemonEndToEnd(t *testing.T) {
 	}
 
 	if resp, body := httpGet("/v1/stats"); resp.StatusCode != http.StatusOK ||
-		!strings.Contains(string(body), `"served":2`) {
+		!strings.Contains(string(body), `"served":2`) ||
+		!strings.Contains(string(body), `"cache_bytes"`) {
 		t.Errorf("stats: %d %s", resp.StatusCode, body)
+	}
+
+	// CLI and daemon reject bad parameters with the same message (the
+	// shared serve.ValidateQueryParams helper).
+	for _, bad := range []struct{ q, k string }{{"42", "0"}, {"42", "9999"}, {"100000", "5"}} {
+		resp, body := httpGet("/v1/reverse-topk?q=" + bad.q + "&k=" + bad.k)
+		if resp.StatusCode == http.StatusOK {
+			t.Fatalf("daemon accepted q=%s k=%s", bad.q, bad.k)
+		}
+		var httpErr struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(body, &httpErr); err != nil {
+			t.Fatalf("bad error body %q: %v", body, err)
+		}
+		cliMsg, err := runToolErr(t, filepath.Join(bins, "rtkquery"),
+			"-graph", graphPath, "-index", indexPath, "-q", bad.q, "-k", bad.k)
+		if err == nil {
+			t.Fatalf("rtkquery accepted q=%s k=%s:\n%s", bad.q, bad.k, cliMsg)
+		}
+		if !strings.Contains(cliMsg, httpErr.Error) {
+			t.Errorf("q=%s k=%s: CLI message %q does not contain the daemon's %q", bad.q, bad.k, cliMsg, httpErr.Error)
+		}
 	}
 
 	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {

@@ -1,6 +1,8 @@
 package evolve
 
 import (
+	"os"
+	"path/filepath"
 	"reflect"
 	"testing"
 
@@ -345,5 +347,94 @@ func TestRefreshRejectsGrownGraph(t *testing.T) {
 	}
 	if _, err := Refresh(g2, idx, nil); err == nil {
 		t.Error("want node-count error")
+	}
+}
+
+// TestRefreshOverMmapBackedIndex runs the full maintenance pipeline over an
+// index served zero-copy from an mmap'd (read-only) file: the partial
+// refresh must replace rows copy-on-write — any in-place write into a
+// mapped slab would fault — and the refreshed clone must answer exactly
+// like a refresh of the same index loaded onto the heap.
+func TestRefreshOverMmapBackedIndex(t *testing.T) {
+	g := buildWeb(t, 120)
+	idx := buildIdx(t, g)
+	path := filepath.Join(t.TempDir(), "index.v2")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	mapped, err := lbindex.LoadFile(path, lbindex.LoadOptions{Mmap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	heap, err := lbindex.LoadFile(path, lbindex.LoadOptions{Mmap: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mapped.MmapBacked() == heap.MmapBacked() {
+		t.Skip("mmap unavailable; nothing to compare")
+	}
+
+	edits := []Edit{{From: 3, To: 7}, {From: 40, To: 2}}
+	if nbrs := g.OutNeighbors(7); len(nbrs) > 1 {
+		edits = append(edits, Edit{From: 7, To: nbrs[0], Remove: true})
+	}
+	g2, err := ApplyEdits(g, edits, graph.DanglingSelfLoop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources := Sources(edits)
+	for _, base := range []*lbindex.Index{mapped, heap} {
+		affected, err := AffectedNodes(g2, sources, 0, base.Options().RWR)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hm := base.HubMatrix()
+		var origins, hubs []graph.NodeID
+		for u, a := range affected {
+			if !a {
+				continue
+			}
+			if hm.IsHub(graph.NodeID(u)) {
+				hubs = append(hubs, graph.NodeID(u))
+			} else {
+				origins = append(origins, graph.NodeID(u))
+			}
+		}
+		next := base.Clone()
+		if _, err := RefreshPartial(g2, next, origins, hubs); err != nil {
+			t.Fatal(err)
+		}
+		if err := next.CheckInvariants(); err != nil {
+			t.Fatalf("refreshed clone fails invariants: %v", err)
+		}
+		eng, err := core.NewEngine(g2, next, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range []graph.NodeID{0, 3, 7, 40, 99} {
+			res, _, err := eng.Query(q, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := core.BruteForce(g2, q, 5, base.Options().RWR, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(res, want) {
+				t.Fatalf("post-refresh q=%d (mmap=%v): got %v want %v", q, base.MmapBacked(), res, want)
+			}
+		}
+	}
+	// The mapped base index itself must be untouched by the refresh.
+	if err := mapped.CheckInvariants(); err != nil {
+		t.Fatalf("mapped base index mutated by snapshot refresh: %v", err)
 	}
 }

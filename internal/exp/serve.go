@@ -27,8 +27,9 @@ type ServeConfig struct {
 	IndexK, K int
 	// Queries is the workload size; Concurrency the client parallelism.
 	Queries, Concurrency int
-	// CacheSize, MaxInflight, WorkerBudget configure the daemon.
-	CacheSize, MaxInflight, WorkerBudget int
+	// CacheBytes, MaxInflight, WorkerBudget configure the daemon.
+	CacheBytes                int64
+	MaxInflight, WorkerBudget int
 	// Edits is the size of the maintenance batch applied between the warm
 	// and post-refresh phases.
 	Edits int
@@ -46,7 +47,7 @@ func DefaultServeConfig(scale int) ServeConfig {
 		K:           10,
 		Queries:     300,
 		Concurrency: 8,
-		CacheSize:   serve.DefaultCacheSize,
+		CacheBytes:  serve.DefaultCacheBytes,
 		Edits:       10,
 		Seed:        707,
 	}
@@ -72,7 +73,7 @@ func RunServeSmoke(cfg ServeConfig, progress io.Writer) ([]ServeRow, error) {
 	}
 
 	srv, err := serve.New(g, idx, serve.Config{
-		CacheSize:    cfg.CacheSize,
+		CacheBytes:   cfg.CacheBytes,
 		MaxInflight:  cfg.MaxInflight,
 		WorkerBudget: cfg.WorkerBudget,
 	})

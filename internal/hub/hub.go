@@ -356,6 +356,11 @@ func RoundingErrorBound(n int, omega, beta float64) float64 {
 // grown: new nodes are never hubs, and unaffected hubs cannot reach them
 // (an edge into a new node is an edit, which would have made every hub
 // reaching its source affected).
+//
+// The old matrix's storage may be read-only (zero-copy out of an mmap'd
+// index image): Rebuild is strictly copy-on-write — reused columns are
+// shared by reference, recomputed ones land in fresh slices, and nothing
+// is ever written into the old matrix's backing arrays.
 func Rebuild[G graph.View](g G, old *Matrix, affected []graph.NodeID, opts BuildOptions) (*Matrix, error) {
 	if err := opts.RWR.Validate(); err != nil {
 		return nil, err

@@ -6,10 +6,10 @@ import (
 	"testing"
 )
 
-// FuzzLoad feeds arbitrary bytes (seeded with a valid index image and
+// FuzzLoad feeds arbitrary bytes (seeded with a valid v1 index image and
 // mutations of it) into the deserializer: it must either return a valid
 // index or an error — never panic, never hang, never return an index that
-// fails its invariants.
+// fails its invariants. FuzzLoadV2 is the format-v2 counterpart.
 func FuzzLoad(f *testing.F) {
 	g := randomGraph(3, 40)
 	opts := testOptions(4)
@@ -18,7 +18,7 @@ func FuzzLoad(f *testing.F) {
 		f.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := idx.Save(&buf); err != nil {
+	if err := idx.SaveV1(&buf); err != nil {
 		f.Fatal(err)
 	}
 	valid := buf.Bytes()
@@ -63,7 +63,69 @@ func FuzzLoad(f *testing.F) {
 	})
 }
 
-// TestLoadTruncatedPrefixes runs Load on EVERY prefix of a valid image:
+// FuzzLoadV2 mirrors FuzzLoad for the checksummed format: arbitrary bytes
+// (seeded with a valid v2 image, truncated prefixes, flips and inflated
+// size/length fields) must load as a valid index or fail with an error in
+// BOTH the deep loader and the mmap-structural parser — never panic, never
+// hang, never yield an index violating its invariants.
+func FuzzLoadV2(f *testing.F) {
+	g := randomGraph(3, 40)
+	idx, _, err := Build(g, testOptions(4))
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := idx.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte(indexMagicV2))
+	for _, cut := range []int{
+		16, 31, 32, v2HeaderEnd - 1, v2HeaderEnd,
+		len(valid) / 4, len(valid) / 2, 3 * len(valid) / 4, len(valid) - 9, len(valid) - 1,
+	} {
+		if cut > 0 && cut < len(valid) {
+			f.Add(valid[:cut])
+		}
+	}
+	// Flips across the preamble, section table, and every section's span,
+	// plus size/offset/length-field inflation (the allocation-bomb shape).
+	for _, pos := range []int{8, 16, 20, 24, 40, 44, 48, 56, v2HeaderEnd, v2HeaderEnd + 64, len(valid) / 3, len(valid) / 2, len(valid) - 9} {
+		if pos < len(valid) {
+			c := append([]byte(nil), valid...)
+			c[pos] ^= 0xFF
+			f.Add(c)
+		}
+	}
+	for _, pos := range []int{8, 40, 48, 56, 64} {
+		if pos+8 <= len(valid) {
+			c := append([]byte(nil), valid...)
+			for i := 0; i < 7; i++ {
+				c[pos+i] = 0xFF
+			}
+			f.Add(c)
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if idx, err := Load(bytes.NewReader(data)); err == nil {
+			if err := idx.CheckInvariants(); err != nil {
+				t.Fatalf("deep Load accepted an index that fails invariants: %v", err)
+			}
+		}
+		if len(data) >= v2HeaderEnd {
+			// The structural parser (the mmap path) must never panic either;
+			// it may accept semantically-odd values, but only behind a valid
+			// checksum, which fuzzed mutations essentially never produce.
+			aligned := alignedBytes(len(data))
+			copy(aligned, data)
+			_, _ = parseV2(aligned, false)
+		}
+	})
+}
+
+// TestLoadTruncatedPrefixes runs Load on EVERY prefix of a valid v1 image:
 // each must either round-trip (the full image) or return an error — no
 // prefix may panic or be accepted as valid.
 func TestLoadTruncatedPrefixes(t *testing.T) {
@@ -74,7 +136,7 @@ func TestLoadTruncatedPrefixes(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := idx.Save(&buf); err != nil {
+	if err := idx.SaveV1(&buf); err != nil {
 		t.Fatal(err)
 	}
 	valid := buf.Bytes()

@@ -148,6 +148,12 @@ type Index struct {
 	// refinements counts committed post-build refinement steps (a
 	// diagnostic for the Fig. 7 experiment).
 	refinements atomic.Int64
+	// backing is the mmap'd image this index's rows alias, or nil for
+	// heap-resident indexes. Mapped rows are read-only; every writer
+	// replaces per-node pointers wholesale (the same immutable-once-
+	// committed discipline Clone relies on), so refinement, evolve
+	// refreshes and hub rebuilds work unchanged over a mapping.
+	backing *Mapping
 }
 
 // stripeOf maps a node to its lock stripe: contiguous node ranges, aligned
@@ -391,16 +397,6 @@ func (idx *Index) StateSnapshot(u graph.NodeID) *bca.State {
 	return idx.states[u].Clone()
 }
 
-// SharedState returns u's live state without copying. The caller must hold
-// no assumptions about concurrent mutation; the query engine uses this in
-// update mode where it commits through Commit.
-func (idx *Index) SharedState(u graph.NodeID) *bca.State {
-	s := &idx.stripes[idx.stripeOf(u)]
-	s.RLock()
-	defer s.RUnlock()
-	return idx.states[u]
-}
-
 // Commit stores a refined state and its recomputed p̂ column for node u
 // (§4.2.3 dynamic index update). The caller passes ownership of both.
 // Commits to different node ranges synchronize on different stripes, so
@@ -485,6 +481,7 @@ func (idx *Index) Clone() *Index {
 		phat:   append([][]float64(nil), idx.phat...),
 		states: append([]*bca.State(nil), idx.states...),
 	}
+	c.setBacking(idx.backing)
 	c.refinements.Store(idx.refinements.Load())
 	return c
 }
@@ -513,6 +510,7 @@ func (idx *Index) CloneGrown(n2 int) *Index {
 		phat:   phat,
 		states: states,
 	}
+	c.setBacking(idx.backing)
 	c.refinements.Store(idx.refinements.Load())
 	return c
 }

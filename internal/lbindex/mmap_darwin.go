@@ -1,0 +1,8 @@
+//go:build darwin
+
+package lbindex
+
+import "syscall"
+
+// Darwin has no MAP_POPULATE; the verification pass faults pages in.
+const mmapFlags = syscall.MAP_SHARED

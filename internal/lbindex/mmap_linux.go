@@ -1,0 +1,11 @@
+//go:build linux
+
+package lbindex
+
+import "syscall"
+
+// MAP_POPULATE prefaults the image during the mmap call: the loader reads
+// every page once anyway (checksum verification + structural validation),
+// and kernel-side population is far cheaper than taking hundreds of
+// thousands of minor faults one at a time on that first pass.
+const mmapFlags = syscall.MAP_SHARED | syscall.MAP_POPULATE

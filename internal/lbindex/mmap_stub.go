@@ -1,0 +1,16 @@
+//go:build !(linux || darwin)
+
+package lbindex
+
+import (
+	"fmt"
+	"os"
+)
+
+const mmapSupported = false
+
+func mmapFile(f *os.File, size int) (*Mapping, error) {
+	return nil, fmt.Errorf("lbindex: mmap unsupported on this platform")
+}
+
+func (m *Mapping) unmap() { m.data = nil }

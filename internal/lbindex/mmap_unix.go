@@ -1,0 +1,36 @@
+//go:build linux || darwin
+
+package lbindex
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapSupported gates the zero-copy loader; platforms without it fall back
+// to the portable heap read in LoadFile.
+const mmapSupported = true
+
+// mmapFile maps size bytes of f read-only. The mapping is shared: rewrite
+// index files by rename (as rtkquery -save does), never in place, or live
+// readers would observe the mutation.
+func mmapFile(f *os.File, size int) (*Mapping, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("lbindex: cannot mmap %d-byte file", size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, mmapFlags)
+	if err != nil {
+		return nil, fmt.Errorf("lbindex: mmap: %w", err)
+	}
+	return &Mapping{data: data}, nil
+}
+
+func (m *Mapping) unmap() {
+	if m.data == nil {
+		return
+	}
+	data := m.data
+	m.data = nil
+	_ = syscall.Munmap(data)
+}

@@ -13,7 +13,7 @@ import (
 	"repro/internal/vecmath"
 )
 
-// Binary index format. Little-endian throughout.
+// Legacy binary index format v1. Little-endian throughout.
 //
 //	magic "RTKLBIX1"
 //	n u64, K u32
@@ -27,6 +27,11 @@ import (
 //	refinements i64
 //
 // Sparse vectors serialize as nnz u32, idx []i32, val []f64.
+//
+// v1 carries NO checksum: corruption that stays within plausible bounds
+// loads silently. Save now writes the checksummed, mmap-able format v2
+// (see format2.go); the v1 reader and writer are kept for backward
+// compatibility and migration (rtkindex -rewrite).
 const indexMagic = "RTKLBIX1"
 
 type binWriter struct {
@@ -185,11 +190,11 @@ func (b *binReader) floats(n int, what string) []float64 {
 	return xs
 }
 
-// Save writes the index in the binary format above. All lock stripes are
-// held for the duration, so the snapshot is consistent even against
-// concurrent refinement commits. (It is NOT atomic against an in-place
-// evolve.Refresh — see the Index doc.)
-func (idx *Index) Save(w io.Writer) error {
+// SaveV1 writes the index in the legacy v1 format above. New images should
+// use Save (format v2: checksummed, mmap-able); SaveV1 exists so tests and
+// benchmarks can produce v1 images and so downgrades remain possible. The
+// same locking discipline as Save applies.
+func (idx *Index) SaveV1(w io.Writer) error {
 	idx.lockAll()
 	defer idx.unlockAll()
 	hm := idx.HubMatrix()
@@ -252,20 +257,37 @@ func (idx *Index) Save(w io.Writer) error {
 // and rejecting it keeps the per-node read bounded.
 const maxPlausibleK = 1 << 20
 
-// Load reads an index previously written by Save. It is safe on truncated
+// Load reads an index previously written by Save or SaveV1, dispatching on
+// the magic string (v1 and v2 images both load). It is safe on truncated
 // or corrupt input: every quantity that later code indexes with is
-// bounds-checked here, and allocation stays proportional to the input
-// actually consumed (claimed element counts are never trusted with a large
-// up-front make), so a bad image yields an error — never a panic, a hang,
-// or an index that violates its invariants.
+// bounds-checked, and allocation stays proportional to the input actually
+// consumed (claimed element counts are never trusted with a large up-front
+// make), so a bad image yields an error — never a panic, a hang, or an
+// index that violates its invariants. v2 images additionally fail fast on
+// any checksum mismatch; v1 images have no checksum, so only a best-effort
+// finite/bounds re-check stands between a bit-flip and a silently wrong
+// index — rewrite old files with rtkindex -rewrite.
 func Load(r io.Reader) (*Index, error) {
-	br := &binReader{r: bufio.NewReaderSize(r, 1<<20)}
-	magic := make([]byte, len(indexMagic))
-	if _, err := io.ReadFull(br.r, magic); err != nil {
+	br := bufio.NewReaderSize(r, 1<<20)
+	magic, err := br.Peek(8)
+	if err != nil || len(magic) < 8 {
 		return nil, fmt.Errorf("lbindex: reading magic: %w", err)
 	}
-	if string(magic) != indexMagic {
+	switch string(magic) {
+	case indexMagic:
+		return loadV1(br)
+	case indexMagicV2:
+		return loadV2Stream(br)
+	default:
 		return nil, fmt.Errorf("lbindex: bad magic %q", magic)
+	}
+}
+
+// loadV1 reads the legacy v1 image whose magic br is positioned at.
+func loadV1(r *bufio.Reader) (*Index, error) {
+	br := &binReader{r: r}
+	if _, err := r.Discard(len(indexMagic)); err != nil {
+		return nil, err
 	}
 	n := int(br.u64())
 	var o Options
@@ -384,8 +406,11 @@ func Load(r io.Reader) (*Index, error) {
 		states: states,
 	}
 	idx.refinements.Store(refinements)
+	// Best effort: v1 has no checksum, so this re-check (together with the
+	// finite/bounds validation above) is all that stands between in-bounds
+	// corruption and silently wrong answers.
 	if err := idx.CheckInvariants(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("lbindex: v1 image fails invariant re-check (v1 has no checksum; the file is likely corrupt — rewrite with rtkindex -rewrite): %w", err)
 	}
 	return idx, nil
 }

@@ -60,30 +60,44 @@ type entry struct {
 	val []byte
 }
 
-// Cache is a bounded LRU result cache with single-flight deduplication.
-// Values are the exact serialized response bytes, so a cached response is
-// byte-identical to the fresh computation that produced it. Errors are
-// never cached: a failed compute leaves no entry, and its coalesced waiters
-// receive the same error.
+// cacheEntryOverhead approximates the per-entry bookkeeping cost beyond the
+// value bytes themselves: the key, the list element, the map slot and the
+// entry header. Accounting it keeps a flood of tiny results from occupying
+// unbounded real memory behind a "bytes" budget that would otherwise read
+// as nearly empty.
+const cacheEntryOverhead = 128
+
+// entryCost is the budget charge for caching one value.
+func entryCost(val []byte) int64 { return int64(len(val)) + cacheEntryOverhead }
+
+// Cache is an LRU result cache with single-flight deduplication, bounded by
+// BYTES rather than entries: a k=1000 response is charged what it actually
+// weighs, so heavy traffic with large k cannot grow memory past the budget
+// the way an entry-counted bound would. Values are the exact serialized
+// response bytes, so a cached response is byte-identical to the fresh
+// computation that produced it. Errors are never cached: a failed compute
+// leaves no entry, and its coalesced waiters receive the same error.
 type Cache struct {
 	mu       sync.Mutex
-	capacity int
+	maxBytes int64
+	bytes    int64      // sum of entryCost over cached entries
 	ll       *list.List // front = most recently used
 	items    map[CacheKey]*list.Element
 	flights  map[CacheKey]*flight
 	// liveEpoch (valid when haveLive) is the newest epoch DropOtherEpochs
 	// kept. A compute that straggles past a publish must not re-insert an
 	// entry for a dropped epoch: the key could never be looked up again,
-	// so it would only waste an LRU slot.
+	// so it would only waste budget.
 	liveEpoch uint64
 	haveLive  bool
 }
 
-// NewCache creates a cache bounded to capacity entries. capacity ≤ 0
-// disables caching AND deduplication: GetOrCompute always runs compute.
-func NewCache(capacity int) *Cache {
-	c := &Cache{capacity: capacity}
-	if capacity > 0 {
+// NewCache creates a cache bounded to maxBytes of accounted payload.
+// maxBytes ≤ 0 disables caching AND deduplication: GetOrCompute always runs
+// compute.
+func NewCache(maxBytes int64) *Cache {
+	c := &Cache{maxBytes: maxBytes}
+	if maxBytes > 0 {
 		c.ll = list.New()
 		c.items = make(map[CacheKey]*list.Element)
 		c.flights = make(map[CacheKey]*flight)
@@ -91,12 +105,22 @@ func NewCache(capacity int) *Cache {
 	return c
 }
 
-// Cap returns the configured entry bound (≤ 0 when disabled).
-func (c *Cache) Cap() int { return c.capacity }
+// Cap returns the configured byte budget (≤ 0 when disabled).
+func (c *Cache) Cap() int64 { return c.maxBytes }
+
+// Bytes returns the accounted size of all completed cached entries.
+func (c *Cache) Bytes() int64 {
+	if c.maxBytes <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
 
 // Len returns the number of completed cached entries.
 func (c *Cache) Len() int {
-	if c.capacity <= 0 {
+	if c.maxBytes <= 0 {
 		return 0
 	}
 	c.mu.Lock()
@@ -109,7 +133,7 @@ func (c *Cache) Len() int {
 // rest wait and share its outcome. The returned status reports which path
 // served the call.
 func (c *Cache) GetOrCompute(k CacheKey, compute func() ([]byte, error)) ([]byte, CacheStatus, error) {
-	if c == nil || c.capacity <= 0 {
+	if c == nil || c.maxBytes <= 0 {
 		val, err := compute()
 		return val, StatusBypass, err
 	}
@@ -133,12 +157,19 @@ func (c *Cache) GetOrCompute(k CacheKey, compute func() ([]byte, error)) ([]byte
 	defer func() {
 		c.mu.Lock()
 		delete(c.flights, k)
-		if completed && f.err == nil && (!c.haveLive || k.Epoch == c.liveEpoch) {
+		cost := entryCost(f.val)
+		if completed && f.err == nil && cost <= c.maxBytes && (!c.haveLive || k.Epoch == c.liveEpoch) {
 			c.items[k] = c.ll.PushFront(&entry{key: k, val: f.val})
-			for c.ll.Len() > c.capacity {
+			c.bytes += cost
+			// Evict least-recently-used entries until back under budget. A
+			// single oversized value was skipped above: evicting the whole
+			// cache to admit something that cannot fit helps no one.
+			for c.bytes > c.maxBytes {
 				oldest := c.ll.Back()
+				e := oldest.Value.(*entry)
 				c.ll.Remove(oldest)
-				delete(c.items, oldest.Value.(*entry).key)
+				delete(c.items, e.key)
+				c.bytes -= entryCost(e.val)
 			}
 		} else if !completed {
 			// compute panicked: release waiters with an error instead of
@@ -154,12 +185,13 @@ func (c *Cache) GetOrCompute(k CacheKey, compute func() ([]byte, error)) ([]byte
 }
 
 // DropOtherEpochs removes every completed entry whose epoch differs from
-// keep, returning how many were removed. Called after a snapshot publish:
-// old-epoch entries can never be looked up again (keys carry the new
-// epoch), so dropping them frees their LRU slots immediately instead of
-// waiting for eviction.
+// keep, returning how many were removed. Store.Publish invokes it on every
+// epoch bump: old-epoch entries can never be looked up again (keys carry
+// the new epoch), so dropping them eagerly frees their bytes immediately
+// instead of letting dead entries squat in the budget until eviction
+// happens to reach them.
 func (c *Cache) DropOtherEpochs(keep uint64) int {
-	if c == nil || c.capacity <= 0 {
+	if c == nil || c.maxBytes <= 0 {
 		return 0
 	}
 	c.mu.Lock()
@@ -171,6 +203,7 @@ func (c *Cache) DropOtherEpochs(keep uint64) int {
 		if e := el.Value.(*entry); e.key.Epoch != keep {
 			c.ll.Remove(el)
 			delete(c.items, e.key)
+			c.bytes -= entryCost(e.val)
 			dropped++
 		}
 		el = next

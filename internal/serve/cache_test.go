@@ -21,7 +21,7 @@ func TestCacheByteIdenticalProperty(t *testing.T) {
 	g := testGraph(t, 31, 40)
 	idx := testIndex(t, g, 6)
 	_, cached := newTestServer(t, g, idx, Config{})
-	_, fresh := newTestServer(t, g, idx, Config{CacheSize: -1})
+	_, fresh := newTestServer(t, g, idx, Config{CacheBytes: -1})
 
 	rng := rand.New(rand.NewSource(99))
 	for i := 0; i < 120; i++ {
@@ -42,13 +42,16 @@ func TestCacheByteIdenticalProperty(t *testing.T) {
 	}
 }
 
-// TestCacheLRUBound checks the LRU never exceeds its capacity, evicts the
-// least recently used key, and recomputes evicted entries.
+// TestCacheLRUBound checks the byte-accounted LRU never exceeds its
+// budget, evicts the least recently used key, and recomputes evicted
+// entries. Values are fixed-length, so the budget admits exactly
+// `capacity` of them.
 func TestCacheLRUBound(t *testing.T) {
 	const capacity = 8
-	c := NewCache(capacity)
+	val := func(i int) []byte { return []byte(fmt.Sprintf("v%03d", i)) }
+	perEntry := entryCost(val(0))
+	c := NewCache(capacity * perEntry)
 	var computes atomic.Int64
-	val := func(i int) []byte { return []byte(fmt.Sprintf("v%d", i)) }
 	fetch := func(i int) CacheStatus {
 		_, status, err := c.GetOrCompute(CacheKey{Q: graph.NodeID(i), K: 1, Epoch: 1}, func() ([]byte, error) {
 			computes.Add(1)
@@ -62,12 +65,15 @@ func TestCacheLRUBound(t *testing.T) {
 
 	for i := 0; i < 50; i++ {
 		fetch(i)
-		if got := c.Len(); got > capacity {
-			t.Fatalf("after %d inserts the cache holds %d entries, cap %d", i+1, got, capacity)
+		if got := c.Bytes(); got > c.Cap() {
+			t.Fatalf("after %d inserts the cache holds %d bytes, cap %d", i+1, got, c.Cap())
 		}
 	}
 	if got := c.Len(); got != capacity {
 		t.Fatalf("cache holds %d entries, want full at %d", got, capacity)
+	}
+	if got := c.Bytes(); got != capacity*perEntry {
+		t.Fatalf("cache accounts %d bytes, want %d", got, capacity*perEntry)
 	}
 	// The last `capacity` keys survived; everything older was evicted.
 	for i := 50 - capacity; i < 50; i++ {
@@ -97,7 +103,7 @@ func TestCacheLRUBound(t *testing.T) {
 // prior entry: lookups at the new epoch recompute, and DropOtherEpochs
 // empties the stale generation.
 func TestCacheEpochInvalidation(t *testing.T) {
-	c := NewCache(64)
+	c := NewCache(64 << 10)
 	var computes atomic.Int64
 	fetch := func(q, epoch int) CacheStatus {
 		_, status, err := c.GetOrCompute(CacheKey{Q: graph.NodeID(q), K: 2, Epoch: uint64(epoch)}, func() ([]byte, error) {
@@ -153,7 +159,7 @@ func TestCacheEpochInvalidation(t *testing.T) {
 // TestCacheSingleFlight gates the compute function and checks N identical
 // concurrent calls run it exactly once and all share its bytes.
 func TestCacheSingleFlight(t *testing.T) {
-	c := NewCache(4)
+	c := NewCache(4 << 10)
 	const waiters = 32
 	var computes atomic.Int64
 	entered := make(chan struct{})
@@ -205,7 +211,7 @@ func TestCacheSingleFlight(t *testing.T) {
 // TestCacheErrorsNotCached checks a failed compute leaves no entry and its
 // error reaches coalesced waiters, while the next call retries.
 func TestCacheErrorsNotCached(t *testing.T) {
-	c := NewCache(4)
+	c := NewCache(4 << 10)
 	key := CacheKey{Q: 1, K: 1, Epoch: 1}
 	boom := errors.New("boom")
 	if _, _, err := c.GetOrCompute(key, func() ([]byte, error) { return nil, boom }); !errors.Is(err, boom) {
@@ -227,13 +233,13 @@ func TestCacheErrorsNotCached(t *testing.T) {
 func TestCacheRandomizedStream(t *testing.T) {
 	g := testGraph(t, 33, 36)
 	idx := testIndex(t, g, 5)
-	s, err := New(g, idx, Config{CacheSize: 6})
+	s, err := New(g, idx, Config{CacheBytes: 2048})
 	if err != nil {
 		t.Fatal(err)
 	}
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
-	_, fresh := newTestServer(t, g, idx, Config{CacheSize: -1})
+	_, fresh := newTestServer(t, g, idx, Config{CacheBytes: -1})
 
 	rng := rand.New(rand.NewSource(7))
 	for i := 0; i < 200; i++ {
@@ -244,8 +250,114 @@ func TestCacheRandomizedStream(t *testing.T) {
 		if !bytes.Equal(body, want) {
 			t.Fatalf("q=%d k=%d: %s != fresh %s", q, k, body, want)
 		}
-		if got := s.Cache().Len(); got > 6 {
-			t.Fatalf("cache exceeded its bound: %d > 6", got)
+		if got := s.Cache().Bytes(); got > 2048 {
+			t.Fatalf("cache exceeded its byte budget: %d > 2048", got)
 		}
+	}
+}
+
+// TestCacheByteAccounting pins the motivating bug: an entry-counted bound
+// charges a k=1000 result the same as a k=1 result, so large-k traffic
+// grows memory unboundedly. Byte accounting charges what each value
+// weighs: big values displace proportionally many small ones, and a value
+// that cannot fit at all is simply not cached (rather than flushing the
+// whole cache for nothing).
+func TestCacheByteAccounting(t *testing.T) {
+	small := bytes.Repeat([]byte("s"), 16)   // ~k=1-sized body
+	large := bytes.Repeat([]byte("L"), 4096) // ~k=1000-sized body
+	budget := 10 * entryCost(large)
+	c := NewCache(budget)
+	fetch := func(q int, body []byte) CacheStatus {
+		_, status, err := c.GetOrCompute(CacheKey{Q: graph.NodeID(q), K: len(body), Epoch: 1}, func() ([]byte, error) {
+			return body, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return status
+	}
+
+	// Many small entries fit...
+	for q := 0; q < 200; q++ {
+		fetch(q, small)
+	}
+	if c.Len() != 200 {
+		t.Fatalf("%d small entries cached, want all 200 within the byte budget", c.Len())
+	}
+	// ...but the same COUNT of large entries must not: the budget holds
+	// exactly 10, and each insert stays under it.
+	for q := 200; q < 400; q++ {
+		fetch(q, large)
+		if got := c.Bytes(); got > budget {
+			t.Fatalf("cache exceeded its budget: %d > %d", got, budget)
+		}
+	}
+	if got := c.Len(); got != 10 {
+		t.Fatalf("cache holds %d entries after the large-value flood, want 10", got)
+	}
+
+	// A value bigger than the whole budget is not cached and evicts nothing.
+	before := c.Bytes()
+	if status := fetch(999, bytes.Repeat([]byte("X"), int(budget))); status != StatusMiss {
+		t.Fatalf("oversized value status %v, want MISS", status)
+	}
+	if c.Bytes() != before {
+		t.Fatalf("oversized value disturbed the cache: %d → %d bytes", before, c.Bytes())
+	}
+	if status := fetch(999, bytes.Repeat([]byte("X"), int(budget))); status != StatusMiss {
+		t.Fatalf("oversized value was cached (status %v)", status)
+	}
+}
+
+// TestPublishDropsStaleEpochsEagerly pins the satellite fix: a snapshot
+// publish must invalidate stale cache entries ON the epoch bump, not
+// lazily when eviction happens to reach them — immediately after Publish,
+// Len/Bytes count only current-epoch entries.
+func TestPublishDropsStaleEpochsEagerly(t *testing.T) {
+	g := testGraph(t, 41, 24)
+	idx := testIndex(t, g, 4)
+	store, err := NewStore(g, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCache(64 << 10)
+	store.AttachCache(c)
+
+	warm := func(epoch uint64, qs ...int) {
+		for _, q := range qs {
+			_, _, err := c.GetOrCompute(CacheKey{Q: graph.NodeID(q), K: 2, Epoch: epoch}, func() ([]byte, error) {
+				return []byte(fmt.Sprintf("e%dq%d", epoch, q)), nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	warm(store.Current().Epoch, 0, 1, 2, 3, 4)
+	if c.Len() != 5 {
+		t.Fatalf("warmup cached %d entries, want 5", c.Len())
+	}
+
+	snap, err := store.Publish(g, idx.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No lookup has touched the cache since the bump: eager invalidation
+	// must already have emptied the stale generation.
+	if c.Len() != 0 || c.Bytes() != 0 {
+		t.Fatalf("stale entries survived Publish: len=%d bytes=%d", c.Len(), c.Bytes())
+	}
+
+	// Mixed generations: entries at the new epoch survive the next bump's
+	// drop only if current.
+	warm(snap.Epoch, 7, 8)
+	if c.Len() != 2 {
+		t.Fatalf("post-publish warmup cached %d entries, want 2", c.Len())
+	}
+	if _, err := store.Publish(g, idx.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("second Publish left %d stale entries", c.Len())
 	}
 }

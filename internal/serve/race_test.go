@@ -39,7 +39,7 @@ func TestServeConcurrentWithRefresh(t *testing.T) {
 	// could legitimately 503 a burst of readers. CompactAfter 1 forces a
 	// compaction republish after every batch, so queries also race the
 	// same-epoch view swap.
-	s, err := New(g, idx, Config{CacheSize: 32, MaxInflight: 16, CompactAfter: 1})
+	s, err := New(g, idx, Config{CacheBytes: 32 << 10, MaxInflight: 16, CompactAfter: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

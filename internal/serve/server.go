@@ -18,9 +18,11 @@ import (
 
 // Config parameterizes a Server. The zero value selects defaults.
 type Config struct {
-	// CacheSize bounds the result cache in entries; 0 selects the default,
-	// negative disables caching and single-flight deduplication.
-	CacheSize int
+	// CacheBytes bounds the result cache by accounted payload bytes (value
+	// length plus per-entry overhead), so large-k responses are charged
+	// what they actually weigh; 0 selects the default, negative disables
+	// caching and single-flight deduplication.
+	CacheBytes int64
 	// MaxInflight bounds concurrent engine computations (admission
 	// control). Cache hits and coalesced waiters are not counted — they
 	// cost no engine work. Excess computations are rejected with 503.
@@ -39,8 +41,9 @@ type Config struct {
 	CompactAfter int
 }
 
-// DefaultCacheSize is the result-cache bound when Config.CacheSize is 0.
-const DefaultCacheSize = 4096
+// DefaultCacheBytes is the result-cache byte budget when Config.CacheBytes
+// is 0.
+const DefaultCacheBytes = 8 << 20
 
 var (
 	errSaturated = errors.New("serve: too many in-flight queries")
@@ -160,8 +163,8 @@ func New(g *graph.Graph, idx *lbindex.Index, cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	if cfg.CacheSize == 0 {
-		cfg.CacheSize = DefaultCacheSize
+	if cfg.CacheBytes == 0 {
+		cfg.CacheBytes = DefaultCacheBytes
 	}
 	if cfg.MaxInflight <= 0 {
 		cfg.MaxInflight = 4 * runtime.GOMAXPROCS(0)
@@ -177,7 +180,7 @@ func New(g *graph.Graph, idx *lbindex.Index, cfg Config) (*Server, error) {
 	}
 	s := &Server{
 		store:        store,
-		cache:        NewCache(cfg.CacheSize),
+		cache:        NewCache(cfg.CacheBytes),
 		budget:       cfg.WorkerBudget,
 		maxInflight:  int64(cfg.MaxInflight),
 		wake:         make(chan struct{}, 1),
@@ -186,6 +189,7 @@ func New(g *graph.Graph, idx *lbindex.Index, cfg Config) (*Server, error) {
 		compactAfter: cfg.CompactAfter,
 		start:        time.Now(),
 	}
+	store.AttachCache(s.cache)
 	s.overlay.Store(graph.NewOverlay(g))
 	go s.maintLoop()
 	return s, nil
@@ -276,14 +280,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	// One snapshot per request: every read below — validation bounds, the
 	// cache key epoch, and the engine computation — uses this one pair, so
-	// a concurrent snapshot swap cannot tear a response.
+	// a concurrent snapshot swap cannot tear a response. Validation is the
+	// same helper cmd/rtkquery uses, so CLI and HTTP reject identically.
 	snap := s.store.Current()
-	if q < 0 || q >= snap.View.N() {
-		writeError(w, http.StatusNotFound, "unknown node %d (graph has %d nodes)", q, snap.View.N())
-		return
-	}
-	if k < 1 || k > snap.View.MaxK() {
-		writeError(w, http.StatusBadRequest, "k=%d outside [1,%d] supported by the index", k, snap.View.MaxK())
+	if perr := ValidateQueryParams(q, k, snap.View.N(), snap.View.MaxK()); perr != nil {
+		writeError(w, perr.Status, "%s", perr.Error())
 		return
 	}
 
@@ -365,7 +366,8 @@ type StatsResponse struct {
 	Errors        int64   `json:"errors"`
 	EpochSwaps    int64   `json:"epoch_swaps"`
 	CacheLen      int     `json:"cache_len"`
-	CacheCap      int     `json:"cache_cap"`
+	CacheBytes    int64   `json:"cache_bytes"`
+	CacheCapBytes int64   `json:"cache_cap_bytes"`
 	Inflight      int64   `json:"inflight"`
 	WorkerBudget  int     `json:"worker_budget"`
 	Draining      bool    `json:"draining"`
@@ -412,7 +414,8 @@ func (s *Server) Stats() StatsResponse {
 		Errors:        s.errored.Load(),
 		EpochSwaps:    s.epochSwaps.Load(),
 		CacheLen:      s.cache.Len(),
-		CacheCap:      s.cache.Cap(),
+		CacheBytes:    s.cache.Bytes(),
+		CacheCapBytes: s.cache.Cap(),
 		Inflight:      s.active.Load(),
 		WorkerBudget:  s.budget,
 		Draining:      s.draining.Load(),
@@ -719,8 +722,9 @@ func (s *Server) runBatch(b *editBatch) {
 		fail(err)
 		return
 	}
+	// Publish already dropped every other epoch from the cache — eager
+	// invalidation is the store's job, so it holds for ALL publishers.
 	s.overlay.Store(next)
-	s.cache.DropOtherEpochs(published.Epoch)
 	s.epochSwaps.Add(1)
 
 	b.stats = stats

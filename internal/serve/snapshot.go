@@ -1,8 +1,8 @@
 // Package serve turns the reverse top-k engine into a long-lived query
 // daemon: a resident (graph, index) pair behind an HTTP API, with snapshot
 // isolation between serving and maintenance, an asynchronous journaled
-// edit pipeline, a bounded result cache with single-flight deduplication,
-// admission control over engine work, and graceful drain.
+// edit pipeline, a byte-accounted LRU result cache with single-flight
+// deduplication, admission control over engine work, and graceful drain.
 //
 // Snapshot model: the daemon serves from an immutable Snapshot — an epoch
 // number plus a core.View over one (graph view, index) pair — published
@@ -38,9 +38,24 @@ type Snapshot struct {
 // (Current) are wait-free; Publish/Replace are lock-free but publishers
 // must be serialized externally — the Server's single maintenance
 // goroutine is the only publisher.
+//
+// When the initial index was loaded zero-copy from an mmap'd file, the
+// store's snapshots take ownership of the mapping by reference: every
+// published index descends from the loaded one via Clone and shares its
+// backing, which stays mapped as long as any snapshot (or in-flight
+// request pinning one) is reachable, and is unmapped by a GC cleanup once
+// the last such reference is gone — see lbindex.Mapping.
 type Store struct {
 	cur atomic.Pointer[Snapshot]
+	// cache, when attached, is invalidated eagerly on every epoch bump.
+	// Stale-epoch entries can never be read again, so leaving them to
+	// lazy eviction would only pin dead bytes in the budget.
+	cache *Cache
 }
+
+// AttachCache registers the result cache whose stale epochs every Publish
+// drops. Call before the first Publish; the Server wires its own cache.
+func (s *Store) AttachCache(c *Cache) { s.cache = c }
 
 // NewStore creates a store serving the given pair as epoch 1.
 func NewStore(g graph.View, idx *lbindex.Index) (*Store, error) {
@@ -60,7 +75,8 @@ func (s *Store) Current() *Snapshot {
 }
 
 // Publish atomically replaces the current snapshot with a new one over the
-// given pair, at the next epoch. It returns the published snapshot.
+// given pair, at the next epoch, and eagerly drops every other epoch from
+// the attached cache. It returns the published snapshot.
 func (s *Store) Publish(g graph.View, idx *lbindex.Index) (*Snapshot, error) {
 	v, err := core.NewView(g, idx)
 	if err != nil {
@@ -70,6 +86,7 @@ func (s *Store) Publish(g graph.View, idx *lbindex.Index) (*Snapshot, error) {
 		old := s.cur.Load()
 		next := &Snapshot{Epoch: old.Epoch + 1, View: v}
 		if s.cur.CompareAndSwap(old, next) {
+			s.cache.DropOtherEpochs(next.Epoch)
 			return next, nil
 		}
 	}

@@ -1,0 +1,37 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// ParamError is a rejected reverse top-k query parameter: a message for the
+// caller plus the HTTP status the serving layer maps it to. The CLI
+// (cmd/rtkquery) and the HTTP handlers share ValidateQueryParams, so both
+// front ends reject identical inputs with identical messages.
+type ParamError struct {
+	// Status is the HTTP status code (400 or 404) for the rejection.
+	Status int
+	msg    string
+}
+
+func (e *ParamError) Error() string { return e.msg }
+
+// ValidateQueryParams checks a reverse top-k request (query node q, depth
+// k) against a serving pair of n nodes whose index supports k up to maxK.
+// It returns nil when the query is servable.
+func ValidateQueryParams(q, k, n, maxK int) *ParamError {
+	if q < 0 || q >= n {
+		return &ParamError{
+			Status: http.StatusNotFound,
+			msg:    fmt.Sprintf("unknown node %d (graph has %d nodes)", q, n),
+		}
+	}
+	if k < 1 || k > maxK {
+		return &ParamError{
+			Status: http.StatusBadRequest,
+			msg:    fmt.Sprintf("k=%d outside [1,%d] supported by the index", k, maxK),
+		}
+	}
+	return nil
+}
