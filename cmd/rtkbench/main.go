@@ -17,6 +17,7 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"slices"
 	"strings"
 	"time"
 
@@ -27,7 +28,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("rtkbench: ")
 	var (
-		which   = flag.String("exp", "all", "experiment: datasets|table2|fig5|fig6|fig7|fig8|fig9|spam|table3|approx|evolve|serve|all, or coldstart (not in all: builds a ~100k-node index)")
+		which   = flag.String("exp", "all", "experiment: datasets|table2|fig5|fig6|fig7|fig8|fig9|spam|table3|approx|evolve|serve|all, or coldstart/shard (not in all: each builds a ~131k-node index)")
 		scale   = flag.Int("scale", 1, "graph size multiplier (paper sizes ≈ 5–400)")
 		queries = flag.Int("queries", 0, "query workload size override (0 = experiment default; paper: 500)")
 		workers = flag.Int("workers", 1, "intra-query workers for the fig5/fig6 query sweep (0 = all cores)")
@@ -35,6 +36,14 @@ func main() {
 		verbose = flag.Bool("v", false, "print progress while running")
 	)
 	flag.Parse()
+
+	// Unknown experiment names fail fast with the full menu instead of
+	// silently running nothing.
+	valid := []string{"all", "datasets", "table2", "fig5", "fig6", "fig7", "fig8", "fig9",
+		"spam", "table3", "approx", "evolve", "serve", "coldstart", "shard"}
+	if !slices.Contains(valid, *which) {
+		log.Fatalf("unknown experiment %q; valid -exp values: %s", *which, strings.Join(valid, ", "))
+	}
 
 	var progress io.Writer
 	if *verbose {
@@ -200,6 +209,21 @@ func main() {
 			log.Fatal(err)
 		}
 		if err := exp.WriteColdstart(os.Stdout, res, *jsonOut); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if *which == "shard" {
+		header("Sharding: scatter-gather coordinator throughput + cross-shard bound pruning vs P")
+		cfg := exp.DefaultShardBenchConfig(*scale)
+		if *queries > 0 {
+			cfg.Queries = *queries
+		}
+		res, err := exp.RunShardBench(cfg, progress)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := exp.WriteShardBench(os.Stdout, res, *jsonOut); err != nil {
 			log.Fatal(err)
 		}
 	}

@@ -7,6 +7,15 @@
 //
 //	rtkindex -graph web.txt -out web.idx -K 200 -B 100 -omega 1e-6
 //	rtkindex -rewrite old.idx -out new.idx    # migrate a v1 file to v2
+//	rtkindex -graph web.txt -out web.idx -partition 4 -strategy balanced
+//
+// With -partition P the index is built ONCE and then streamed out as P
+// shard-slice files (web.idx.shard0of4, …), each carrying the partition
+// map, its owned rows and the full hub matrix — together ≈ one full
+// index's bytes, not P×, and never more than one full index resident in
+// memory. Serve each slice with a stock rtkserve and put an
+// `rtkserve -shards ...` coordinator in front; see the README's "Sharded
+// serving" section.
 package main
 
 import (
@@ -14,10 +23,12 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/graph"
 	"repro/internal/lbindex"
+	"repro/internal/partition"
 )
 
 func main() {
@@ -35,11 +46,16 @@ func main() {
 		alpha     = flag.Float64("alpha", 0.15, "restart probability α")
 		workers   = flag.Int("workers", 0, "build parallelism (0 = GOMAXPROCS)")
 		rewrite   = flag.String("rewrite", "", "load an existing index (v1 or v2) and rewrite it as format v2 to -out, instead of building")
+		part      = flag.Int("partition", 0, "also write P shard-slice files <out>.shard<i>of<P> for sharded serving (0 = none)")
+		strategy  = flag.String("strategy", "balanced", "partitioner for -partition: hash|range|balanced")
 	)
 	flag.Parse()
 	if *rewrite != "" {
 		if *out == "" {
 			log.Fatal("-rewrite requires -out")
+		}
+		if *part != 0 {
+			log.Fatal("-rewrite migrates a file as-is and cannot partition; build with -graph -partition instead")
 		}
 		doRewrite(*rewrite, *out)
 		return
@@ -80,7 +96,19 @@ func main() {
 	case "none":
 		opts.HubScheme = lbindex.HubsNone
 	default:
-		log.Fatalf("unknown hub scheme %q", *scheme)
+		log.Fatalf("unknown hub scheme %q; valid -hubs values: degree, greedy, none", *scheme)
+	}
+	// Resolve the partitioner before the (possibly long) build so a typo
+	// fails in milliseconds, not after the index exists.
+	var strat partition.Strategy
+	if *part != 0 {
+		if *part < 0 {
+			log.Fatalf("-partition must be positive, got %d", *part)
+		}
+		var err error
+		if strat, err = partition.ParseStrategy(*strategy); err != nil {
+			log.Fatalf("%v; valid -strategy values: %s", err, strings.Join(partition.Strategies(), ", "))
+		}
 	}
 
 	idx, stats, err := lbindex.Build(g, opts)
@@ -99,6 +127,37 @@ func main() {
 	if err == nil {
 		fmt.Printf("wrote %s (%d B on disk)\n", *out, info.Size())
 	}
+
+	if *part > 0 {
+		pm, perr := partition.New(strat, g, g.N(), *part, 0)
+		if perr != nil {
+			log.Fatal(perr)
+		}
+		// One pass over the in-memory index: each slice shares its rows
+		// (O(owned) pointers) and streams straight to disk through the v2
+		// writer — peak memory stays one full index, never P×.
+		for s := 0; s < pm.P(); s++ {
+			slice, err := idx.ShardSlice(pm, s)
+			if err != nil {
+				log.Fatal(err)
+			}
+			path := ShardPath(*out, s, pm.P())
+			if err := slice.SaveFile(path); err != nil {
+				log.Fatal(err)
+			}
+			size := int64(0)
+			if fi, err := os.Stat(path); err == nil {
+				size = fi.Size()
+			}
+			fmt.Printf("wrote %s (%s shard %d/%d, %d owned rows, %d B on disk)\n",
+				path, pm.Strategy(), s, pm.P(), len(slice.OwnedNodes()), size)
+		}
+	}
+}
+
+// ShardPath names shard s's slice file for a base output path.
+func ShardPath(out string, s, p int) string {
+	return fmt.Sprintf("%s.shard%dof%d", out, s, p)
 }
 
 // doRewrite migrates an index file to format v2: a full (heap, deeply

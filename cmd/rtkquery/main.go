@@ -8,6 +8,12 @@
 //	rtkquery -graph web.txt -index web.idx -q 42 -k 10
 //	rtkquery -graph web.txt -index web.idx -q 42 -k 10 -update -save
 //	rtkquery -graph web.txt -index web.idx -q 42 -k 10 -workers 0   # one query, all cores
+//	rtkquery -graph web.txt -shards web.idx.shard0of2,web.idx.shard1of2 -q 42 -k 10
+//
+// With -shards, the comma-separated shard-slice files (rtkindex -partition)
+// are queried through the in-process scatter-gather coordinator: one shared
+// PMPN, per-shard candidate decisions, cross-shard bound pruning — and an
+// answer bit-identical to the unsharded one.
 package main
 
 import (
@@ -15,12 +21,15 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/lbindex"
 	"repro/internal/serve"
+	"repro/internal/shard"
 )
 
 func main() {
@@ -28,7 +37,8 @@ func main() {
 	log.SetPrefix("rtkquery: ")
 	var (
 		graphPath = flag.String("graph", "", "edge-list path (required)")
-		indexPath = flag.String("index", "", "index path (required)")
+		indexPath = flag.String("index", "", "index path (required unless -shards is given)")
+		shards    = flag.String("shards", "", "comma-separated shard-slice index files: query via the in-process coordinator")
 		q         = flag.Int("q", -1, "query node (required)")
 		k         = flag.Int("k", 10, "query k")
 		workers   = flag.Int("workers", 1, "intra-query worker count (0 = all cores); answers are identical at any setting")
@@ -39,8 +49,11 @@ func main() {
 		explain   = flag.Bool("explain", false, "print the per-candidate decision trace instead of running the query")
 	)
 	flag.Parse()
-	if *graphPath == "" || *indexPath == "" || *q < 0 {
-		log.Fatal("-graph, -index and -q are required")
+	if *graphPath == "" || (*indexPath == "" && *shards == "") || *q < 0 {
+		log.Fatal("-graph, -q and one of -index/-shards are required")
+	}
+	if *indexPath != "" && *shards != "" {
+		log.Fatal("-index and -shards are mutually exclusive")
 	}
 	if *save {
 		*update = true
@@ -63,6 +76,13 @@ func main() {
 	useMmap, err := lbindex.ParseMmapMode(*mmapMode)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *shards != "" {
+		if *update || *save || *approx || *explain {
+			log.Fatal("-shards supports plain queries only (no -update/-save/-approx/-explain)")
+		}
+		querySharded(g, strings.Split(*shards, ","), *q, *k, *workers, useMmap)
+		return
 	}
 	idx, err := lbindex.LoadFile(*indexPath, lbindex.LoadOptions{Mmap: useMmap})
 	if err != nil {
@@ -113,4 +133,39 @@ func main() {
 		}
 		fmt.Printf("saved refined index (%d refinement commits total)\n", idx.Refinements())
 	}
+}
+
+// querySharded loads the shard-slice files and answers the query through
+// the in-process scatter-gather coordinator.
+func querySharded(g *graph.Graph, paths []string, q, k, workers int, useMmap bool) {
+	if workers <= 0 {
+		// Same convention as the unsharded path: 0 means all cores (the
+		// coordinator's own ≤0 default would mean "one per shard").
+		workers = runtime.GOMAXPROCS(0)
+	}
+	slices := make([]*lbindex.Index, len(paths))
+	for i, path := range paths {
+		idx, err := lbindex.LoadFile(strings.TrimSpace(path), lbindex.LoadOptions{Mmap: useMmap})
+		if err != nil {
+			log.Fatal(err)
+		}
+		slices[i] = idx
+	}
+	c, err := shard.NewInProc(g, slices, shard.Config{Workers: workers})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if perr := serve.ValidateQueryParams(q, k, g.N(), c.MaxK()); perr != nil {
+		log.Fatal(perr)
+	}
+	answer, stats, err := c.Query(graph.NodeID(q), k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reverse top-%d of node %d: %d nodes\n", k, q, len(answer))
+	fmt.Printf("%v\n", answer)
+	fmt.Printf("shards: P=%d rounds=%d pruned_by_bound=%d confirmed_by_bound=%d survivors=%d early_stop=%v\n",
+		c.P(), stats.Rounds, stats.PrunedByBound, stats.ConfirmedByBound, stats.Survivors, stats.EarlyStop)
+	fmt.Printf("time: total=%v pmpn=%v (%d PMPN iterations)\n",
+		stats.Elapsed.Round(time.Microsecond), stats.PMPNElapsed.Round(time.Microsecond), stats.PMPNIters)
 }

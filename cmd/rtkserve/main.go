@@ -41,6 +41,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -53,8 +54,9 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("rtkserve: ")
 	var (
-		graphPath    = flag.String("graph", "", "edge-list path (required)")
-		indexPath    = flag.String("index", "", "prebuilt index path (omit to build at startup)")
+		graphPath    = flag.String("graph", "", "edge-list path (required unless -shards is given)")
+		indexPath    = flag.String("index", "", "prebuilt index path (omit to build at startup); may be a shard-slice file")
+		shards       = flag.String("shards", "", "comma-separated shard daemon URLs: run as a fan-out coordinator (no graph/index loaded)")
 		addr         = flag.String("addr", ":7471", "listen address")
 		k            = flag.Int("K", 200, "maximum supported query k when building the index")
 		b            = flag.Int("B", 100, "hub budget when building the index")
@@ -66,8 +68,18 @@ func main() {
 		compactAfter = flag.Int("compact-after", 0, "overlay delta edges before background compaction (0 = max(4096, M/8), negative disables)")
 	)
 	flag.Parse()
+	if *shards != "" {
+		// Coordinator mode holds no graph, index or cache; any serving
+		// flag alongside -shards is a mixed-up command line, not a request
+		// we can half-honor.
+		if *graphPath != "" || *indexPath != "" {
+			log.Fatal("-shards runs a pure coordinator: -graph/-index belong on the shard daemons")
+		}
+		runCoordinator(strings.Split(*shards, ","), *addr, *drain)
+		return
+	}
 	if *graphPath == "" {
-		log.Fatal("-graph is required")
+		log.Fatal("-graph is required (or -shards for coordinator mode)")
 	}
 
 	gf, err := os.Open(*graphPath)
@@ -148,5 +160,41 @@ func main() {
 	}
 	<-drained
 	srv.Close()
+	log.Printf("drained; bye")
+}
+
+// runCoordinator serves the fan-out coordinator: same routes, no resident
+// graph or index — every query scatters to the shard daemons and the
+// disjoint answers merge into the exact global answer. See the README's
+// "Sharded serving" section for the topology.
+func runCoordinator(shardURLs []string, addr string, drain time.Duration) {
+	fan, err := serve.NewFanout(serve.FanoutConfig{Shards: shardURLs})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: fan.Handler()}
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	drained := make(chan struct{})
+	go func() {
+		sig := <-sigCh
+		log.Printf("received %v: draining coordinator (timeout %v)", sig, drain)
+		ctx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("drain incomplete: %v", err)
+		}
+		close(drained)
+	}()
+	log.Printf("coordinating %d shards: %s", len(fan.Shards()), strings.Join(fan.Shards(), ", "))
+	log.Printf("listening on %s", ln.Addr())
+	if err := httpSrv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	<-drained
 	log.Printf("drained; bye")
 }

@@ -12,7 +12,13 @@
 // rtkindex -rewrite), the evolving-graph pipeline (graph.Overlay deltas
 // behind the graph.View interface, an asynchronous journaled edit queue
 // with watermarks, blast-radius-only index refreshes and background
-// compaction), and how to run the paper experiments and benchmarks.
+// compaction), the sharding layer (internal/partition deterministic
+// node partitioning, lbindex shard slices carrying their partition map,
+// and the internal/shard scatter-gather coordinator that computes one
+// PMPN, exchanges pruning bounds between rounds and merges per-shard
+// decisions into the exact global answer — plus the rtkserve -shards
+// HTTP fan-out over stock shard daemons), and how to run the paper
+// experiments and benchmarks.
 //
 // The root package carries the repository-level benchmarks (bench_test.go):
 // one benchmark per table/figure of the paper plus ablations of the design

@@ -37,7 +37,7 @@ func (e *Engine) QueryApproximate(q graph.NodeID, k int) ([]graph.NodeID, QueryS
 	stats.PMPNElapsed = time.Since(start)
 
 	var results []graph.NodeID
-	for u := graph.NodeID(0); int(u) < e.g.N(); u++ {
+	for u := range e.eachIndexed() {
 		puq := pmpn.Vector[u]
 		lb := e.idx.KthLowerBound(u, k)
 		if puq < lb-e.tieTol {

@@ -173,7 +173,7 @@ func NewEngine(g graph.View, idx *lbindex.Index, update bool) (*Engine, error) {
 		workers:   1,
 		wsPool:    bca.NewPool(g.N()),
 		etaFloor:  1e-12,
-		tieTol:    1e-9,
+		tieTol:    defaultTieTol,
 		maxRefine: DefaultMaxRefineSteps,
 	}, nil
 }
@@ -226,27 +226,13 @@ func (e *Engine) Query(q graph.NodeID, k int) ([]graph.NodeID, QueryStats, error
 	stats.PMPNIters = pmpn.Iterations
 	stats.PMPNElapsed = time.Since(start)
 
-	// Step 2: screen every node. Decisions are independent across nodes
-	// (decide(u) touches only u's own index entry), so the range shards
-	// cleanly across workers.
-	var results []graph.NodeID
-	if e.workers > 1 {
-		results, err = e.decideSharded(pq, k, &stats)
-		if err != nil {
-			return nil, stats, err
-		}
-	} else {
-		ws := e.wsPool.Get()
-		defer e.wsPool.Put(ws)
-		for u := graph.NodeID(0); int(u) < e.g.N(); u++ {
-			added, err := e.decide(ws, u, k, pq[u], &stats)
-			if err != nil {
-				return nil, stats, err
-			}
-			if added {
-				results = append(results, u)
-			}
-		}
+	// Step 2: screen every materialized node — all of them on a full
+	// index, the owned subset on a shard slice (see lbindex.ShardSlice).
+	// Decisions are independent across nodes (decide(u) touches only u's
+	// own index entry), so the set shards cleanly across workers.
+	results, err := e.decideSet(pq, k, e.idx.OwnedNodes(), &stats)
+	if err != nil {
+		return nil, stats, err
 	}
 	stats.Results = len(results)
 	stats.Elapsed = time.Since(start)
@@ -254,21 +240,75 @@ func (e *Engine) Query(q graph.NodeID, k int) ([]graph.NodeID, QueryStats, error
 	return results, stats, nil
 }
 
-// decideSharded partitions the node range across the engine's workers, each
-// shard running the sequential decision loop with its own pooled workspace
-// and private counters. Shard answers concatenate in segment order (already
-// ascending) and counters merge by addition, so the outcome is identical to
-// the sequential sweep; commits land in the shared index under its own
-// striped locking. On error the lowest-range shard's error is reported, and
-// committed refinements from other shards remain in the index — exactly as
-// a sequential sweep would have left every node decided before the failure.
-func (e *Engine) decideSharded(pq []float64, k int, stats *QueryStats) ([]graph.NodeID, error) {
+// DecideList is the shard-local candidate decision entry point: given the
+// exact proximities-to-query vector pq (full length, typically computed
+// once by a scatter-gather coordinator and shared across shards), it runs
+// Algorithm 4's per-candidate decision for exactly the listed nodes and
+// returns the members, ascending. Every listed node's row must be
+// materialized in the engine's index. The answer for each node is the one
+// Query itself would produce — DecideList(pq, k, all nodes) ≡ Query(q, k).
+func (e *Engine) DecideList(pq []float64, k int, nodes []graph.NodeID) ([]graph.NodeID, QueryStats, error) {
+	stats := QueryStats{Query: -1, K: k}
+	if len(pq) != e.g.N() {
+		return nil, stats, fmt.Errorf("core: proximity vector has %d entries, graph has %d", len(pq), e.g.N())
+	}
+	if k <= 0 || k > e.idx.K() {
+		return nil, stats, fmt.Errorf("core: k=%d outside [1,%d] supported by the index", k, e.idx.K())
+	}
+	start := time.Now()
+	results, err := e.decideSet(pq, k, nodes, &stats)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.Results = len(results)
+	stats.Elapsed = time.Since(start)
+	sort.Slice(results, func(i, j int) bool { return results[i] < results[j] })
+	return results, stats, nil
+}
+
+// decideSet runs the decision loop over a node set — `list`, or all of
+// [0, n) when list is nil — sequentially or sharded across the engine's
+// workers. Outcomes are identical either way: each shard runs the
+// sequential loop over its segment with a private workspace and counters,
+// answers concatenate in segment order and counters merge by addition;
+// commits land in the shared index under its own striped locking. On error
+// the lowest-segment error is reported, and committed refinements from
+// other segments remain in the index — exactly as a sequential sweep would
+// have left every node decided before the failure.
+func (e *Engine) decideSet(pq []float64, k int, list []graph.NodeID, stats *QueryStats) ([]graph.NodeID, error) {
+	count := e.g.N()
+	if list != nil {
+		count = len(list)
+	}
+	nodeAt := func(i int) graph.NodeID {
+		if list != nil {
+			return list[i]
+		}
+		return graph.NodeID(i)
+	}
+	if e.workers <= 1 {
+		ws := e.wsPool.Get()
+		defer e.wsPool.Put(ws)
+		var results []graph.NodeID
+		for i := 0; i < count; i++ {
+			u := nodeAt(i)
+			added, err := e.decide(ws, u, k, pq[u], stats)
+			if err != nil {
+				return nil, err
+			}
+			if added {
+				results = append(results, u)
+			}
+		}
+		return results, nil
+	}
+
 	type shard struct {
 		results []graph.NodeID
 		stats   QueryStats
 		err     error
 	}
-	segs := vecmath.Split(e.g.N(), e.workers)
+	segs := vecmath.Split(count, e.workers)
 	shards := make([]shard, len(segs))
 	var wg sync.WaitGroup
 	for si, seg := range segs {
@@ -277,7 +317,8 @@ func (e *Engine) decideSharded(pq []float64, k int, stats *QueryStats) ([]graph.
 			defer wg.Done()
 			ws := e.wsPool.Get()
 			defer e.wsPool.Put(ws)
-			for u := graph.NodeID(seg.Lo); int(u) < seg.Hi; u++ {
+			for i := seg.Lo; i < seg.Hi; i++ {
+				u := nodeAt(i)
 				added, err := e.decide(ws, u, k, pq[u], &sh.stats)
 				if err != nil {
 					sh.err = err
@@ -304,6 +345,27 @@ func (e *Engine) decideSharded(pq []float64, k int, stats *QueryStats) ([]graph.
 		stats.Committed += sh.stats.Committed
 	}
 	return results, nil
+}
+
+// eachIndexed iterates the nodes whose index rows this engine
+// materializes: all of [0, n) for a full index, the owned subset for a
+// shard slice.
+func (e *Engine) eachIndexed() func(yield func(graph.NodeID) bool) {
+	return func(yield func(graph.NodeID) bool) {
+		if owned := e.idx.OwnedNodes(); owned != nil {
+			for _, u := range owned {
+				if !yield(u) {
+					return
+				}
+			}
+			return
+		}
+		for u := graph.NodeID(0); int(u) < e.g.N(); u++ {
+			if !yield(u) {
+				return
+			}
+		}
+	}
 }
 
 // decide implements the inner while loop of Algorithm 4 for one node u:

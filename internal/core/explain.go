@@ -121,7 +121,7 @@ func (e *Engine) Explain(q graph.NodeID, k int, includePruned bool) (*Explanatio
 	ex := &Explanation{Query: q, K: k}
 	ws := e.wsPool.Get()
 	defer e.wsPool.Put(ws)
-	for u := graph.NodeID(0); int(u) < e.g.N(); u++ {
+	for u := range e.eachIndexed() {
 		d, err := e.explainNode(ws, u, k, pmpn.Vector[u], &stats)
 		if err != nil {
 			return nil, err

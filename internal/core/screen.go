@@ -1,0 +1,203 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/lbindex"
+)
+
+// defaultTieTol is the floating-point tolerance on the membership boundary
+// shared by the engine's decision rule (see Engine.tieTol) and the
+// incremental Screen below — both must compare with the same slack or an
+// early screen decision could disagree with the final engine decision.
+const defaultTieTol = 1e-9
+
+// Screen incrementally classifies one shard's candidate set against
+// partial PMPN bounds, round by round. A scatter-gather coordinator
+// (internal/shard) creates one Screen per shard per query, then after each
+// block of PMPN iterations calls Advance with the current iterate x and its
+// elementwise error bound τ (rwr.ToStepper.Tail): for every still-undecided
+// node u,
+//
+//   - x[u] + τ < p̂_u(k) − tol proves p_u(q) < p̂_u(k) − tol: the engine's
+//     first screen would prune u, so it is pruned now, permanently;
+//   - x[u] − τ ≥ UB_u − tol (the Algorithm-3 staircase upper bound over
+//     u's residue + rounding slack; plain p̂_u(k) when the state is fully
+//     drained) proves the engine's hit check would fire: u is confirmed
+//     into the answer now, permanently.
+//
+// Both tests are monotone-safe — they imply the corresponding exact-pq
+// decision — so a query answered partly by early rounds and partly by a
+// final exact-pq DecideList is bit-identical to the single-engine answer.
+//
+// Per-node bound inputs (p̂_u(k), residue+slack, the staircase bound) are
+// fetched lazily and memoized: the cheap k-th lower bound prunes the bulk
+// of the graph long before the more expensive upper bound is ever needed.
+//
+// A Screen is single-use, single-goroutine; different shards' Screens
+// advance concurrently without coordination (they touch disjoint rows).
+type Screen struct {
+	idx *lbindex.Index
+	k   int
+	tol float64
+
+	// Alive set, compacted in place as nodes decide. lb/rn/ub are aligned
+	// caches; rn and ub are NaN until first computed.
+	ids []graph.NodeID
+	lb  []float64
+	rn  []float64
+	ub  []float64
+
+	hits      []graph.NodeID
+	pruned    int
+	confirmed int
+	maxLB     float64
+}
+
+// RoundReport summarizes one Advance: what the round decided and the
+// tightest still-open prune gap, which the coordinator folds across shards
+// into the global bound that sizes the next round.
+type RoundReport struct {
+	// NewHits are the nodes this round confirmed into the answer,
+	// ascending within the round.
+	NewHits []graph.NodeID
+	// Pruned counts nodes this round proved out of the answer.
+	Pruned int
+	// Undecided is the remaining alive-set size after the round.
+	Undecided int
+	// MinPruneGap is the smallest p̂_u(k) − tol − x[u] over undecided
+	// nodes currently sitting BELOW their lower bound (+Inf if none): once
+	// the coordinator's τ drops under the global minimum of this quantity,
+	// every such node prunes. It is the "current global k-th-score lower
+	// bound" datum of the cross-shard exchange.
+	MinPruneGap float64
+}
+
+// NewScreen prepares a screen over the nodes this view's index
+// materializes (its shard's owned set, or every node for a full index).
+func (v *View) NewScreen(k int) (*Screen, error) {
+	if k <= 0 || k > v.idx.K() {
+		return nil, fmt.Errorf("core: k=%d outside [1,%d] supported by the index", k, v.idx.K())
+	}
+	owned := v.idx.OwnedNodes()
+	var ids []graph.NodeID
+	if owned != nil {
+		ids = append([]graph.NodeID(nil), owned...)
+	} else {
+		ids = make([]graph.NodeID, v.g.N())
+		for u := range ids {
+			ids[u] = graph.NodeID(u)
+		}
+	}
+	s := &Screen{
+		idx: v.idx,
+		k:   k,
+		tol: defaultTieTol,
+		ids: ids,
+		lb:  make([]float64, len(ids)),
+		rn:  make([]float64, len(ids)),
+		ub:  make([]float64, len(ids)),
+	}
+	for i, u := range ids {
+		s.lb[i] = v.idx.KthLowerBound(u, k)
+		s.rn[i] = math.NaN()
+		s.ub[i] = math.NaN()
+		if s.lb[i] > s.maxLB {
+			s.maxLB = s.lb[i]
+		}
+	}
+	return s, nil
+}
+
+// MaxLowerBound returns the largest p̂_u(k) over this screen's node set.
+// While the coordinator's τ exceeds the global maximum of this bound, no
+// node anywhere can be pruned, so the first exchange round is scheduled
+// only once τ falls under it.
+func (s *Screen) MaxLowerBound() float64 { return s.maxLB }
+
+// Advance screens the alive set against iterate x with elementwise error
+// bound tau. x must cover the full node space; tau must be a valid bound
+// for THIS x. With tau = 0, Advance decides exactly like the engine's
+// pre-refinement screen (survivors are the candidates refinement would
+// work on).
+func (s *Screen) Advance(x []float64, tau float64) RoundReport {
+	rep := RoundReport{MinPruneGap: math.Inf(1)}
+	kept := 0
+	for i := 0; i < len(s.ids); i++ {
+		u := s.ids[i]
+		lb := s.lb[i]
+		xv := x[u]
+		if xv+tau < lb-s.tol {
+			s.pruned++
+			rep.Pruned++
+			continue
+		}
+		plo := xv - tau
+		if plo < lb-s.tol {
+			// Not provably above the lower bound yet: it can neither be
+			// confirmed (UB ≥ lb) nor pruned this round. Record how far τ
+			// must still fall for the prune test to fire.
+			if gap := lb - s.tol - xv; gap > 0 && gap < rep.MinPruneGap {
+				rep.MinPruneGap = gap
+			}
+			s.keep(i, &kept)
+			continue
+		}
+		rn := s.rn[i]
+		if math.IsNaN(rn) {
+			rn = s.idx.ResidueNorm(u) + s.idx.RoundingSlack(u)
+			s.rn[i] = rn
+		}
+		if rn == 0 {
+			// Exact row: p_u(q) ≥ plo ≥ lb − tol decides membership.
+			s.confirm(u, &rep)
+			continue
+		}
+		ub := s.ub[i]
+		if math.IsNaN(ub) {
+			ub = UpperBound(s.idx.PHatRow(u), s.k, rn)
+			s.ub[i] = ub
+		}
+		if plo >= ub-s.tol {
+			s.confirm(u, &rep)
+			continue
+		}
+		s.keep(i, &kept)
+	}
+	s.ids = s.ids[:kept]
+	s.lb = s.lb[:kept]
+	s.rn = s.rn[:kept]
+	s.ub = s.ub[:kept]
+	rep.Undecided = kept
+	return rep
+}
+
+func (s *Screen) keep(i int, kept *int) {
+	s.ids[*kept] = s.ids[i]
+	s.lb[*kept] = s.lb[i]
+	s.rn[*kept] = s.rn[i]
+	s.ub[*kept] = s.ub[i]
+	*kept++
+}
+
+func (s *Screen) confirm(u graph.NodeID, rep *RoundReport) {
+	s.hits = append(s.hits, u)
+	rep.NewHits = append(rep.NewHits, u)
+	s.confirmed++
+}
+
+// Survivors returns the still-undecided nodes, ascending. The slice
+// aliases internal state and is valid until the next Advance.
+func (s *Screen) Survivors() []graph.NodeID { return s.ids }
+
+// Hits returns every node confirmed so far, in confirmation order.
+func (s *Screen) Hits() []graph.NodeID { return s.hits }
+
+// Pruned returns the total number of nodes proved out of the answer by
+// early (τ > 0) or final screens.
+func (s *Screen) Pruned() int { return s.pruned }
+
+// Confirmed returns the total number of nodes confirmed into the answer.
+func (s *Screen) Confirmed() int { return s.confirmed }

@@ -56,6 +56,18 @@ func (v *View) Query(q graph.NodeID, k, workers int) ([]graph.NodeID, QueryStats
 	return e.Query(q, k)
 }
 
+// DecideList answers the shard-local decision step for the listed nodes
+// against a precomputed proximities-to-query vector, with the given
+// intra-engine worker count (≤ 0 selects GOMAXPROCS) — the entry point the
+// scatter-gather coordinator fans out to. Safe for concurrent use; see
+// Engine.DecideList.
+func (v *View) DecideList(pq []float64, k int, nodes []graph.NodeID, workers int) ([]graph.NodeID, QueryStats, error) {
+	e := v.engines.Get().(*Engine)
+	defer v.engines.Put(e)
+	e.SetWorkers(workers)
+	return e.DecideList(pq, k, nodes)
+}
+
 // Graph returns the graph view this View queries (a base CSR *graph.Graph
 // or a *graph.Overlay carrying un-compacted edits).
 func (v *View) Graph() graph.View { return v.g }

@@ -272,6 +272,13 @@ func RefreshPartial[G graph.View](g2 G, idx *lbindex.Index, affected, affectedHu
 				if hm.IsHub(u) {
 					continue // hub columns were refreshed above
 				}
+				if !idx.Owns(u) {
+					// Shard slices refresh only the rows they own; the
+					// same batch reaches every shard, and each re-indexes
+					// its own partition (hubs, replicated, refresh
+					// everywhere via affectedHubs above).
+					continue
+				}
 				st, err := bca.Run(g2, u, hm, opts.BCA, ws)
 				if err != nil {
 					mu.Lock()

@@ -1,0 +1,295 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/lbindex"
+	"repro/internal/partition"
+	"repro/internal/shard"
+	"repro/internal/workload"
+)
+
+// ShardBenchConfig parameterizes the sharded-query experiment: a
+// 131k-node web graph (the copying model of the paper's web datasets — an
+// RMAT graph would flood the decide phase with its thousands of dangling
+// tie-at-zero nodes), queried through the in-process scatter-gather
+// coordinator at increasing shard counts.
+type ShardBenchConfig struct {
+	// Nodes sizes the bench graph.
+	Nodes int
+	// IndexK / HubBudget shape the index.
+	IndexK, HubBudget int
+	// K is the query k; Queries the workload size per shard count.
+	K, Queries int
+	// Ps lists the shard counts to sweep; the first entry is the
+	// single-shard throughput baseline.
+	Ps []int
+	// Strategy names the partitioner (hash | range | balanced).
+	Strategy string
+	// OracleQueries answers are cross-checked against the single engine
+	// bit for bit (0 disables).
+	OracleQueries int
+	Seed          int64
+}
+
+// DefaultShardBenchConfig matches the acceptance setup: the 2^17 = 131072
+// node bench graph, P ∈ {1, 2, 4}, the balance-aware partitioner.
+func DefaultShardBenchConfig(scale int) ShardBenchConfig {
+	n := 131072
+	if scale > 1 {
+		n *= scale
+	}
+	return ShardBenchConfig{
+		Nodes:         n,
+		IndexK:        32,
+		HubBudget:     48,
+		K:             10,
+		Queries:       8,
+		Ps:            []int{1, 2, 4},
+		Strategy:      "balanced",
+		OracleQueries: 2,
+		Seed:          909,
+	}
+}
+
+// ShardBenchRow is one shard count's measurements.
+type ShardBenchRow struct {
+	P int `json:"p"`
+	// NSPerQuery is mean wall clock per query; QPS its reciprocal.
+	NSPerQuery int64   `json:"ns_per_query"`
+	QPS        float64 `json:"qps"`
+	// Speedup is QPS relative to the P = Ps[0] baseline. It reflects the
+	// machine: P shard engines plus the shared PMPN spread over P workers,
+	// so it needs P cores to show the deployment's parallel gain (see the
+	// top-level Cores field; on a 1-core box it is ≈ 1.0 by construction).
+	Speedup float64 `json:"speedup_vs_p1"`
+	// NaiveNSPerQuery measures the redundant-PMPN federation at the same
+	// P — every shard computing its own PMPN before deciding its owned
+	// nodes, exactly the work profile of the stock-HTTP transport — under
+	// the same parallelism. SpeedupVsNaive = naive/coordinator time: the
+	// architectural gain of sharing one PMPN and exchanging bounds,
+	// visible on any core count.
+	NaiveNSPerQuery int64   `json:"naive_ns_per_query"`
+	SpeedupVsNaive  float64 `json:"speedup_vs_naive"`
+	// Cross-shard bound-exchange pruning totals over the workload:
+	// candidates decided from partial-iterate bounds (pruned out /
+	// confirmed in) versus survivors left to the exact decide pass.
+	PrunedByBound    int64 `json:"pruned_by_bound"`
+	ConfirmedByBound int64 `json:"confirmed_by_bound"`
+	Survivors        int64 `json:"survivors"`
+	// PruneFraction = PrunedByBound / (nodes × queries).
+	PruneFraction float64 `json:"prune_fraction"`
+	// Rounds / PMPNIters are totals over the workload; EarlyStops counts
+	// queries whose PMPN was abandoned before convergence.
+	Rounds     int64 `json:"rounds"`
+	PMPNIters  int64 `json:"pmpn_iters"`
+	EarlyStops int64 `json:"early_stops"`
+	// OracleAgree reports the bit-identity spot check against the
+	// single-engine answer.
+	OracleAgree bool `json:"oracle_agree"`
+}
+
+// ShardBenchResult is the machine-readable record emitted as
+// BENCH_shard.json.
+type ShardBenchResult struct {
+	GraphNodes int    `json:"graph_nodes"`
+	GraphEdges int    `json:"graph_edges"`
+	IndexK     int    `json:"index_k"`
+	Hubs       int    `json:"hubs"`
+	BuildNS    int64  `json:"build_ns"`
+	Strategy   string `json:"strategy"`
+	K          int    `json:"k"`
+	Queries    int    `json:"queries"`
+	// Cores is runtime.NumCPU() where the record was taken — the context
+	// for the speedup_vs_p1 column.
+	Cores int             `json:"cores"`
+	Rows  []ShardBenchRow `json:"rows"`
+}
+
+// RunShardBench builds the bench index once, slices it per shard count and
+// drives the same query workload through the in-process coordinator,
+// recording throughput and cross-shard pruning statistics.
+func RunShardBench(cfg ShardBenchConfig, progress io.Writer) (*ShardBenchResult, error) {
+	g, err := gen.WebGraph(cfg.Nodes, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	// Paper-default BCA thresholds: unlike the coldstart bench (which only
+	// parses files and loosens them for build speed), this experiment RUNS
+	// queries, and loose bounds would flood the decide phase with
+	// candidates that never arise in a production-shaped index.
+	opts := indexOptions(cfg.IndexK, cfg.HubBudget, 1e-6)
+	if progress != nil {
+		fmt.Fprintf(progress, "shard: building index over n=%d m=%d ...\n", g.N(), g.M())
+	}
+	buildStart := time.Now()
+	idx, bstats, err := lbindex.Build(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	res := &ShardBenchResult{
+		GraphNodes: g.N(),
+		GraphEdges: g.M(),
+		IndexK:     cfg.IndexK,
+		Hubs:       bstats.HubCount,
+		BuildNS:    int64(time.Since(buildStart)),
+		Strategy:   cfg.Strategy,
+		K:          cfg.K,
+		Queries:    cfg.Queries,
+		Cores:      runtime.NumCPU(),
+	}
+	queries, err := workload.Queries(g.N(), cfg.Queries, cfg.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+
+	var oracle map[int][]int32
+	if cfg.OracleQueries > 0 {
+		eng, err := core.NewEngine(g, idx, false)
+		if err != nil {
+			return nil, err
+		}
+		oracle = map[int][]int32{}
+		for i := 0; i < cfg.OracleQueries && i < len(queries); i++ {
+			ans, _, err := eng.Query(queries[i], cfg.K)
+			if err != nil {
+				return nil, err
+			}
+			oracle[int(queries[i])] = ans
+		}
+	}
+
+	strategy, err := partition.ParseStrategy(cfg.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range cfg.Ps {
+		pm, err := partition.New(strategy, g, g.N(), p, uint64(cfg.Seed))
+		if err != nil {
+			return nil, err
+		}
+		// The coordinator's worker budget scales with the shard count:
+		// this is the deployment comparison the experiment is about — one
+		// engine on one core versus P shard engines on P cores sharing
+		// one PMPN — not an intra-query SetWorkers sweep.
+		c, err := shard.NewFromFull(g, idx, pm, shard.Config{Workers: p})
+		if err != nil {
+			return nil, err
+		}
+		row := ShardBenchRow{P: p, OracleAgree: true}
+		if progress != nil {
+			fmt.Fprintf(progress, "shard: P=%d warming + measuring %d queries ...\n", p, len(queries))
+		}
+		// One warm-up query keeps one-time costs (page-in, pool fills)
+		// out of the measurement.
+		if _, _, err := c.Query(queries[0], cfg.K); err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		for _, q := range queries {
+			ans, st, err := c.Query(q, cfg.K)
+			if err != nil {
+				return nil, err
+			}
+			row.PrunedByBound += int64(st.PrunedByBound)
+			row.ConfirmedByBound += int64(st.ConfirmedByBound)
+			row.Survivors += int64(st.Survivors)
+			row.Rounds += int64(st.Rounds)
+			row.PMPNIters += int64(st.PMPNIters)
+			if st.EarlyStop {
+				row.EarlyStops++
+			}
+			if want, ok := oracle[int(q)]; ok && !sameIDs(ans, want) {
+				row.OracleAgree = false
+			}
+		}
+		elapsed := time.Since(start)
+		row.NSPerQuery = int64(elapsed) / int64(len(queries))
+		row.QPS = float64(len(queries)) / elapsed.Seconds()
+		row.PruneFraction = float64(row.PrunedByBound) / (float64(g.N()) * float64(len(queries)))
+
+		// Naive-federation baseline at the same P: every shard answers the
+		// whole query against its slice (own PMPN + owned decisions, i.e.
+		// a stock daemon), shards running concurrently, latency = the
+		// slowest shard. The coordinator's shared PMPN and bound exchange
+		// must beat this on total work.
+		naiveStart := time.Now()
+		for _, q := range queries {
+			var wg sync.WaitGroup
+			errs := make([]error, len(c.Views()))
+			for si, v := range c.Views() {
+				wg.Add(1)
+				go func(si int, v *core.View) {
+					defer wg.Done()
+					_, _, errs[si] = v.Query(q, cfg.K, 1)
+				}(si, v)
+			}
+			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		naive := time.Since(naiveStart)
+		row.NaiveNSPerQuery = int64(naive) / int64(len(queries))
+		row.SpeedupVsNaive = float64(row.NaiveNSPerQuery) / float64(row.NSPerQuery)
+		res.Rows = append(res.Rows, row)
+	}
+	base := res.Rows[0].QPS
+	for i := range res.Rows {
+		res.Rows[i].Speedup = res.Rows[i].QPS / base
+	}
+	return res, nil
+}
+
+func sameIDs(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// WriteShardBench prints the sweep and records the JSON file when jsonPath
+// is non-empty.
+func WriteShardBench(w io.Writer, res *ShardBenchResult, jsonPath string) error {
+	fmt.Fprintf(w, "graph: n=%d m=%d; index K=%d, %d hubs, built in %v; %s partition, k=%d, %d queries, %d cores\n",
+		res.GraphNodes, res.GraphEdges, res.IndexK, res.Hubs,
+		time.Duration(res.BuildNS).Round(time.Millisecond), res.Strategy, res.K, res.Queries, res.Cores)
+	tw := newTable(w)
+	fmt.Fprintln(tw, "P\tns/query\tqps\tvs-P1\tnaive-ns/query\tvs-naive\tpruned-by-bound\tconfirmed\tsurvivors\tprune-frac\trounds\tearly-stops\toracle")
+	for _, r := range res.Rows {
+		fmt.Fprintf(tw, "%d\t%d\t%.2f\t%.2fx\t%d\t%.2fx\t%d\t%d\t%d\t%.3f\t%d\t%d\t%v\n",
+			r.P, r.NSPerQuery, r.QPS, r.Speedup, r.NaiveNSPerQuery, r.SpeedupVsNaive,
+			r.PrunedByBound, r.ConfirmedByBound,
+			r.Survivors, r.PruneFraction, r.Rounds, r.EarlyStops, r.OracleAgree)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if jsonPath == "" {
+		return nil
+	}
+	blob, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s\n", jsonPath)
+	return nil
+}

@@ -1,0 +1,63 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunShardBenchShape runs the sharded-query experiment at toy scale:
+// the oracle must agree at every P, the bound-exchange decisions must cover
+// every (node, query) pair, and the JSON record must round-trip.
+func TestRunShardBenchShape(t *testing.T) {
+	cfg := DefaultShardBenchConfig(1)
+	cfg.Nodes = 3000
+	cfg.Queries = 3
+	cfg.OracleQueries = 2
+	res, err := RunShardBench(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(cfg.Ps) {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), len(cfg.Ps))
+	}
+	for _, r := range res.Rows {
+		if !r.OracleAgree {
+			t.Fatalf("P=%d: coordinator answers differ from the single engine", r.P)
+		}
+		decisions := r.PrunedByBound + r.ConfirmedByBound + r.Survivors
+		if decisions != int64(res.GraphNodes)*int64(cfg.Queries) {
+			t.Fatalf("P=%d: decisions cover %d of %d node-query pairs",
+				r.P, decisions, int64(res.GraphNodes)*int64(cfg.Queries))
+		}
+		if r.PrunedByBound == 0 {
+			t.Fatalf("P=%d: no cross-shard bound pruning recorded", r.P)
+		}
+		if r.QPS <= 0 || r.NaiveNSPerQuery <= 0 {
+			t.Fatalf("P=%d: degenerate timings %+v", r.P, r)
+		}
+	}
+
+	jsonPath := filepath.Join(t.TempDir(), "BENCH_shard.json")
+	var buf bytes.Buffer
+	if err := WriteShardBench(&buf, res, jsonPath); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "pruned-by-bound") {
+		t.Error("render missing pruning column")
+	}
+	blob, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var round ShardBenchResult
+	if err := json.Unmarshal(blob, &round); err != nil {
+		t.Fatal(err)
+	}
+	if round.GraphNodes != res.GraphNodes || len(round.Rows) != len(res.Rows) {
+		t.Error("JSON record does not round-trip")
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/bca"
 	"repro/internal/graph"
 	"repro/internal/hub"
+	"repro/internal/partition"
 	"repro/internal/vecmath"
 )
 
@@ -36,6 +37,16 @@ import (
 // concatenated into one index slab + one value slab, with a u64 prefix-sum
 // offset table giving each row's boundaries; p̂ is one dense [n×K]f64 slab.
 // Node tags are implicit: a node is a state node iff it is not a hub.
+//
+// SHARD SLICES use the same container with three extra sections (nsec =
+// v2NumSectionsSharded): the partition-map fields (strategy, P, shard id,
+// hash seed, range bounds) and the explicit ascending owned-row list. In a
+// shard image the meta node count n stays GLOBAL and the hub sections still
+// describe the full hub matrix (every shard refines against it), but the
+// state slabs cover only the owned non-hub rows and the p̂ slab only the
+// owned rows, in owned order — a P-way sharding therefore costs ≈ 1× the
+// full index on disk in total, not P×. Full images are written exactly as
+// before, bit for bit.
 //
 // Every byte of the image except the fileCRC field itself is covered by
 // fileCRC, so any single-byte corruption is detected (the fileCRC field is
@@ -68,11 +79,20 @@ const (
 	v2NumSections
 )
 
+// Shard-slice sections, appended after the full set.
+const (
+	secPartMeta = v2NumSections + iota
+	secPartBounds
+	secPartRows
+	v2NumSectionsSharded
+)
+
 const (
 	v2PreambleSize = 32
 	v2TableEntry   = 24
 	v2HeaderEnd    = v2PreambleSize + v2NumSections*v2TableEntry
 	v2MetaSize     = 104
+	v2PartMetaSize = 24
 	// maxV2FileSize bounds the image length a loader will believe; anything
 	// larger is corruption (and would be rejected by the CRC anyway, but the
 	// bound keeps speculative work proportional to plausible input).
@@ -80,6 +100,10 @@ const (
 )
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// v2HeaderEndOf returns the first payload offset of an image with nsec
+// sections (v2HeaderEnd for full images, larger for shard slices).
+func v2HeaderEndOf(nsec int) int { return v2PreambleSize + nsec*v2TableEntry }
 
 // hostLittleEndian reports whether float64/int32 slabs can be aliased
 // directly; on a big-endian host the loaders fall back to copying decode.
@@ -222,8 +246,8 @@ func (idx *Index) Save(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	var secCRC [v2NumSections]uint32
-	for s := 0; s < v2NumSections; s++ {
+	secCRC := make([]uint32, e.nsec)
+	for s := 0; s < e.nsec; s++ {
 		h := crc32.New(castagnoli)
 		bw := &binWriter{w: bufio.NewWriterSize(h, 1<<16)}
 		e.emitSection(s, bw)
@@ -275,14 +299,41 @@ func (idx *Index) SaveFile(path string) error {
 // and can stream any section (or the whole post-header body) repeatedly.
 // Caller holds all stripes for the emitter's lifetime.
 type v2emitter struct {
-	idx      *Index
-	hubIDs   []graph.NodeID
-	cols     []vecmath.Sparse
-	topK     [][]float64
-	dropped  []float64
-	lens     [v2NumSections]int
-	offs     [v2NumSections]int
-	fileSize int
+	idx     *Index
+	hubIDs  []graph.NodeID
+	cols    []vecmath.Sparse
+	topK    [][]float64
+	dropped []float64
+	// nsec is v2NumSections for full images, v2NumSectionsSharded for
+	// shard slices; rows is the owned-row list (nil = all of [0, n)) and
+	// numStates the count of serialized states (rows that are not hubs).
+	nsec      int
+	rows      []graph.NodeID
+	numStates int
+	lens      [v2NumSectionsSharded]int
+	offs      [v2NumSectionsSharded]int
+	fileSize  int
+}
+
+// rowCount returns how many p̂ rows the image stores.
+func (e *v2emitter) rowCount() int {
+	if e.rows != nil {
+		return len(e.rows)
+	}
+	return e.idx.n
+}
+
+// eachRow visits the stored rows in serialization order.
+func (e *v2emitter) eachRow(f func(u graph.NodeID)) {
+	if e.rows != nil {
+		for _, u := range e.rows {
+			f(u)
+		}
+		return
+	}
+	for u := 0; u < e.idx.n; u++ {
+		f(graph.NodeID(u))
+	}
 }
 
 func (idx *Index) newV2EmitterLocked() (*v2emitter, error) {
@@ -297,30 +348,48 @@ func (idx *Index) newV2EmitterLocked() (*v2emitter, error) {
 	}
 	o := idx.opts
 	hubCount := len(hubIDs)
-	numStates := idx.n - hubCount
+
+	e := &v2emitter{idx: idx, hubIDs: hubIDs, cols: cols, topK: topK, dropped: dropped, nsec: v2NumSections}
+	var partBounds []int32
+	if idx.part != nil {
+		e.nsec = v2NumSectionsSharded
+		e.rows = idx.owned
+		_, _, _, _, partBounds = idx.part.Parts()
+	}
 
 	var colNNZ, rNNZ, wNNZ, sNNZ int
 	for _, c := range cols {
 		colNNZ += c.NNZ()
 	}
-	for u := 0; u < idx.n; u++ {
+	var rowErr error
+	e.eachRow(func(u graph.NodeID) {
+		if rowErr != nil {
+			return
+		}
 		st := idx.states[u]
 		if st == nil {
-			if !hm.IsHub(graph.NodeID(u)) {
-				return nil, fmt.Errorf("lbindex: node %d has no committed state (commit new origins before saving)", u)
+			if !hm.IsHub(u) {
+				rowErr = fmt.Errorf("lbindex: node %d has no committed state (commit new origins before saving)", u)
+			} else if idx.phat[u] == nil {
+				rowErr = fmt.Errorf("lbindex: hub node %d has no p̂ column", u)
 			}
-			continue
+			return
 		}
 		if len(idx.phat[u]) != o.K {
-			return nil, fmt.Errorf("lbindex: node %d p̂ column has %d entries, want K=%d", u, len(idx.phat[u]), o.K)
+			rowErr = fmt.Errorf("lbindex: node %d p̂ column has %d entries, want K=%d", u, len(idx.phat[u]), o.K)
+			return
 		}
+		e.numStates++
 		rNNZ += st.R.NNZ()
 		wNNZ += st.W.NNZ()
 		sNNZ += st.S.NNZ()
+	})
+	if rowErr != nil {
+		return nil, rowErr
 	}
+	numStates := e.numStates
 
-	e := &v2emitter{idx: idx, hubIDs: hubIDs, cols: cols, topK: topK, dropped: dropped}
-	e.lens = [v2NumSections]int{
+	e.lens = [v2NumSectionsSharded]int{
 		secMeta:       v2MetaSize,
 		secHubIDs:     4 * hubCount,
 		secHubTopK:    8 * hubCount * o.K,
@@ -339,10 +408,15 @@ func (idx *Index) newV2EmitterLocked() (*v2emitter, error) {
 		secStateSOff:  8 * (numStates + 1),
 		secStateSIdx:  4 * sNNZ,
 		secStateSVal:  8 * sNNZ,
-		secPhat:       8 * idx.n * o.K,
+		secPhat:       8 * e.rowCount() * o.K,
 	}
-	pos := v2HeaderEnd
-	for s := 0; s < v2NumSections; s++ {
+	if idx.part != nil {
+		e.lens[secPartMeta] = v2PartMetaSize
+		e.lens[secPartBounds] = 4 * len(partBounds)
+		e.lens[secPartRows] = 4 * len(e.rows)
+	}
+	pos := v2HeaderEndOf(e.nsec)
+	for s := 0; s < e.nsec; s++ {
 		pos = alignUp8(pos)
 		e.offs[s] = pos
 		pos += e.lens[s]
@@ -351,14 +425,15 @@ func (idx *Index) newV2EmitterLocked() (*v2emitter, error) {
 	return e, nil
 }
 
-// eachState visits the committed states in ascending node order — exactly
-// the order every state-slab section serializes them in.
+// eachState visits the committed states in ascending node order (owned
+// order for shard slices) — exactly the order every state-slab section
+// serializes them in.
 func (e *v2emitter) eachState(f func(st *bca.State)) {
-	for u := 0; u < e.idx.n; u++ {
+	e.eachRow(func(u graph.NodeID) {
 		if st := e.idx.states[u]; st != nil {
 			f(st)
 		}
-	}
+	})
 }
 
 // emitSection streams the payload of section s (exactly lens[s] bytes).
@@ -373,7 +448,7 @@ func (e *v2emitter) emitSection(s int, bw *binWriter) {
 		bw.u32(uint32(o.BCA.MaxIters))
 		bw.u32(uint32(o.RWR.MaxIters))
 		bw.u32(uint32(len(e.hubIDs)))
-		bw.u32(uint32(e.idx.n - len(e.hubIDs)))
+		bw.u32(uint32(e.numStates))
 		bw.u32(0) // pad to the 8-aligned i64/f64 block
 		bw.i64(o.GreedySeed)
 		bw.f64(o.Omega)
@@ -430,8 +505,22 @@ func (e *v2emitter) emitSection(s int, bw *binWriter) {
 	case secStateRVal, secStateWVal, secStateSVal:
 		e.eachState(func(st *bca.State) { bw.floats(e.stateVec(st, s).Val) })
 	case secPhat:
-		for u := 0; u < e.idx.n; u++ {
-			bw.floats(e.idx.phat[u])
+		e.eachRow(func(u graph.NodeID) { bw.floats(e.idx.phat[u]) })
+	case secPartMeta:
+		strategy, _, p, seed, _ := e.idx.part.Parts()
+		bw.u32(uint32(strategy))
+		bw.u32(uint32(p))
+		bw.u32(uint32(e.idx.shardID))
+		bw.u32(0) // pad to the 8-aligned seed
+		bw.u64(seed)
+	case secPartBounds:
+		_, _, _, _, bounds := e.idx.part.Parts()
+		for _, b := range bounds {
+			bw.u32(uint32(b))
+		}
+	case secPartRows:
+		for _, u := range e.rows {
+			bw.u32(uint32(u))
 		}
 	}
 }
@@ -452,8 +541,8 @@ func (e *v2emitter) stateVec(st *bca.State, s int) vecmath.Sparse {
 // padding and every section in order — ending exactly at fileSize.
 func (e *v2emitter) emitBody(w io.Writer) error {
 	bw := &binWriter{w: bufio.NewWriterSize(w, 1<<20)}
-	pos := v2HeaderEnd
-	for s := 0; s < v2NumSections; s++ {
+	pos := v2HeaderEndOf(e.nsec)
+	for s := 0; s < e.nsec; s++ {
 		for ; pos < e.offs[s]; pos++ {
 			bw.u8(0)
 		}
@@ -471,19 +560,19 @@ func (e *v2emitter) emitBody(w io.Writer) error {
 
 // buildHeader assembles the preamble and section table; the fileCRC field
 // (bytes 24:28) is filled by Save once the body checksum is known.
-func (e *v2emitter) buildHeader(secCRC [v2NumSections]uint32) []byte {
-	header := make([]byte, v2HeaderEnd)
+func (e *v2emitter) buildHeader(secCRC []uint32) []byte {
+	header := make([]byte, v2HeaderEndOf(e.nsec))
 	copy(header, indexMagicV2)
 	binary.LittleEndian.PutUint64(header[8:], uint64(e.fileSize))
-	binary.LittleEndian.PutUint32(header[16:], uint32(v2NumSections))
-	for s := 0; s < v2NumSections; s++ {
+	binary.LittleEndian.PutUint32(header[16:], uint32(e.nsec))
+	for s := 0; s < e.nsec; s++ {
 		entry := header[v2PreambleSize+s*v2TableEntry:]
 		binary.LittleEndian.PutUint32(entry[0:], uint32(s))
 		binary.LittleEndian.PutUint32(entry[4:], secCRC[s])
 		binary.LittleEndian.PutUint64(entry[8:], uint64(e.offs[s]))
 		binary.LittleEndian.PutUint64(entry[16:], uint64(e.lens[s]))
 	}
-	binary.LittleEndian.PutUint32(header[20:], crc32.Checksum(header[v2PreambleSize:v2HeaderEnd], castagnoli))
+	binary.LittleEndian.PutUint32(header[20:], crc32.Checksum(header[v2PreambleSize:], castagnoli))
 	return header
 }
 
@@ -550,8 +639,9 @@ func readAligned(r io.Reader, pre []byte, n int) ([]byte, error) {
 // place (mmap / aligned heap buffer on little-endian hosts) or copying.
 type v2parser struct {
 	data  []byte
-	offs  [v2NumSections]int
-	lens  [v2NumSections]int
+	nsec  int
+	offs  [v2NumSectionsSharded]int
+	lens  [v2NumSectionsSharded]int
 	alias bool
 }
 
@@ -642,8 +732,8 @@ func checkSparse(s vecmath.Sparse, n int, deep bool, what string, row int) error
 // runs structural validation only, trusting the verified checksums for
 // byte integrity. Never panics on any input.
 func parseV2(data []byte, deep bool) (*Index, error) {
-	if len(data) < v2HeaderEnd {
-		return nil, fmt.Errorf("lbindex: v2 image shorter (%d B) than its header", len(data))
+	if len(data) < v2PreambleSize {
+		return nil, fmt.Errorf("lbindex: v2 image shorter (%d B) than its preamble", len(data))
 	}
 	if string(data[:8]) != indexMagicV2 {
 		return nil, fmt.Errorf("lbindex: bad magic %q", data[:8])
@@ -651,10 +741,15 @@ func parseV2(data []byte, deep bool) (*Index, error) {
 	if got := binary.LittleEndian.Uint64(data[8:16]); got != uint64(len(data)) {
 		return nil, fmt.Errorf("lbindex: v2 header claims %d bytes, image has %d", got, len(data))
 	}
-	if got := binary.LittleEndian.Uint32(data[16:20]); got != v2NumSections {
-		return nil, fmt.Errorf("lbindex: v2 image has %d sections, want %d", got, v2NumSections)
+	nsec := int(binary.LittleEndian.Uint32(data[16:20]))
+	if nsec != v2NumSections && nsec != v2NumSectionsSharded {
+		return nil, fmt.Errorf("lbindex: v2 image has %d sections, want %d (full) or %d (shard slice)", nsec, v2NumSections, v2NumSectionsSharded)
 	}
-	if got := crc32.Checksum(data[v2PreambleSize:v2HeaderEnd], castagnoli); got != binary.LittleEndian.Uint32(data[20:24]) {
+	headerEnd := v2HeaderEndOf(nsec)
+	if len(data) < headerEnd {
+		return nil, fmt.Errorf("lbindex: v2 image shorter (%d B) than its %d-section header", len(data), nsec)
+	}
+	if got := crc32.Checksum(data[v2PreambleSize:headerEnd], castagnoli); got != binary.LittleEndian.Uint32(data[20:24]) {
 		return nil, fmt.Errorf("lbindex: section table checksum mismatch (corrupt header)")
 	}
 	fileCRC := crc32.Update(crc32.Checksum(data[:24], castagnoli), castagnoli, data[28:])
@@ -665,14 +760,14 @@ func parseV2(data []byte, deep bool) (*Index, error) {
 	// Aliasing requires a little-endian host and an 8-aligned image base
 	// (mmap is page-aligned, the stream loader allocates aligned; arbitrary
 	// test slices may not be) — otherwise fall back to copying decode.
-	p := &v2parser{data: data, alias: hostLittleEndian && uintptr(unsafe.Pointer(&data[0]))%8 == 0}
-	for s := 0; s < v2NumSections; s++ {
+	p := &v2parser{data: data, nsec: nsec, alias: hostLittleEndian && uintptr(unsafe.Pointer(&data[0]))%8 == 0}
+	for s := 0; s < nsec; s++ {
 		e := data[v2PreambleSize+s*v2TableEntry:]
 		if id := binary.LittleEndian.Uint32(e[0:]); id != uint32(s) {
 			return nil, fmt.Errorf("lbindex: section %d has unexpected id %d", s, id)
 		}
 		off, ln := binary.LittleEndian.Uint64(e[8:]), binary.LittleEndian.Uint64(e[16:])
-		if off%8 != 0 || off < v2HeaderEnd || ln > uint64(len(data)) || off > uint64(len(data))-ln {
+		if off%8 != 0 || off < uint64(headerEnd) || ln > uint64(len(data)) || off > uint64(len(data))-ln {
 			return nil, fmt.Errorf("lbindex: section %d spans [%d,%d) outside the %d-byte image", s, off, off+ln, len(data))
 		}
 		p.offs[s], p.lens[s] = int(off), int(ln)
@@ -703,8 +798,11 @@ func parseV2(data []byte, deep bool) (*Index, error) {
 	if n <= 0 || n > 1<<31 || o.K <= 0 || o.K > maxPlausibleK {
 		return nil, fmt.Errorf("lbindex: implausible header n=%d K=%d", n, o.K)
 	}
-	if hubCount < 0 || hubCount > n || numStates != n-hubCount {
+	if hubCount < 0 || hubCount > n || numStates < 0 || numStates > n-hubCount {
 		return nil, fmt.Errorf("lbindex: implausible hub/state counts %d/%d for n=%d", hubCount, numStates, n)
+	}
+	if nsec == v2NumSections && numStates != n-hubCount {
+		return nil, fmt.Errorf("lbindex: full image stores %d states, graph has %d non-hub nodes", numStates, n-hubCount)
 	}
 	if refinements < 0 {
 		return nil, fmt.Errorf("lbindex: negative refinement counter %d", refinements)
@@ -713,10 +811,50 @@ func parseV2(data []byte, deep bool) (*Index, error) {
 		return nil, fmt.Errorf("lbindex: corrupt header options: %w", err)
 	}
 
+	// Shard slices: reconstruct the partition map and the owned-row list
+	// before sizing the row-indexed slabs.
+	var pm *partition.Map
+	shardID := 0
+	var rows []graph.NodeID
+	rowCount := n
+	if nsec == v2NumSectionsSharded {
+		if p.lens[secPartMeta] != v2PartMetaSize {
+			return nil, fmt.Errorf("lbindex: partition meta section has %d bytes, want %d", p.lens[secPartMeta], v2PartMetaSize)
+		}
+		pb := p.bytes(secPartMeta)
+		strategy := partition.Strategy(int32(binary.LittleEndian.Uint32(pb[0:])))
+		shards := int(int32(binary.LittleEndian.Uint32(pb[4:])))
+		shardID = int(int32(binary.LittleEndian.Uint32(pb[8:])))
+		seed := binary.LittleEndian.Uint64(pb[16:])
+		var err error
+		pm, err = partition.FromParts(strategy, n, shards, seed, p.i32s(secPartBounds))
+		if err != nil {
+			return nil, err
+		}
+		if shardID < 0 || shardID >= shards {
+			return nil, fmt.Errorf("lbindex: shard id %d outside [0,%d)", shardID, shards)
+		}
+		rows = p.i32s(secPartRows)
+		rowCount = len(rows)
+		if rowCount != pm.OwnedCount(shardID) {
+			return nil, fmt.Errorf("lbindex: image stores %d rows, shard %d owns %d", rowCount, shardID, pm.OwnedCount(shardID))
+		}
+		prev := graph.NodeID(-1)
+		for _, u := range rows {
+			if u <= prev || int(u) >= n {
+				return nil, fmt.Errorf("lbindex: owned-row list not strictly ascending within [0,%d) at %d", n, u)
+			}
+			if pm.Owner(u) != shardID {
+				return nil, fmt.Errorf("lbindex: row %d not owned by shard %d", u, shardID)
+			}
+			prev = u
+		}
+	}
+
 	// Expected section lengths, from the validated counts.
 	colNNZ := p.lens[secHubColIdx] / 4
 	rNNZ, wNNZ, sNNZ := p.lens[secStateRIdx]/4, p.lens[secStateWIdx]/4, p.lens[secStateSIdx]/4
-	want := [v2NumSections]int{
+	want := [v2NumSectionsSharded]int{
 		secMeta:       v2MetaSize,
 		secHubIDs:     4 * hubCount,
 		secHubTopK:    8 * hubCount * o.K,
@@ -735,9 +873,14 @@ func parseV2(data []byte, deep bool) (*Index, error) {
 		secStateSOff:  8 * (numStates + 1),
 		secStateSIdx:  4 * sNNZ,
 		secStateSVal:  8 * sNNZ,
-		secPhat:       8 * n * o.K,
+		secPhat:       8 * rowCount * o.K,
 	}
-	for s := 0; s < v2NumSections; s++ {
+	if nsec == v2NumSectionsSharded {
+		want[secPartMeta] = p.lens[secPartMeta]
+		want[secPartBounds] = p.lens[secPartBounds]
+		want[secPartRows] = p.lens[secPartRows]
+	}
+	for s := 0; s < nsec; s++ {
 		if p.lens[s] != want[s] {
 			return nil, fmt.Errorf("lbindex: section %d holds %d bytes, want %d", s, p.lens[s], want[s])
 		}
@@ -791,8 +934,12 @@ func parseV2(data []byte, deep bool) (*Index, error) {
 	states := make([]*bca.State, n)
 	phat := make([][]float64, n)
 	i := 0
-	for u := 0; u < n; u++ {
-		phat[u] = phatSlab[u*o.K : (u+1)*o.K : (u+1)*o.K]
+	for r := 0; r < rowCount; r++ {
+		u := r
+		if rows != nil {
+			u = int(rows[r])
+		}
+		phat[u] = phatSlab[r*o.K : (r+1)*o.K : (r+1)*o.K]
 		if deep {
 			if err := checkProximities(phat[u], fmt.Sprintf("p̂ of node %d", u)); err != nil {
 				return nil, err
@@ -802,7 +949,7 @@ func parseV2(data []byte, deep bool) (*Index, error) {
 			continue
 		}
 		if i >= numStates {
-			return nil, fmt.Errorf("lbindex: image stores %d states but node %d is the %d-th non-hub", numStates, u, i+1)
+			return nil, fmt.Errorf("lbindex: image stores %d states but node %d is the %d-th non-hub row", numStates, u, i+1)
 		}
 		st := &stateArr[i]
 		st.Origin = graph.NodeID(u)
@@ -837,10 +984,10 @@ func parseV2(data []byte, deep bool) (*Index, error) {
 		i++
 	}
 	if i != numStates {
-		return nil, fmt.Errorf("lbindex: image stores %d states, graph has %d non-hub nodes", numStates, i)
+		return nil, fmt.Errorf("lbindex: image stores %d states, rows list has %d non-hub nodes", numStates, i)
 	}
 
-	idx := &Index{opts: o, n: n, hubs: hm, phat: phat, states: states}
+	idx := &Index{opts: o, n: n, hubs: hm, phat: phat, states: states, part: pm, shardID: shardID, owned: rows}
 	idx.refinements.Store(refinements)
 	if deep {
 		if err := idx.CheckInvariants(); err != nil {
@@ -867,7 +1014,14 @@ func checkProximities(xs []float64, what string) error {
 // localizeV2Corruption names the first section whose own CRC fails, for the
 // whole-file checksum error message.
 func localizeV2Corruption(data []byte) string {
-	for s := 0; s < v2NumSections; s++ {
+	nsec := int(binary.LittleEndian.Uint32(data[16:20]))
+	if nsec != v2NumSections && nsec != v2NumSectionsSharded {
+		return fmt.Sprintf("implausible section count %d", nsec)
+	}
+	if len(data) < v2HeaderEndOf(nsec) {
+		return "header truncated"
+	}
+	for s := 0; s < nsec; s++ {
 		e := data[v2PreambleSize+s*v2TableEntry:]
 		crc := binary.LittleEndian.Uint32(e[4:])
 		off, ln := binary.LittleEndian.Uint64(e[8:]), binary.LittleEndian.Uint64(e[16:])

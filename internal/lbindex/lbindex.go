@@ -19,6 +19,7 @@ import (
 	"repro/internal/bca"
 	"repro/internal/graph"
 	"repro/internal/hub"
+	"repro/internal/partition"
 	"repro/internal/rwr"
 	"repro/internal/vecmath"
 )
@@ -154,6 +155,73 @@ type Index struct {
 	// committed discipline Clone relies on), so refinement, evolve
 	// refreshes and hub rebuilds work unchanged over a mapping.
 	backing *Mapping
+
+	// Shard-slice fields (nil/zero for a full index). A slice covers the
+	// SAME node-id space as the full index (n is global) but materializes
+	// p̂ columns and states only for the nodes its shard owns — plus the
+	// full hub matrix, which every shard needs to refine any of its own
+	// candidates. part is the deterministic assignment, shardID this
+	// slice's shard, and owned the ascending materialized owned-node list.
+	part    *partition.Map
+	shardID int
+	owned   []graph.NodeID
+}
+
+// Shard returns the slice's partition map and shard id; ok is false for a
+// full (unsharded) index.
+func (idx *Index) Shard() (pm *partition.Map, shard int, ok bool) {
+	return idx.part, idx.shardID, idx.part != nil
+}
+
+// OwnedNodes returns the ascending list of nodes this index materializes
+// rows for, or nil when the index is full (every node present). The slice
+// aliases internal storage and must not be modified.
+func (idx *Index) OwnedNodes() []graph.NodeID {
+	return idx.owned
+}
+
+// Owns reports whether this index materializes node u's row. Always true
+// for a full index.
+func (idx *Index) Owns(u graph.NodeID) bool {
+	return idx.part == nil || idx.part.Owner(u) == idx.shardID
+}
+
+// ShardSlice returns the shard's view of this full index: an index over the
+// same (global) node-id space sharing the hub matrix and exactly the owned
+// nodes' p̂ columns and states. The slice is an O(owned) pointer copy — rows
+// are shared with the receiver under the usual immutable-once-committed
+// discipline. Reading a non-owned row panics; the query engine iterates
+// OwnedNodes, so shard-local queries never do.
+func (idx *Index) ShardSlice(pm *partition.Map, shard int) (*Index, error) {
+	if idx.part != nil {
+		return nil, fmt.Errorf("lbindex: cannot re-slice a shard slice (shard %d)", idx.shardID)
+	}
+	if pm.N() != idx.n {
+		return nil, fmt.Errorf("lbindex: partition covers %d nodes, index has %d", pm.N(), idx.n)
+	}
+	if shard < 0 || shard >= pm.P() {
+		return nil, fmt.Errorf("lbindex: shard %d outside [0,%d)", shard, pm.P())
+	}
+	idx.lockAll()
+	defer idx.unlockAll()
+	owned := pm.Owned(shard)
+	s := &Index{
+		opts:    idx.opts,
+		n:       idx.n,
+		hubs:    idx.HubMatrix(),
+		phat:    make([][]float64, idx.n),
+		states:  make([]*bca.State, idx.n),
+		part:    pm,
+		shardID: shard,
+		owned:   owned,
+	}
+	for _, u := range owned {
+		s.phat[u] = idx.phat[u]
+		s.states[u] = idx.states[u]
+	}
+	s.setBacking(idx.backing)
+	s.refinements.Store(idx.refinements.Load())
+	return s, nil
 }
 
 // stripeOf maps a node to its lock stripe: contiguous node ranges, aligned
@@ -330,6 +398,9 @@ func (idx *Index) KthLowerBound(u graph.NodeID, k int) float64 {
 	s := &idx.stripes[idx.stripeOf(u)]
 	s.RLock()
 	defer s.RUnlock()
+	if idx.phat[u] == nil {
+		panic(fmt.Sprintf("lbindex: node %d not materialized (shard %d does not own it)", u, idx.shardID))
+	}
 	return idx.phat[u][k-1]
 }
 
@@ -475,11 +546,14 @@ func (idx *Index) Clone() *Index {
 	defer idx.unlockAll()
 	hm := idx.HubMatrix()
 	c := &Index{
-		opts:   idx.opts,
-		n:      idx.n,
-		hubs:   hm,
-		phat:   append([][]float64(nil), idx.phat...),
-		states: append([]*bca.State(nil), idx.states...),
+		opts:    idx.opts,
+		n:       idx.n,
+		hubs:    hm,
+		phat:    append([][]float64(nil), idx.phat...),
+		states:  append([]*bca.State(nil), idx.states...),
+		part:    idx.part,
+		shardID: idx.shardID,
+		owned:   idx.owned,
 	}
 	c.setBacking(idx.backing)
 	c.refinements.Store(idx.refinements.Load())
@@ -510,6 +584,27 @@ func (idx *Index) CloneGrown(n2 int) *Index {
 		phat:   phat,
 		states: states,
 	}
+	if idx.part != nil {
+		// Extend the assignment: existing nodes never migrate (see
+		// partition.Map.Grow), and the fresh ids this shard owns join its
+		// owned list — their rows, like every grown row, must be committed
+		// before the clone serves queries.
+		pm2, err := idx.part.Grow(n2)
+		if err != nil {
+			panic(fmt.Sprintf("lbindex: CloneGrown: %v", err))
+		}
+		c.part = pm2
+		c.shardID = idx.shardID
+		c.owned = idx.owned
+		for u := idx.n; u < n2; u++ {
+			if pm2.Owner(graph.NodeID(u)) == idx.shardID {
+				if len(c.owned) == len(idx.owned) {
+					c.owned = append([]graph.NodeID(nil), idx.owned...)
+				}
+				c.owned = append(c.owned, graph.NodeID(u))
+			}
+		}
+	}
 	c.setBacking(idx.backing)
 	c.refinements.Store(idx.refinements.Load())
 	return c
@@ -526,7 +621,13 @@ func (idx *Index) SizeBytes() int64 {
 	idx.lockAll()
 	defer idx.unlockAll()
 	hm := idx.HubMatrix()
-	total := int64(idx.n) * int64(idx.opts.K) * 8
+	var rows int64
+	for _, col := range idx.phat {
+		if col != nil {
+			rows++
+		}
+	}
+	total := rows * int64(idx.opts.K) * 8
 	for _, st := range idx.states {
 		if st != nil {
 			total += st.Bytes()
@@ -543,12 +644,20 @@ func (idx *Index) CheckInvariants() error {
 	defer idx.unlockAll()
 	hm := idx.HubMatrix()
 	for u := 0; u < idx.n; u++ {
+		if idx.phat[u] == nil {
+			// Shard slices materialize owned rows only; a missing row is an
+			// invariant violation only when this index should own it.
+			if idx.Owns(graph.NodeID(u)) {
+				return fmt.Errorf("lbindex: owned node %d has no p̂ column", u)
+			}
+			continue
+		}
 		if !vecmath.IsSortedDescending(idx.phat[u]) {
 			return fmt.Errorf("lbindex: p̂ column of node %d not descending", u)
 		}
 		st := idx.states[u]
 		if st == nil {
-			if !hm.IsHub(graph.NodeID(u)) {
+			if !hm.IsHub(graph.NodeID(u)) && idx.Owns(graph.NodeID(u)) {
 				return fmt.Errorf("lbindex: non-hub node %d has no state", u)
 			}
 			continue

@@ -195,6 +195,9 @@ func (b *binReader) floats(n int, what string) []float64 {
 // benchmarks can produce v1 images and so downgrades remain possible. The
 // same locking discipline as Save applies.
 func (idx *Index) SaveV1(w io.Writer) error {
+	if idx.part != nil {
+		return fmt.Errorf("lbindex: format v1 cannot represent a shard slice (shard %d); use Save", idx.shardID)
+	}
 	idx.lockAll()
 	defer idx.unlockAll()
 	hm := idx.HubMatrix()

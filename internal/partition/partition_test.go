@@ -1,0 +1,220 @@
+package partition
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// build constructs one map per strategy over the given shape.
+func buildMaps(t *testing.T, g graph.View, p int) map[string]*Map {
+	t.Helper()
+	n := g.N()
+	hash, err := NewHash(n, p, 42)
+	if err != nil {
+		t.Fatalf("NewHash(%d,%d): %v", n, p, err)
+	}
+	rng, err := NewRange(n, p)
+	if err != nil {
+		t.Fatalf("NewRange(%d,%d): %v", n, p, err)
+	}
+	bal, err := NewBalanced(g, p)
+	if err != nil {
+		t.Fatalf("NewBalanced(%d,%d): %v", n, p, err)
+	}
+	return map[string]*Map{"hash": hash, "range": rng, "balanced": bal}
+}
+
+// TestCoverageExactlyOnce is the partition correctness property: every
+// strategy assigns every node to exactly one shard, and Owned agrees with
+// Owner.
+func TestCoverageExactlyOnce(t *testing.T) {
+	g, err := gen.WebGraph(257, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{1, 2, 3, 4, 7, 16, 257} {
+		for name, m := range buildMaps(t, g, p) {
+			if err := m.Validate(); err != nil {
+				t.Fatalf("%s P=%d: Validate: %v", name, p, err)
+			}
+			seen := make([]int, g.N())
+			total := 0
+			for s := 0; s < p; s++ {
+				owned := m.Owned(s)
+				if got := m.OwnedCount(s); got != len(owned) {
+					t.Errorf("%s P=%d shard %d: OwnedCount=%d, Owned has %d", name, p, s, got, len(owned))
+				}
+				prev := graph.NodeID(-1)
+				for _, u := range owned {
+					if u <= prev {
+						t.Fatalf("%s P=%d shard %d: Owned not strictly ascending at %d", name, p, s, u)
+					}
+					prev = u
+					seen[u]++
+					if own := m.Owner(u); own != s {
+						t.Fatalf("%s P=%d: node %d in Owned(%d) but Owner says %d", name, p, u, s, own)
+					}
+				}
+				total += len(owned)
+			}
+			if total != g.N() {
+				t.Errorf("%s P=%d: %d nodes assigned, graph has %d", name, p, total, g.N())
+			}
+			for u, c := range seen {
+				if c != 1 {
+					t.Errorf("%s P=%d: node %d assigned %d times", name, p, u, c)
+				}
+			}
+		}
+	}
+}
+
+// TestDeterminism rebuilds each map from scratch and from its serialized
+// parts; all three must agree on every assignment.
+func TestDeterminism(t *testing.T) {
+	g, err := gen.SocialGraph(300, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, m := range buildMaps(t, g, 5) {
+		var again *Map
+		switch m.Strategy() {
+		case Hash:
+			again, err = NewHash(m.N(), m.P(), m.Seed())
+		case Range:
+			again, err = NewRange(m.N(), m.P())
+		case Balanced:
+			again, err = NewBalanced(g, m.P())
+		}
+		if err != nil {
+			t.Fatalf("%s: rebuild: %v", name, err)
+		}
+		if !m.Equal(again) {
+			t.Errorf("%s: rebuild differs from original", name)
+		}
+		strategy, n, p, seed, bounds := m.Parts()
+		round, err := FromParts(strategy, n, p, seed, bounds)
+		if err != nil {
+			t.Fatalf("%s: FromParts: %v", name, err)
+		}
+		if !m.Equal(round) {
+			t.Errorf("%s: FromParts round trip differs", name)
+		}
+		for u := graph.NodeID(0); int(u) < m.N(); u++ {
+			if m.Owner(u) != again.Owner(u) || m.Owner(u) != round.Owner(u) {
+				t.Fatalf("%s: owner of %d unstable across reconstructions", name, u)
+			}
+		}
+	}
+}
+
+// TestBalancedWeights checks the balance-aware strategy actually bounds
+// per-shard degree skew well below the naive range split's on a power-law
+// graph.
+func TestBalancedWeights(t *testing.T) {
+	g, err := gen.SocialGraph(2000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const p = 4
+	weight := func(m *Map, s int) float64 {
+		var w float64
+		for _, u := range m.Owned(s) {
+			w += float64(g.OutDegree(u) + g.InDegree(u))
+		}
+		return w
+	}
+	skew := func(m *Map) float64 {
+		min, max := weight(m, 0), weight(m, 0)
+		for s := 1; s < p; s++ {
+			w := weight(m, s)
+			if w < min {
+				min = w
+			}
+			if w > max {
+				max = w
+			}
+		}
+		return max / min
+	}
+	bal, err := NewBalanced(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng, err := NewRange(g.N(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs, rs := skew(bal), skew(rng); bs >= rs && bs > 1.5 {
+		// Preferential attachment front-loads degree mass onto early ids,
+		// so the plain range split must be visibly worse.
+		t.Errorf("balanced skew %.2f not better than range skew %.2f", bs, rs)
+	}
+}
+
+func TestGrow(t *testing.T) {
+	g, err := gen.WebGraph(100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, m := range buildMaps(t, g, 3) {
+		grown, err := m.Grow(120)
+		if err != nil {
+			t.Fatalf("%s: Grow: %v", name, err)
+		}
+		if grown.N() != 120 {
+			t.Fatalf("%s: grown N=%d", name, grown.N())
+		}
+		if err := grown.Validate(); err != nil {
+			t.Fatalf("%s: grown map invalid: %v", name, err)
+		}
+		for u := graph.NodeID(0); int(u) < m.N(); u++ {
+			if m.Owner(u) != grown.Owner(u) {
+				t.Fatalf("%s: growth migrated node %d (%d → %d)", name, u, m.Owner(u), grown.Owner(u))
+			}
+		}
+		// New ids are owned by SOME shard, and consistently so: the old
+		// map must predict the same owner (growth is decided before the
+		// grown map exists on the edit path).
+		for u := graph.NodeID(100); u < 120; u++ {
+			own := grown.Owner(u)
+			if own < 0 || own >= 3 {
+				t.Fatalf("%s: new node %d owner %d out of range", name, u, own)
+			}
+			if m.Owner(u) != own {
+				t.Fatalf("%s: old and grown maps disagree on new node %d", name, u)
+			}
+		}
+		if _, err := m.Grow(50); err == nil {
+			t.Errorf("%s: shrinking Grow accepted", name)
+		}
+	}
+}
+
+func TestShapeErrors(t *testing.T) {
+	if _, err := NewRange(5, 6); err == nil {
+		t.Error("P > n accepted")
+	}
+	if _, err := NewHash(0, 1, 0); err == nil {
+		t.Error("empty node set accepted")
+	}
+	if _, err := NewRange(10, 0); err == nil {
+		t.Error("zero shards accepted")
+	}
+	if _, err := ParseStrategy("bogus"); err == nil {
+		t.Error("unknown strategy name accepted")
+	}
+	for _, name := range Strategies() {
+		if _, err := ParseStrategy(name); err != nil {
+			t.Errorf("listed strategy %q rejected: %v", name, err)
+		}
+	}
+	if _, err := FromParts(Range, 10, 2, 0, []int32{0, 4, 9}); err == nil {
+		t.Error("bounds not ending at n accepted")
+	}
+	if _, err := FromParts(Hash, 10, 2, 0, []int32{0, 5, 10}); err == nil {
+		t.Error("hash map with bounds accepted")
+	}
+}

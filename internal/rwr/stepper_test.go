@@ -1,0 +1,118 @@
+package rwr
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// TestStepperMatchesOneShot drives the stepper in uneven rounds and checks
+// the converged vector, iteration count and residual are bit-identical to
+// ProximityToParallel across worker counts.
+func TestStepperMatchesOneShot(t *testing.T) {
+	for _, kind := range []string{"web", "social"} {
+		g := stepperGraph(t, kind, 400)
+		p := DefaultParams()
+		want, err := ProximityToParallel(g, 7, p, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 5} {
+			s, err := NewToStepper(g, 7, p, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			done := false
+			for round := 1; !done; round++ {
+				done, err = s.Step(round) // deliberately uneven round sizes
+				if err != nil {
+					t.Fatalf("%s workers=%d: %v", kind, workers, err)
+				}
+			}
+			got := s.Result()
+			if got.Iterations != want.Iterations {
+				t.Errorf("%s workers=%d: %d iterations, one-shot took %d", kind, workers, got.Iterations, want.Iterations)
+			}
+			if got.Residual != want.Residual {
+				t.Errorf("%s workers=%d: residual %g != %g", kind, workers, got.Residual, want.Residual)
+			}
+			for u := range want.Vector {
+				if got.Vector[u] != want.Vector[u] {
+					t.Fatalf("%s workers=%d: vector differs at %d: %g != %g", kind, workers, u, got.Vector[u], want.Vector[u])
+				}
+			}
+		}
+	}
+}
+
+// TestStepperTailBound verifies the elementwise error bound the coordinator
+// prunes with: at every intermediate round, |x^t[u] − p_u(q)| ≤ Tail().
+func TestStepperTailBound(t *testing.T) {
+	g := stepperGraph(t, "web", 300)
+	p := DefaultParams()
+	exact, err := ProximityToParallel(g, 11, p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewToStepper(g, 11, p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !s.Converged() {
+		if _, err := s.Step(5); err != nil {
+			t.Fatal(err)
+		}
+		tau := s.Tail()
+		// Tail is the min of the analytic and residual-based bounds, so it
+		// can never exceed the analytic one.
+		if analytic := math.Pow(1-p.Alpha, float64(s.Iterations())); tau > analytic+1e-18 {
+			t.Fatalf("tail %g above analytic bound %g at iteration %d", tau, analytic, s.Iterations())
+		}
+		x := s.Current()
+		for u := range exact.Vector {
+			if diff := math.Abs(x[u] - exact.Vector[u]); diff > tau+1e-15 {
+				t.Fatalf("iteration %d: |x[%d]−p| = %g exceeds tail bound %g", s.Iterations(), u, diff, tau)
+			}
+		}
+	}
+}
+
+func TestStepperErrors(t *testing.T) {
+	g := stepperGraph(t, "web", 50)
+	if _, err := NewToStepper(g, -1, DefaultParams(), 1); err == nil {
+		t.Error("negative query node accepted")
+	}
+	if _, err := NewToStepper(g, 0, Params{}, 1); err == nil {
+		t.Error("invalid params accepted")
+	}
+	p := DefaultParams()
+	p.MaxIters = 2
+	p.Eps = 1e-300
+	s, err := NewToStepper(g, 0, p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Step(10); err == nil {
+		t.Error("MaxIters exhaustion not reported")
+	}
+}
+
+func stepperGraph(t *testing.T, kind string, n int) *graph.Graph {
+	t.Helper()
+	var (
+		g   *graph.Graph
+		err error
+	)
+	switch kind {
+	case "web":
+		g, err = gen.WebGraph(n, 5)
+	default:
+		g, err = gen.SocialGraph(n, 5)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}

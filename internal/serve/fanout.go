@@ -1,0 +1,317 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// Fanout is the HTTP transport of the sharded query layer: a coordinator
+// daemon that owns no graph and no index, only the base URLs of P stock
+// rtkserve shard daemons, each loaded with one shard-slice index file.
+// A query fans out to every shard — each computes its own PMPN against its
+// replicated graph and decides only the candidates its partition owns —
+// and the disjoint per-shard answers merge into the exact global answer.
+// Edits broadcast to every shard (the graph is replicated), and each shard
+// re-indexes only the affected rows it owns (see Server.runBatch), so one
+// POST fans the refresh cost out P ways too.
+//
+// The in-process transport (internal/shard.Coordinator) additionally
+// shares one PMPN across shards and exchanges pruning bounds between
+// rounds; over HTTP the shards are deliberately kept stock — the
+// coordinator needs nothing from them beyond the ordinary serving API.
+type Fanout struct {
+	shards []string
+	client *http.Client
+	start  time.Time
+
+	fanouts     atomic.Int64
+	served      atomic.Int64
+	shardErrors atomic.Int64
+	editsFanned atomic.Int64
+}
+
+// FanoutConfig parameterizes NewFanout.
+type FanoutConfig struct {
+	// Shards lists the shard daemons' base URLs, in shard order.
+	Shards []string
+	// Timeout bounds each proxied shard call; 0 selects 30s.
+	Timeout time.Duration
+}
+
+// NewFanout builds the coordinator. Shard reachability is not probed here —
+// /healthz reports it live.
+func NewFanout(cfg FanoutConfig) (*Fanout, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, fmt.Errorf("serve: fan-out coordinator needs at least one shard URL")
+	}
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	shards := make([]string, len(cfg.Shards))
+	for i, s := range cfg.Shards {
+		s = strings.TrimRight(strings.TrimSpace(s), "/")
+		if s == "" {
+			return nil, fmt.Errorf("serve: empty shard URL at position %d", i)
+		}
+		if !strings.Contains(s, "://") {
+			s = "http://" + s
+		}
+		shards[i] = s
+	}
+	return &Fanout{
+		shards: shards,
+		client: &http.Client{Timeout: timeout},
+		start:  time.Now(),
+	}, nil
+}
+
+// Shards returns the shard base URLs, normalized.
+func (f *Fanout) Shards() []string { return f.shards }
+
+// Handler returns the coordinator's route table — the same paths a stock
+// daemon serves, so clients and load balancers cannot tell the difference:
+//
+//	GET  /v1/reverse-topk?q=<node>&k=<k>  — fan out, merge the shard answers
+//	GET  /v1/stats                        — coordinator counters + every shard's stats
+//	GET  /healthz                         — 200 only when every shard is healthy
+//	POST /v1/edits                        — broadcast the batch to every shard
+func (f *Fanout) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/reverse-topk", f.handleQuery)
+	mux.HandleFunc("GET /v1/stats", f.handleStats)
+	mux.HandleFunc("GET /healthz", f.handleHealthz)
+	mux.HandleFunc("POST /v1/edits", f.handleEdits)
+	return mux
+}
+
+// shardReply is one shard's response to a fanned-out call.
+type shardReply struct {
+	status int
+	body   []byte
+	err    error
+}
+
+// fanGet issues one GET per shard concurrently.
+func (f *Fanout) fanGet(path string) []shardReply {
+	replies := make([]shardReply, len(f.shards))
+	var wg sync.WaitGroup
+	for i, base := range f.shards {
+		wg.Add(1)
+		go func(i int, url string) {
+			defer wg.Done()
+			replies[i] = f.do(http.MethodGet, url, nil)
+		}(i, base+path)
+	}
+	wg.Wait()
+	return replies
+}
+
+func (f *Fanout) do(method, url string, body []byte) shardReply {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return shardReply{err: err}
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return shardReply{err: err}
+	}
+	defer resp.Body.Close()
+	// Query responses scale with the answer-set size, so the cap is a
+	// generous backstop against a misbehaving peer, not the tiny edits-body
+	// bound — and overflow is an explicit error, never a silent truncation
+	// that would surface as a confusing parse failure.
+	b, err := io.ReadAll(io.LimitReader(resp.Body, maxShardReply+1))
+	if err != nil {
+		return shardReply{err: err}
+	}
+	if len(b) > maxShardReply {
+		return shardReply{err: fmt.Errorf("response exceeds %d bytes", maxShardReply)}
+	}
+	return shardReply{status: resp.StatusCode, body: b}
+}
+
+// maxShardReply bounds one proxied shard response. Far above any plausible
+// answer (it fits a ~hundred-million-node result list) while still bounding
+// coordinator memory per call.
+const maxShardReply = 1 << 30
+
+// relayFailure maps fanned-out shard replies onto one coordinator response
+// when any shard did not return want: a shard-reported 4xx is the client's
+// fault and is relayed verbatim (every shard validates identically, so the
+// first one speaks for all); anything else is a 502 naming the shard.
+func (f *Fanout) relayFailure(w http.ResponseWriter, replies []shardReply, want int) bool {
+	for i, r := range replies {
+		if r.err == nil && r.status == want {
+			continue
+		}
+		f.shardErrors.Add(1)
+		if r.err != nil {
+			writeError(w, http.StatusBadGateway, "shard %d (%s) unreachable: %v", i, f.shards[i], r.err)
+			return true
+		}
+		if r.status >= 400 && r.status < 500 {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(r.status)
+			w.Write(r.body)
+			return true
+		}
+		writeError(w, http.StatusBadGateway, "shard %d (%s) returned %d: %s", i, f.shards[i], r.status, r.body)
+		return true
+	}
+	return false
+}
+
+func (f *Fanout) handleQuery(w http.ResponseWriter, r *http.Request) {
+	f.fanouts.Add(1)
+	replies := f.fanGet("/v1/reverse-topk?" + r.URL.RawQuery)
+	if f.relayFailure(w, replies, http.StatusOK) {
+		return
+	}
+	merged := QueryResponse{}
+	var maxEpoch uint64
+	for i, rep := range replies {
+		var qr QueryResponse
+		if err := json.Unmarshal(rep.body, &qr); err != nil {
+			f.shardErrors.Add(1)
+			writeError(w, http.StatusBadGateway, "shard %d returned malformed body: %v", i, err)
+			return
+		}
+		merged.Query, merged.K = qr.Query, qr.K
+		if qr.Epoch > maxEpoch {
+			maxEpoch = qr.Epoch
+		}
+		merged.Results = append(merged.Results, qr.Results...)
+	}
+	// Partitions are disjoint, so the union is a plain merge; sort restores
+	// the global ascending order the single-engine answer uses.
+	sort.Slice(merged.Results, func(i, j int) bool { return merged.Results[i] < merged.Results[j] })
+	if merged.Results == nil {
+		merged.Results = []graph.NodeID{}
+	}
+	merged.Count = len(merged.Results)
+	merged.Epoch = maxEpoch
+	f.served.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Shards", fmt.Sprintf("%d", len(f.shards)))
+	body, _ := json.Marshal(merged)
+	w.Write(body)
+}
+
+// FanoutStatsResponse is the JSON body of the coordinator's /v1/stats.
+type FanoutStatsResponse struct {
+	Shards        int     `json:"shards"`
+	Fanouts       int64   `json:"fanouts"`
+	Served        int64   `json:"served"`
+	ShardErrors   int64   `json:"shard_errors"`
+	EditsFanned   int64   `json:"edits_fanned"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// ShardStats carries each shard's own /v1/stats body verbatim (null
+	// for an unreachable shard).
+	ShardStats []json.RawMessage `json:"shard_stats"`
+}
+
+func (f *Fanout) handleStats(w http.ResponseWriter, r *http.Request) {
+	replies := f.fanGet("/v1/stats")
+	resp := FanoutStatsResponse{
+		Shards:        len(f.shards),
+		Fanouts:       f.fanouts.Load(),
+		Served:        f.served.Load(),
+		ShardErrors:   f.shardErrors.Load(),
+		EditsFanned:   f.editsFanned.Load(),
+		UptimeSeconds: time.Since(f.start).Seconds(),
+		ShardStats:    make([]json.RawMessage, len(f.shards)),
+	}
+	for i, rep := range replies {
+		if rep.err == nil && rep.status == http.StatusOK && json.Valid(rep.body) {
+			resp.ShardStats[i] = rep.body
+		} else {
+			resp.ShardStats[i] = json.RawMessage("null")
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	body, _ := json.Marshal(resp)
+	w.Write(body)
+}
+
+func (f *Fanout) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	replies := f.fanGet("/healthz")
+	var down []string
+	for i, rep := range replies {
+		if rep.err != nil || rep.status != http.StatusOK {
+			down = append(down, f.shards[i])
+		}
+	}
+	if len(down) > 0 {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintf(w, "shards down: %s\n", strings.Join(down, ", "))
+		return
+	}
+	w.Write([]byte("ok\n"))
+}
+
+// handleEdits broadcasts the batch: every shard holds the full (replicated)
+// graph, so each must apply the adjacency change, while the index refresh
+// each performs is routed to its owned rows only — the batch's total
+// re-indexing work is split P ways, not duplicated P times.
+func (f *Fanout) handleEdits(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxEditsBody))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading edits body: %v", err)
+		return
+	}
+	var req EditsRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed edits body: %v", err)
+		return
+	}
+	f.editsFanned.Add(1)
+	replies := make([]shardReply, len(f.shards))
+	var wg sync.WaitGroup
+	for i, base := range f.shards {
+		wg.Add(1)
+		go func(i int, url string) {
+			defer wg.Done()
+			replies[i] = f.do(http.MethodPost, url, body)
+		}(i, base+"/v1/edits")
+	}
+	wg.Wait()
+	want := http.StatusAccepted
+	if req.Wait {
+		want = http.StatusOK
+	}
+	if f.relayFailure(w, replies, want) {
+		return
+	}
+	perShard := make([]EditsResponse, len(replies))
+	for i, rep := range replies {
+		if err := json.Unmarshal(rep.body, &perShard[i]); err != nil {
+			f.shardErrors.Add(1)
+			writeError(w, http.StatusBadGateway, "shard %d returned malformed body: %v", i, err)
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(want)
+	out, _ := json.Marshal(struct {
+		Shards []EditsResponse `json:"shards"`
+	}{perShard})
+	w.Write(out)
+}

@@ -373,6 +373,13 @@ type StatsResponse struct {
 	Draining      bool    `json:"draining"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
 
+	// Shard-slice identity (set when the daemon serves one shard of a
+	// partitioned index; absent on a full index).
+	ShardID           *int   `json:"shard_id,omitempty"`
+	ShardCount        int    `json:"shard_count,omitempty"`
+	PartitionStrategy string `json:"partition_strategy,omitempty"`
+	OwnedNodes        int    `json:"owned_nodes,omitempty"`
+
 	// Maintenance pipeline observability.
 	EnqueuedWatermark   uint64 `json:"enqueued_watermark"`
 	AppliedWatermark    uint64 `json:"applied_watermark"`
@@ -437,6 +444,13 @@ func (s *Server) Stats() StatsResponse {
 	}
 	if msg := s.lastMaintError.Load(); msg != nil {
 		resp.LastMaintError = *msg
+	}
+	if pm, shard, ok := snap.View.Index().Shard(); ok {
+		sh := shard
+		resp.ShardID = &sh
+		resp.ShardCount = pm.P()
+		resp.PartitionStrategy = pm.Strategy().String()
+		resp.OwnedNodes = len(snap.View.Index().OwnedNodes())
 	}
 	return resp
 }
@@ -686,6 +700,20 @@ func (s *Server) runBatch(b *editBatch) {
 		return
 	}
 	hm := idx.HubMatrix()
+	// Grown graphs: pad the index (which also extends a shard slice's
+	// partition map and owned set) before routing refresh work, so the
+	// ownership test below covers the fresh ids too.
+	var nextIdx *lbindex.Index
+	if next.N() > idx.N() {
+		nextIdx = idx.CloneGrown(next.N())
+		s.nodesGrown.Add(int64(next.N() - idx.N()))
+	} else {
+		nextIdx = idx.Clone()
+	}
+	// Route refresh work to the owning shard: on a shard-slice snapshot
+	// only rows this shard materializes are re-indexed (the other shards
+	// receive the same broadcast batch and refresh their own), while
+	// affected HUBS refresh everywhere — the hub matrix is replicated.
 	var origins, hubs []graph.NodeID
 	for u, a := range affected {
 		if !a {
@@ -694,23 +722,16 @@ func (s *Server) runBatch(b *editBatch) {
 		id := graph.NodeID(u)
 		if hm.IsHub(id) {
 			hubs = append(hubs, id)
-		} else {
+		} else if nextIdx.Owns(id) {
 			origins = append(origins, id)
 		}
 	}
-	// Grown graphs: pad the index and index every new origin, whether or
-	// not it reaches an edited source (it has no entry at all yet).
-	var nextIdx *lbindex.Index
-	if next.N() > idx.N() {
-		nextIdx = idx.CloneGrown(next.N())
-		for u := idx.N(); u < next.N(); u++ {
-			if !affected[u] {
-				origins = append(origins, graph.NodeID(u))
-			}
+	// New origins are indexed whether or not they reach an edited source
+	// (they have no entry at all yet) — again only the owned ones.
+	for u := idx.N(); u < next.N(); u++ {
+		if !affected[u] && nextIdx.Owns(graph.NodeID(u)) {
+			origins = append(origins, graph.NodeID(u))
 		}
-		s.nodesGrown.Add(int64(next.N() - idx.N()))
-	} else {
-		nextIdx = idx.Clone()
 	}
 	stats, err := evolve.RefreshPartial(next, nextIdx, origins, hubs)
 	if err != nil {
