@@ -28,11 +28,11 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("rtkbench: ")
 	var (
-		which   = flag.String("exp", "all", "experiment: datasets|table2|fig5|fig6|fig7|fig8|fig9|spam|table3|approx|evolve|serve|all, or coldstart/shard (not in all: each builds a ~131k-node index)")
+		which   = flag.String("exp", "all", "experiment: datasets|table2|fig5|fig6|fig7|fig8|fig9|spam|table3|approx|evolve|serve|all, or coldstart/shard/recovery (not in all: coldstart and shard each build a ~131k-node index, recovery fsyncs a journal per batch)")
 		scale   = flag.Int("scale", 1, "graph size multiplier (paper sizes ≈ 5–400)")
 		queries = flag.Int("queries", 0, "query workload size override (0 = experiment default; paper: 500)")
 		workers = flag.Int("workers", 1, "intra-query workers for the fig5/fig6 query sweep (0 = all cores)")
-		jsonOut = flag.String("json", "", "evolve/coldstart experiments: write the machine-readable BENCH_<exp>.json record to this path")
+		jsonOut = flag.String("json", "", "evolve/coldstart/shard/recovery experiments: write the machine-readable BENCH_<exp>.json record to this path")
 		verbose = flag.Bool("v", false, "print progress while running")
 	)
 	flag.Parse()
@@ -40,7 +40,7 @@ func main() {
 	// Unknown experiment names fail fast with the full menu instead of
 	// silently running nothing.
 	valid := []string{"all", "datasets", "table2", "fig5", "fig6", "fig7", "fig8", "fig9",
-		"spam", "table3", "approx", "evolve", "serve", "coldstart", "shard"}
+		"spam", "table3", "approx", "evolve", "serve", "coldstart", "shard", "recovery"}
 	if !slices.Contains(valid, *which) {
 		log.Fatalf("unknown experiment %q; valid -exp values: %s", *which, strings.Join(valid, ", "))
 	}
@@ -224,6 +224,17 @@ func main() {
 			log.Fatal(err)
 		}
 		if err := exp.WriteShardBench(os.Stdout, res, *jsonOut); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if *which == "recovery" {
+		header("Durability: edit acknowledgement latency (fsync / no-sync / volatile) + journal replay time")
+		res, err := exp.RunRecovery(exp.DefaultRecoveryConfig(*scale), progress)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := exp.WriteRecovery(os.Stdout, res, *jsonOut); err != nil {
 			log.Fatal(err)
 		}
 	}

@@ -29,7 +29,17 @@
 //
 // On SIGTERM/SIGINT the daemon drains gracefully: /healthz flips to 503,
 // the listener stops accepting, in-flight requests finish (bounded by
-// -drain), then the process exits 0.
+// -drain), then the process exits 0 — with every acknowledged edit batch
+// applied, never failed.
+//
+// With -journal the daemon is durable: each accepted edit batch is framed,
+// checksummed and fsync'd to a write-ahead journal BEFORE its 202
+// watermark is returned, and on startup the journal is replayed (any torn
+// final record truncated away) on top of the newest checkpoint, so even
+// kill -9 loses no acknowledged batch. Pair with -checkpoint-dir to bound
+// replay time: the daemon periodically saves the served (graph, index)
+// pair and truncates the journal at the checkpointed watermark. See the
+// README's "Durability & crash recovery" section.
 package main
 
 import (
@@ -66,6 +76,12 @@ func main() {
 		workers      = flag.Int("workers", 0, "total intra-query worker budget (0 = GOMAXPROCS)")
 		drain        = flag.Duration("drain", 15*time.Second, "graceful drain timeout on SIGTERM")
 		compactAfter = flag.Int("compact-after", 0, "overlay delta edges before background compaction (0 = max(4096, M/8), negative disables)")
+
+		journalPath = flag.String("journal", "", "write-ahead edit journal path: fsync every accepted batch before acknowledging it, replay on startup (empty = volatile)")
+		ckptDir     = flag.String("checkpoint-dir", "", "checkpoint directory: periodically save the served pair and truncate the journal (requires -journal; empty = journal grows unbounded)")
+		ckptBytes   = flag.Int64("checkpoint-bytes", 0, "checkpoint once the journal exceeds this many bytes (0 = 64 MiB, negative disables the size trigger)")
+		ckptBatches = flag.Int("checkpoint-batches", 0, "checkpoint once the journal holds this many batches (0 = 1024, negative disables the count trigger)")
+		noSync      = flag.Bool("journal-no-sync", false, "skip the per-append fsync (benchmark escape hatch: a machine crash may lose recent acknowledgements)")
 	)
 	flag.Parse()
 	if *shards != "" {
@@ -80,6 +96,9 @@ func main() {
 	}
 	if *graphPath == "" {
 		log.Fatal("-graph is required (or -shards for coordinator mode)")
+	}
+	if *journalPath == "" && *ckptDir != "" {
+		log.Fatal("-checkpoint-dir needs -journal: checkpoints exist to truncate the journal")
 	}
 
 	gf, err := os.Open(*graphPath)
@@ -123,14 +142,37 @@ func main() {
 		log.Printf("index: built in %v (%d hubs, %d B)", time.Since(start).Round(time.Millisecond), stats.HubCount, stats.Bytes)
 	}
 
-	srv, err := serve.New(g, idx, serve.Config{
+	cfg := serve.Config{
 		CacheBytes:   *cacheBytes,
 		MaxInflight:  *maxInflight,
 		WorkerBudget: *workers,
 		CompactAfter: *compactAfter,
-	})
-	if err != nil {
-		log.Fatal(err)
+	}
+	var srv *serve.Server
+	if *journalPath != "" {
+		start := time.Now()
+		var info *serve.RecoveryInfo
+		srv, info, err = serve.NewDurable(g, idx, cfg, serve.DurabilityConfig{
+			JournalPath:       *journalPath,
+			CheckpointDir:     *ckptDir,
+			CheckpointBytes:   *ckptBytes,
+			CheckpointBatches: *ckptBatches,
+			NoSync:            *noSync,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("journal: %s recovered in %v (checkpoint watermark %d, %d replayed, %d skipped, %d torn bytes dropped)",
+			*journalPath, time.Since(start).Round(time.Microsecond),
+			info.CheckpointWatermark, info.Replayed, info.SkippedBelowCheckpoint, info.DroppedBytes)
+		if info.TailError != "" {
+			log.Printf("journal: torn tail truncated: %s", info.TailError)
+		}
+	} else {
+		srv, err = serve.New(g, idx, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	ln, err := net.Listen("tcp", *addr)

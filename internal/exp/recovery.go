@@ -1,0 +1,302 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"repro/internal/evolve"
+	"repro/internal/graph"
+	"repro/internal/lbindex"
+	"repro/internal/serve"
+)
+
+// RecoveryConfig parameterizes the durability benchmark: what one fsync'd
+// acknowledgement costs against the unsynced and volatile alternatives,
+// and how crash-recovery replay time scales with journal length.
+type RecoveryConfig struct {
+	Graph         GraphSpec
+	IndexK        int
+	EditsPerBatch int
+	// AckBatches is the burst length for the acknowledgement-latency
+	// comparison (each durability mode replays the same burst).
+	AckBatches int
+	// ReplayLengths is the journal-length sweep (in batches) for the
+	// replay-time measurement.
+	ReplayLengths []int
+	// Theta keeps per-batch refresh work small so the journal, not the
+	// maintenance pipeline, dominates what is being measured.
+	Theta float64
+	Seed  int64
+}
+
+// DefaultRecoveryConfig sizes the study to run in CI seconds.
+func DefaultRecoveryConfig(scale int) RecoveryConfig {
+	if scale < 1 {
+		scale = 1
+	}
+	return RecoveryConfig{
+		Graph:         GraphSpec{Name: "web-4k", Paper: "synthetic", Nodes: 4096, Kind: "web", Seed: 707, HubBudget: 16},
+		IndexK:        16,
+		EditsPerBatch: 8,
+		AckBatches:    64 * scale,
+		ReplayLengths: []int{16 * scale, 32 * scale, 64 * scale},
+		Theta:         0.5,
+		Seed:          707,
+	}
+}
+
+// AckStats summarizes acknowledgement latency for one durability mode.
+type AckStats struct {
+	Mode    string `json:"mode"`
+	Batches int    `json:"batches"`
+	MeanNS  int64  `json:"mean_ns"`
+	P50NS   int64  `json:"p50_ns"`
+	P99NS   int64  `json:"p99_ns"`
+}
+
+// ReplayRow is one point of the replay-time-vs-journal-length curve.
+type ReplayRow struct {
+	Batches      int   `json:"batches"`
+	JournalBytes int64 `json:"journal_bytes"`
+	ReplayNS     int64 `json:"replay_ns"`
+	PerBatchNS   int64 `json:"per_batch_ns"`
+}
+
+// RecoveryResult is the machine-readable record emitted as
+// BENCH_recovery.json (rtkbench -exp recovery -json <path>): the price of
+// the fsync behind every 202 acknowledgement, and how long a restart
+// spends replaying a journal of a given length.
+type RecoveryResult struct {
+	GraphNodes    int        `json:"graph_nodes"`
+	GraphEdges    int        `json:"graph_edges"`
+	EditsPerBatch int        `json:"edits_per_batch"`
+	Ack           []AckStats `json:"ack"`
+	// FsyncOverheadX is fsync'd mean ack latency over the volatile mean —
+	// the durability tax on the edit path.
+	FsyncOverheadX float64     `json:"fsync_overhead_x"`
+	Replay         []ReplayRow `json:"replay"`
+}
+
+// insertBatches precomputes `batches` disjoint batches of edits, each
+// inserting `per` distinct non-edges — every batch valid against the base
+// graph regardless of which earlier batches were applied.
+func insertBatches(g *graph.Graph, batches, per int, seed int64) ([][]evolve.Edit, error) {
+	rng := rand.New(rand.NewSource(seed))
+	used := make(map[[2]graph.NodeID]bool)
+	out := make([][]evolve.Edit, batches)
+	for b := range out {
+		batch := make([]evolve.Edit, 0, per)
+		for tries := 0; len(batch) < per; tries++ {
+			if tries > 1000*per {
+				return nil, fmt.Errorf("exp: graph too dense to find %d disjoint non-edges", batches*per)
+			}
+			u := graph.NodeID(rng.Intn(g.N()))
+			v := graph.NodeID(rng.Intn(g.N()))
+			k := [2]graph.NodeID{u, v}
+			if u == v || used[k] || g.HasEdge(u, v) {
+				continue
+			}
+			used[k] = true
+			batch = append(batch, evolve.Edit{From: u, To: v})
+		}
+		out[b] = batch
+	}
+	return out, nil
+}
+
+func ackStats(mode string, lat []time.Duration) AckStats {
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	var sum time.Duration
+	for _, d := range lat {
+		sum += d
+	}
+	pct := func(p float64) int64 {
+		i := int(p * float64(len(lat)-1))
+		return int64(lat[i])
+	}
+	return AckStats{
+		Mode:    mode,
+		Batches: len(lat),
+		MeanNS:  int64(sum) / int64(len(lat)),
+		P50NS:   pct(0.50),
+		P99NS:   pct(0.99),
+	}
+}
+
+// RunRecovery measures the durability tax and the replay curve.
+func RunRecovery(cfg RecoveryConfig, progress io.Writer) (*RecoveryResult, error) {
+	g, err := cfg.Graph.Build()
+	if err != nil {
+		return nil, err
+	}
+	opts := indexOptions(cfg.IndexK, cfg.Graph.HubBudget, 1e-5)
+	idx, _, err := lbindex.Build(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	res := &RecoveryResult{
+		GraphNodes:    g.N(),
+		GraphEdges:    g.M(),
+		EditsPerBatch: cfg.EditsPerBatch,
+	}
+	dir, err := os.MkdirTemp("", "rtk-recovery-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	batches, err := insertBatches(g, cfg.AckBatches, cfg.EditsPerBatch, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	// Acknowledgement latency per durability mode. Each mode gets a fresh
+	// server and journal; the maintenance pipeline drains concurrently,
+	// exactly as in production — what is timed is the enqueue path the
+	// client's 202 waits on.
+	modes := []struct {
+		name   string
+		durCfg *serve.DurabilityConfig
+	}{
+		{"fsync", &serve.DurabilityConfig{JournalPath: filepath.Join(dir, "ack-fsync.wal")}},
+		{"nosync", &serve.DurabilityConfig{JournalPath: filepath.Join(dir, "ack-nosync.wal"), NoSync: true}},
+		{"volatile", nil},
+	}
+	var volatileMean, fsyncMean int64
+	for _, mode := range modes {
+		var s *serve.Server
+		if mode.durCfg == nil {
+			s, err = serve.New(g, idx.Clone(), serve.Config{})
+		} else {
+			s, _, err = serve.NewDurable(g, idx.Clone(), serve.Config{}, *mode.durCfg)
+		}
+		if err != nil {
+			return nil, err
+		}
+		lat := make([]time.Duration, 0, len(batches))
+		var last *serve.Pending
+		for _, edits := range batches {
+			start := time.Now()
+			p, err := s.EnqueueEdits(edits, cfg.Theta)
+			if err != nil {
+				s.Close()
+				return nil, err
+			}
+			lat = append(lat, time.Since(start))
+			last = p
+		}
+		if _, _, err := last.Wait(); err != nil {
+			s.Close()
+			return nil, err
+		}
+		s.Close()
+		st := ackStats(mode.name, lat)
+		res.Ack = append(res.Ack, st)
+		switch mode.name {
+		case "fsync":
+			fsyncMean = st.MeanNS
+		case "volatile":
+			volatileMean = st.MeanNS
+		}
+		if progress != nil {
+			fmt.Fprintf(progress, "recovery: ack[%s] mean=%v p99=%v over %d batches\n",
+				mode.name, time.Duration(st.MeanNS).Round(time.Microsecond),
+				time.Duration(st.P99NS).Round(time.Microsecond), st.Batches)
+		}
+	}
+	if volatileMean > 0 {
+		res.FsyncOverheadX = float64(fsyncMean) / float64(volatileMean)
+	}
+
+	// Replay time vs journal length: write a journal of L applied batches,
+	// crash (no checkpoint), time the restart's synchronous replay.
+	for _, length := range cfg.ReplayLengths {
+		if length > len(batches) {
+			length = len(batches)
+		}
+		jp := filepath.Join(dir, fmt.Sprintf("replay-%d.wal", length))
+		s, _, err := serve.NewDurable(g, idx.Clone(), serve.Config{}, serve.DurabilityConfig{JournalPath: jp})
+		if err != nil {
+			return nil, err
+		}
+		for _, edits := range batches[:length] {
+			if _, _, err := s.ApplyEdits(edits, cfg.Theta); err != nil {
+				s.Close()
+				return nil, err
+			}
+		}
+		s.Close()
+		fi, err := os.Stat(jp)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		s2, info, err := serve.NewDurable(g, idx.Clone(), serve.Config{}, serve.DurabilityConfig{JournalPath: jp})
+		if err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(start)
+		s2.Close()
+		if info.Replayed != length {
+			return nil, fmt.Errorf("exp: replayed %d of %d journaled batches", info.Replayed, length)
+		}
+		row := ReplayRow{
+			Batches:      length,
+			JournalBytes: fi.Size(),
+			ReplayNS:     int64(elapsed),
+			PerBatchNS:   int64(elapsed) / int64(length),
+		}
+		res.Replay = append(res.Replay, row)
+		if progress != nil {
+			fmt.Fprintf(progress, "recovery: replay %d batches (%d B journal) in %v (%v/batch)\n",
+				row.Batches, row.JournalBytes, elapsed.Round(time.Millisecond),
+				time.Duration(row.PerBatchNS).Round(time.Microsecond))
+		}
+	}
+	return res, nil
+}
+
+// WriteRecovery renders the study and writes the JSON record when jsonPath
+// is non-empty.
+func WriteRecovery(w io.Writer, res *RecoveryResult, jsonPath string) error {
+	tw := newTable(w)
+	fmt.Fprintln(tw, "mode\tbatches\tack_mean\tack_p50\tack_p99")
+	for _, a := range res.Ack {
+		fmt.Fprintf(tw, "%s\t%d\t%v\t%v\t%v\n", a.Mode, a.Batches,
+			time.Duration(a.MeanNS).Round(time.Microsecond),
+			time.Duration(a.P50NS).Round(time.Microsecond),
+			time.Duration(a.P99NS).Round(time.Microsecond))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "fsync overhead: %.1fx over volatile acknowledgement\n\n", res.FsyncOverheadX)
+	tw = newTable(w)
+	fmt.Fprintln(tw, "journal_batches\tjournal_bytes\treplay_time\tper_batch")
+	for _, r := range res.Replay {
+		fmt.Fprintf(tw, "%d\t%d\t%v\t%v\n", r.Batches, r.JournalBytes,
+			time.Duration(r.ReplayNS).Round(time.Millisecond),
+			time.Duration(r.PerBatchNS).Round(time.Microsecond))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if jsonPath == "" {
+		return nil
+	}
+	blob, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s\n", jsonPath)
+	return nil
+}

@@ -91,8 +91,14 @@ const (
 	v2PreambleSize = 32
 	v2TableEntry   = 24
 	v2HeaderEnd    = v2PreambleSize + v2NumSections*v2TableEntry
-	v2MetaSize     = 104
-	v2PartMetaSize = 24
+	// v2MetaSize is the current meta-section length: the original 104-byte
+	// block plus the u64 edit-journal watermark at [104,112). Images
+	// written before the watermark existed carry v2MetaSizeLegacy bytes and
+	// load with watermark 0 — the section table already delimits meta, so
+	// growing it is a compatible extension, not a new format.
+	v2MetaSize       = 112
+	v2MetaSizeLegacy = 104
+	v2PartMetaSize   = 24
 	// maxV2FileSize bounds the image length a loader will believe; anything
 	// larger is corruption (and would be rejected by the CRC anyway, but the
 	// bound keeps speculative work proportional to plausible input).
@@ -310,6 +316,10 @@ type v2emitter struct {
 	nsec      int
 	rows      []graph.NodeID
 	numStates int
+	// watermark is snapshotted once at emitter construction: the body is
+	// streamed three times (section CRCs, file CRC, output), and a value
+	// read per pass could change between passes and tear the checksums.
+	watermark uint64
 	lens      [v2NumSectionsSharded]int
 	offs      [v2NumSectionsSharded]int
 	fileSize  int
@@ -349,7 +359,7 @@ func (idx *Index) newV2EmitterLocked() (*v2emitter, error) {
 	o := idx.opts
 	hubCount := len(hubIDs)
 
-	e := &v2emitter{idx: idx, hubIDs: hubIDs, cols: cols, topK: topK, dropped: dropped, nsec: v2NumSections}
+	e := &v2emitter{idx: idx, hubIDs: hubIDs, cols: cols, topK: topK, dropped: dropped, nsec: v2NumSections, watermark: idx.watermark.Load()}
 	var partBounds []int32
 	if idx.part != nil {
 		e.nsec = v2NumSectionsSharded
@@ -458,6 +468,7 @@ func (e *v2emitter) emitSection(s int, bw *binWriter) {
 		bw.f64(o.RWR.Alpha)
 		bw.f64(o.RWR.Eps)
 		bw.i64(e.idx.refinements.Load())
+		bw.u64(e.watermark)
 	case secHubIDs:
 		for _, h := range e.hubIDs {
 			bw.u32(uint32(h))
@@ -773,9 +784,10 @@ func parseV2(data []byte, deep bool) (*Index, error) {
 		p.offs[s], p.lens[s] = int(off), int(ln)
 	}
 
-	// Meta.
-	if p.lens[secMeta] != v2MetaSize {
-		return nil, fmt.Errorf("lbindex: meta section has %d bytes, want %d", p.lens[secMeta], v2MetaSize)
+	// Meta. Legacy-length blocks predate the journal watermark and imply
+	// watermark 0.
+	if p.lens[secMeta] != v2MetaSize && p.lens[secMeta] != v2MetaSizeLegacy {
+		return nil, fmt.Errorf("lbindex: meta section has %d bytes, want %d (or legacy %d)", p.lens[secMeta], v2MetaSize, v2MetaSizeLegacy)
 	}
 	mb := p.bytes(secMeta)
 	n := int(int64(binary.LittleEndian.Uint64(mb[0:])))
@@ -795,6 +807,10 @@ func parseV2(data []byte, deep bool) (*Index, error) {
 	o.RWR.Alpha = math.Float64frombits(binary.LittleEndian.Uint64(mb[80:]))
 	o.RWR.Eps = math.Float64frombits(binary.LittleEndian.Uint64(mb[88:]))
 	refinements := int64(binary.LittleEndian.Uint64(mb[96:]))
+	var watermark uint64
+	if p.lens[secMeta] >= v2MetaSize {
+		watermark = binary.LittleEndian.Uint64(mb[104:])
+	}
 	if n <= 0 || n > 1<<31 || o.K <= 0 || o.K > maxPlausibleK {
 		return nil, fmt.Errorf("lbindex: implausible header n=%d K=%d", n, o.K)
 	}
@@ -855,7 +871,7 @@ func parseV2(data []byte, deep bool) (*Index, error) {
 	colNNZ := p.lens[secHubColIdx] / 4
 	rNNZ, wNNZ, sNNZ := p.lens[secStateRIdx]/4, p.lens[secStateWIdx]/4, p.lens[secStateSIdx]/4
 	want := [v2NumSectionsSharded]int{
-		secMeta:       v2MetaSize,
+		secMeta:       p.lens[secMeta], // already validated: current or legacy size
 		secHubIDs:     4 * hubCount,
 		secHubTopK:    8 * hubCount * o.K,
 		secHubDropped: 8 * hubCount,
@@ -989,6 +1005,7 @@ func parseV2(data []byte, deep bool) (*Index, error) {
 
 	idx := &Index{opts: o, n: n, hubs: hm, phat: phat, states: states, part: pm, shardID: shardID, owned: rows}
 	idx.refinements.Store(refinements)
+	idx.watermark.Store(watermark)
 	if deep {
 		if err := idx.CheckInvariants(); err != nil {
 			return nil, err

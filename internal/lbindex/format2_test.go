@@ -2,6 +2,8 @@ package lbindex
 
 import (
 	"bytes"
+	"encoding/binary"
+	"hash/crc32"
 	"io"
 	"math"
 	"os"
@@ -69,6 +71,9 @@ func requireIndexEqual(t *testing.T, a, b *Index) {
 	}
 	if a.Refinements() != b.Refinements() {
 		t.Fatalf("refinements %d vs %d", a.Refinements(), b.Refinements())
+	}
+	if a.Watermark() != b.Watermark() {
+		t.Fatalf("watermark %d vs %d", a.Watermark(), b.Watermark())
 	}
 	an, ahubs, acols, atopk, adrop, aomega := a.HubMatrix().Parts()
 	bn, bhubs, bcols, btopk, bdrop, bomega := b.HubMatrix().Parts()
@@ -342,4 +347,84 @@ func writeIndex(t *testing.T, path string, save func(w io.Writer) error) {
 	if err := f.Close(); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// TestV2WatermarkRoundTrip checks the edit-journal watermark embedded in
+// the meta block survives save/load through every loader, and that a
+// pre-watermark image (104-byte legacy meta block) still loads — with
+// watermark 0 and everything else intact.
+func TestV2WatermarkRoundTrip(t *testing.T) {
+	idx := refinedIndex(t, 13, 30, 3)
+	const wm = 987654321
+	idx.SetWatermark(wm)
+	if c := idx.Clone(); c.Watermark() != wm {
+		t.Fatalf("Clone watermark %d, want %d", c.Watermark(), wm)
+	}
+	if c := idx.CloneGrown(idx.N() + 2); c.Watermark() != wm {
+		t.Fatalf("CloneGrown watermark %d, want %d", c.Watermark(), wm)
+	}
+
+	var buf bytes.Buffer
+	if err := idx.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	deep, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deep.Watermark() != wm {
+		t.Fatalf("deep load watermark %d, want %d", deep.Watermark(), wm)
+	}
+	aligned := alignedBytes(buf.Len())
+	copy(aligned, buf.Bytes())
+	structural, err := parseV2(aligned, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if structural.Watermark() != wm {
+		t.Fatalf("structural parse watermark %d, want %d", structural.Watermark(), wm)
+	}
+
+	legacy := stripWatermarkSection(t, buf.Bytes())
+	old, err := Load(bytes.NewReader(legacy))
+	if err != nil {
+		t.Fatalf("legacy meta block refused: %v", err)
+	}
+	if old.Watermark() != 0 {
+		t.Fatalf("legacy image loaded watermark %d, want 0", old.Watermark())
+	}
+	idx.SetWatermark(0)
+	requireIndexEqual(t, idx, old)
+}
+
+// stripWatermarkSection rewrites a current v2 image into its pre-watermark
+// form: the meta section shrinks back to v2MetaSizeLegacy bytes, every
+// later section slides forward 8 bytes, and all checksums are recomputed —
+// byte for byte what the previous release's Save emitted.
+func stripWatermarkSection(t *testing.T, data []byte) []byte {
+	t.Helper()
+	nsec := int(binary.LittleEndian.Uint32(data[16:20]))
+	headerEnd := v2HeaderEndOf(nsec)
+	out := make([]byte, len(data)-8)
+	copy(out, data[:headerEnd])
+	binary.LittleEndian.PutUint64(out[8:], uint64(len(out)))
+	for s := 0; s < nsec; s++ {
+		entry := out[v2PreambleSize+s*v2TableEntry:]
+		off := binary.LittleEndian.Uint64(entry[8:])
+		ln := binary.LittleEndian.Uint64(entry[16:])
+		newOff, newLn := off, ln
+		if s == secMeta {
+			newLn = v2MetaSizeLegacy
+		} else {
+			newOff = off - 8
+		}
+		binary.LittleEndian.PutUint64(entry[8:], newOff)
+		binary.LittleEndian.PutUint64(entry[16:], newLn)
+		copy(out[newOff:newOff+newLn], data[off:off+ln])
+		binary.LittleEndian.PutUint32(entry[4:], crc32.Checksum(out[newOff:newOff+newLn], castagnoli))
+	}
+	binary.LittleEndian.PutUint32(out[20:], crc32.Checksum(out[v2PreambleSize:headerEnd], castagnoli))
+	fileCRC := crc32.Update(crc32.Checksum(out[:24], castagnoli), castagnoli, out[28:])
+	binary.LittleEndian.PutUint32(out[24:28], fileCRC)
+	return out
 }

@@ -149,6 +149,12 @@ type Index struct {
 	// refinements counts committed post-build refinement steps (a
 	// diagnostic for the Fig. 7 experiment).
 	refinements atomic.Int64
+	// watermark is the edit-journal watermark this index's state reflects:
+	// every journaled batch with watermark ≤ this value has been applied
+	// (or deterministically rejected). Persisted in the v2 image, it is
+	// what crash recovery replays the journal suffix against. 0 for a
+	// freshly built index.
+	watermark atomic.Uint64
 	// backing is the mmap'd image this index's rows alias, or nil for
 	// heap-resident indexes. Mapped rows are read-only; every writer
 	// replaces per-node pointers wholesale (the same immutable-once-
@@ -221,6 +227,7 @@ func (idx *Index) ShardSlice(pm *partition.Map, shard int) (*Index, error) {
 	}
 	s.setBacking(idx.backing)
 	s.refinements.Store(idx.refinements.Load())
+	s.watermark.Store(idx.watermark.Load())
 	return s, nil
 }
 
@@ -557,6 +564,7 @@ func (idx *Index) Clone() *Index {
 	}
 	c.setBacking(idx.backing)
 	c.refinements.Store(idx.refinements.Load())
+	c.watermark.Store(idx.watermark.Load())
 	return c
 }
 
@@ -607,6 +615,7 @@ func (idx *Index) CloneGrown(n2 int) *Index {
 	}
 	c.setBacking(idx.backing)
 	c.refinements.Store(idx.refinements.Load())
+	c.watermark.Store(idx.watermark.Load())
 	return c
 }
 
@@ -614,6 +623,17 @@ func (idx *Index) CloneGrown(n2 int) *Index {
 func (idx *Index) Refinements() int64 {
 	return idx.refinements.Load()
 }
+
+// Watermark returns the edit-journal watermark embedded in this index: the
+// highest journaled batch reflected in its state (0 for a fresh build).
+// Crash recovery replays only journal records above it.
+func (idx *Index) Watermark() uint64 { return idx.watermark.Load() }
+
+// SetWatermark records that every journaled batch with watermark ≤ wm is
+// reflected in this index's state. The serving maintenance goroutine stamps
+// each published index with the batch watermark that produced it, so a
+// checkpointed image always names the journal suffix recovery must replay.
+func (idx *Index) SetWatermark(wm uint64) { idx.watermark.Store(wm) }
 
 // SizeBytes returns the approximate payload footprint of the index: the
 // lower-bound matrix, all resumable states, and the rounded hub matrix.

@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/evolve"
 	"repro/internal/graph"
 )
 
@@ -280,6 +281,17 @@ func (f *Fanout) handleEdits(w http.ResponseWriter, r *http.Request) {
 	var req EditsRequest
 	if err := json.Unmarshal(body, &req); err != nil {
 		writeError(w, http.StatusBadRequest, "malformed edits body: %v", err)
+		return
+	}
+	// Validate before broadcasting — the same helper the shard daemons run,
+	// so a bad batch is rejected here with the same message instead of
+	// fanning out P doomed requests (and shards never see it).
+	edits := make([]evolve.Edit, len(req.Edits))
+	for i, e := range req.Edits {
+		edits[i] = evolve.Edit{From: e.From, To: e.To, Weight: e.Weight, Remove: e.Remove}
+	}
+	if err := ValidateEdits(edits, req.Theta); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	f.editsFanned.Add(1)

@@ -14,6 +14,7 @@ import (
 	"repro/internal/evolve"
 	"repro/internal/graph"
 	"repro/internal/lbindex"
+	"repro/internal/wal"
 )
 
 // Config parameterizes a Server. The zero value selects defaults.
@@ -96,6 +97,20 @@ type Server struct {
 	enqueuedWM atomic.Uint64
 	appliedWM  atomic.Uint64
 
+	// Durability (nil/zero on a volatile server — see NewDurable): the
+	// write-ahead journal every accepted batch is fsync'd to before its
+	// watermark is acknowledged, and the checkpoint policy that bounds how
+	// much of it a recovery must replay.
+	journal      *wal.Log
+	ckptDir      string
+	ckptBytes    int64
+	ckptBatches  int
+	checkpoints  atomic.Int64
+	lastCkptWM   atomic.Uint64
+	replayed     int
+	replayDrop   int64
+	writeDropped atomic.Int64
+
 	served     atomic.Int64
 	computed   atomic.Int64
 	cacheHits  atomic.Int64
@@ -157,8 +172,20 @@ func (p *Pending) Wait() (evolve.Stats, uint64, error) {
 
 // New creates a server over an initial (graph, index) pair, published as
 // epoch 1, and starts its maintenance goroutine. Callers must Close the
-// server to stop it.
+// server to stop it. The server is volatile: acknowledged edit batches
+// live only in memory until applied — use NewDurable for a journaled one.
 func New(g *graph.Graph, idx *lbindex.Index, cfg Config) (*Server, error) {
+	s, err := newServer(g, idx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	go s.maintLoop()
+	return s, nil
+}
+
+// newServer builds a fully wired server WITHOUT starting its maintenance
+// goroutine, so NewDurable can replay the journal synchronously first.
+func newServer(g *graph.Graph, idx *lbindex.Index, cfg Config) (*Server, error) {
 	store, err := NewStore(g, idx)
 	if err != nil {
 		return nil, err
@@ -191,12 +218,18 @@ func New(g *graph.Graph, idx *lbindex.Index, cfg Config) (*Server, error) {
 	}
 	store.AttachCache(s.cache)
 	s.overlay.Store(graph.NewOverlay(g))
-	go s.maintLoop()
+	// Index watermarks start where the loaded image left off; a freshly
+	// built index is watermark 0. Enqueues continue from there.
+	s.enqueuedWM.Store(idx.Watermark())
+	s.appliedWM.Store(idx.Watermark())
 	return s, nil
 }
 
-// Close stops the maintenance goroutine. Batches still queued are failed
-// with ErrClosed. Safe to call more than once.
+// Close stops accepting new batches, DRAINS every batch already
+// acknowledged (their 202 watermarks were returned to callers — a graceful
+// shutdown must honor them; only a hard crash may leave batches behind,
+// and those are replayed from the journal), then stops the maintenance
+// goroutine and closes the journal. Safe to call more than once.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if !s.closed {
@@ -205,6 +238,9 @@ func (s *Server) Close() {
 	}
 	s.mu.Unlock()
 	<-s.done
+	if s.journal != nil {
+		s.journal.Close()
+	}
 }
 
 // Store returns the server's snapshot store.
@@ -395,6 +431,19 @@ type StatsResponse struct {
 	LastAffectedHubs    int64  `json:"last_affected_hubs"`
 	LastMaintError      string `json:"last_maint_error,omitempty"`
 	NodesGrown          int64  `json:"nodes_grown"`
+
+	// Durability (set only when the server runs a write-ahead journal).
+	Durable                 bool   `json:"durable,omitempty"`
+	JournalBytes            int64  `json:"journal_bytes,omitempty"`
+	JournalBatches          int    `json:"journal_batches,omitempty"`
+	Checkpoints             int64  `json:"checkpoints,omitempty"`
+	LastCheckpointWatermark uint64 `json:"last_checkpoint_watermark,omitempty"`
+	ReplayedBatches         int    `json:"replayed_batches,omitempty"`
+	RecoveryDroppedBytes    int64  `json:"recovery_dropped_bytes,omitempty"`
+
+	// ResponseWriteDrops counts response bodies the client connection
+	// refused to accept (w.Write failed after the status was committed).
+	ResponseWriteDrops int64 `json:"response_write_drops,omitempty"`
 }
 
 // Stats snapshots the serving counters.
@@ -444,6 +493,16 @@ func (s *Server) Stats() StatsResponse {
 	}
 	if msg := s.lastMaintError.Load(); msg != nil {
 		resp.LastMaintError = *msg
+	}
+	resp.ResponseWriteDrops = s.writeDropped.Load()
+	if s.journal != nil {
+		resp.Durable = true
+		resp.JournalBytes = s.journal.Size()
+		resp.JournalBatches = s.journal.Batches()
+		resp.Checkpoints = s.checkpoints.Load()
+		resp.LastCheckpointWatermark = s.lastCkptWM.Load()
+		resp.ReplayedBatches = s.replayed
+		resp.RecoveryDroppedBytes = s.replayDrop
 	}
 	if pm, shard, ok := snap.View.Index().Shard(); ok {
 		sh := shard
@@ -530,11 +589,9 @@ func (s *Server) handleEdits(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, "%v", err)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
 	if !req.Wait {
-		w.WriteHeader(http.StatusAccepted)
 		body, _ := json.Marshal(EditsResponse{Watermark: pending.Watermark})
-		w.Write(body)
+		s.writeJSON(w, http.StatusAccepted, body)
 		return
 	}
 	stats, epoch, err := pending.Wait()
@@ -556,19 +613,34 @@ func (s *Server) handleEdits(w http.ResponseWriter, r *http.Request) {
 		HubsRebuilt: stats.HubsRebuilt,
 		ElapsedMS:   stats.Elapsed.Milliseconds(),
 	})
-	w.Write(body)
+	s.writeJSON(w, http.StatusOK, body)
+}
+
+// writeJSON commits status and body with the JSON content type. A failed
+// body write cannot be retracted (the status line is already on the wire),
+// but it is counted — a silently dropped 202 body would hide the watermark
+// the client needs to track its batch.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if _, err := w.Write(body); err != nil {
+		s.writeDropped.Add(1)
+	}
 }
 
 // EnqueueEdits appends an edit batch to the maintenance journal and
 // returns immediately with its watermark handle. The single maintenance
 // goroutine applies batches in watermark order; queries keep flowing
 // against the current snapshot throughout.
+//
+// On a durable server the batch is framed, checksummed and fsync'd to the
+// write-ahead journal BEFORE the watermark is assigned and returned: an
+// acknowledgement therefore promises the batch survives process death and
+// is replayed on restart. A batch the journal cannot persist is never
+// acknowledged.
 func (s *Server) EnqueueEdits(edits []evolve.Edit, theta float64) (*Pending, error) {
-	if len(edits) == 0 {
-		return nil, fmt.Errorf("%w: no edits given", errBadEdits)
-	}
-	if theta < 0 {
-		return nil, fmt.Errorf("%w: negative staleness threshold %g", errBadEdits, theta)
+	if err := ValidateEdits(edits, theta); err != nil {
+		return nil, err
 	}
 	b := &editBatch{edits: edits, theta: theta, done: make(chan struct{})}
 	s.mu.Lock()
@@ -576,7 +648,15 @@ func (s *Server) EnqueueEdits(edits []evolve.Edit, theta float64) (*Pending, err
 		s.mu.Unlock()
 		return nil, ErrClosed
 	}
-	b.watermark = s.enqueuedWM.Add(1)
+	wm := s.enqueuedWM.Load() + 1
+	if s.journal != nil {
+		if err := s.journal.Append(wal.Record{Watermark: wm, Theta: theta, Edits: edits}); err != nil {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("serve: journaling edit batch: %w", err)
+		}
+	}
+	b.watermark = wm
+	s.enqueuedWM.Store(wm)
 	s.queue = append(s.queue, b)
 	s.mu.Unlock()
 	select {
@@ -600,8 +680,10 @@ func (s *Server) ApplyEdits(edits []evolve.Edit, theta float64) (evolve.Stats, u
 
 // maintLoop is the single maintenance goroutine: it drains the journal in
 // watermark order, runs each batch through the incremental pipeline, and
-// compacts the overlay when its delta crosses the threshold. It exits when
-// Close is called, failing any batches still queued.
+// compacts the overlay when its delta crosses the threshold. When Close is
+// called it finishes every batch still queued — each was acknowledged with
+// a watermark, so a graceful shutdown applies them all — and only then
+// exits.
 func (s *Server) maintLoop() {
 	defer close(s.done)
 	for {
@@ -620,21 +702,26 @@ func (s *Server) maintLoop() {
 		}
 		b := s.queue[0]
 		s.queue = s.queue[1:]
-		closed := s.closed
 		s.mu.Unlock()
 
-		if closed {
-			b.err = ErrClosed
-		} else {
-			s.runBatch(b)
-			// Compact BEFORE advancing the watermark: once a batch's
-			// watermark is visible as applied, every side effect it
-			// scheduled — including its compaction — has settled.
-			s.maybeCompact()
-		}
-		s.appliedWM.Store(b.watermark)
-		close(b.done)
+		s.finishBatch(b)
+		s.maybeCheckpoint()
 	}
+}
+
+// finishBatch runs one batch and publishes its completion: compaction and
+// the watermark stamp happen BEFORE the watermark is visible as applied,
+// so once it is, every side effect the batch scheduled has settled. The
+// stamp lands on the current snapshot's index whether the batch succeeded
+// (the freshly published clone) or was rejected (the prior index — a
+// rejection still consumes its watermark, and a replay re-rejects it
+// deterministically), keeping saved images' embedded watermarks honest.
+func (s *Server) finishBatch(b *editBatch) {
+	s.runBatch(b)
+	s.maybeCompact()
+	s.store.Current().View.Index().SetWatermark(b.watermark)
+	s.appliedWM.Store(b.watermark)
+	close(b.done)
 }
 
 // runBatch executes one journaled batch end to end: O(edits) overlay

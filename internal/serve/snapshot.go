@@ -13,6 +13,19 @@
 // the current snapshot once and runs against it to completion, even if a
 // swap lands mid-request. Cached results are keyed by epoch, so a swap
 // invalidates the cache by key instead of by locking.
+//
+// Durability model: New builds a volatile server — edit acknowledgements
+// (the 202 watermark) are promises that die with the process. NewDurable
+// adds a write-ahead journal (internal/wal): each accepted batch is
+// framed, checksummed and fsync'd BEFORE its watermark is returned, and on
+// startup the journal suffix newer than the loaded index's embedded
+// watermark is replayed through the same maintenance pipeline — including
+// deterministic re-rejection of batches that fail at apply time — so a
+// recovered server is bit-identical to one that never crashed. Background
+// checkpoints (DurabilityConfig.CheckpointDir) save the served pair and
+// truncate the journal, bounding replay time. Graceful Close drains the
+// queue either way: every acknowledged batch is applied, never failed,
+// on an orderly shutdown; the journal covers the disorderly ones.
 package serve
 
 import (

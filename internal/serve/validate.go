@@ -2,7 +2,10 @@ package serve
 
 import (
 	"fmt"
+	"math"
 	"net/http"
+
+	"repro/internal/evolve"
 )
 
 // ParamError is a rejected reverse top-k query parameter: a message for the
@@ -31,6 +34,35 @@ func ValidateQueryParams(q, k, n, maxK int) *ParamError {
 		return &ParamError{
 			Status: http.StatusBadRequest,
 			msg:    fmt.Sprintf("k=%d outside [1,%d] supported by the index", k, maxK),
+		}
+	}
+	return nil
+}
+
+// ValidateEdits checks an edit batch and its staleness threshold before any
+// watermark is assigned: empty batches, non-finite or negative theta,
+// negative node identifiers and non-finite or negative weights are all
+// rejected with errBadEdits (HTTP 400). Every front end — the in-process
+// API, the single-daemon handler and the fan-out coordinator — shares this
+// helper, so all reject identical inputs with identical messages; it also
+// matches what the write-ahead journal's reader accepts, so a batch that
+// validates here always survives a journal round trip.
+func ValidateEdits(edits []evolve.Edit, theta float64) error {
+	if len(edits) == 0 {
+		return fmt.Errorf("%w: no edits given", errBadEdits)
+	}
+	if math.IsNaN(theta) || math.IsInf(theta, 0) {
+		return fmt.Errorf("%w: staleness threshold must be finite, got %g", errBadEdits, theta)
+	}
+	if theta < 0 {
+		return fmt.Errorf("%w: negative staleness threshold %g", errBadEdits, theta)
+	}
+	for i, e := range edits {
+		if e.From < 0 || e.To < 0 {
+			return fmt.Errorf("%w: edit %d names negative node (%d→%d)", errBadEdits, i, e.From, e.To)
+		}
+		if math.IsNaN(e.Weight) || math.IsInf(e.Weight, 0) || e.Weight < 0 {
+			return fmt.Errorf("%w: edit %d weight %g not a finite non-negative", errBadEdits, i, e.Weight)
 		}
 	}
 	return nil

@@ -1,0 +1,453 @@
+// Package wal implements the durable write-ahead edit journal behind the
+// serving daemon's maintenance pipeline. Each accepted edit batch is
+// appended as one length-prefixed, CRC32C-checksummed record (the same
+// Castagnoli polynomial the index format v2 sections use) and fsync'd
+// before the enqueue acknowledgement returns, so a 202-acknowledged batch
+// survives process death. On startup the log is scanned back: a torn or
+// corrupt tail — the half-written record of a crash mid-append — is
+// detected by its checksum and truncated away, and every intact record is
+// returned for replay through the ordinary maintenance pipeline.
+//
+// File layout, little-endian throughout:
+//
+//	header (8 B): magic "RTKWAL01"
+//	records, back to back:
+//	  u32 payloadLen, u32 crc32c(payload), payload
+//	payload:
+//	  u64 watermark, f64 theta, u32 numEdits, u32 pad(0)
+//	  per edit: u32 from, u32 to, f64 weight, u32 flags (bit0 = remove)
+//
+// Records carry strictly increasing watermarks; a scan stops at the first
+// record that is short, fails its checksum, or breaks monotonicity, and
+// reports everything before it as the valid prefix. The log never reorders
+// or rewrites acknowledged bytes in place — the only destructive operation
+// is TruncateBelow, which atomically drops records at or below a
+// checkpointed watermark by rewriting the suffix to a sibling file and
+// renaming it into place.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// Magic identifies a journal file; the trailing digit versions the record
+// format.
+const Magic = "RTKWAL01"
+
+const (
+	headerSize   = 8
+	recordPrefix = 8  // u32 len + u32 crc
+	payloadFixed = 24 // watermark + theta + numEdits + pad
+	editSize     = 20 // from + to + weight + flags
+	flagRemove   = 1 << 0
+	// maxRecordBytes bounds one record's payload: edits are 20 B each and
+	// the serving layer caps a batch body at 8 MiB, so 64 MiB of payload is
+	// far beyond any record the writer emits. A scan treats a larger
+	// length prefix as corruption instead of believing it and allocating.
+	maxRecordBytes = 64 << 20
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Record is one journaled edit batch: the watermark the batch was
+// acknowledged at, its staleness threshold, and the edits themselves.
+type Record struct {
+	Watermark uint64
+	Theta     float64
+	Edits     []graph.EdgeEdit
+}
+
+// encodedSize returns the on-disk footprint of the record, prefix included.
+func (r Record) encodedSize() int {
+	return recordPrefix + payloadFixed + editSize*len(r.Edits)
+}
+
+// appendPayload encodes the record payload (everything the CRC covers).
+func appendPayload(buf []byte, r Record) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, r.Watermark)
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(r.Theta))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.Edits)))
+	buf = binary.LittleEndian.AppendUint32(buf, 0)
+	for _, e := range r.Edits {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(e.From))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(e.To))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.Weight))
+		var flags uint32
+		if e.Remove {
+			flags |= flagRemove
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, flags)
+	}
+	return buf
+}
+
+// AppendRecord encodes one framed record (length, checksum, payload) onto
+// buf. The exact inverse of what Scan decodes.
+func AppendRecord(buf []byte, r Record) []byte {
+	payload := appendPayload(nil, r)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload, castagnoli))
+	return append(buf, payload...)
+}
+
+// decodeRecord decodes one payload whose checksum already verified.
+// Structural failures (an implausible edit count, a negative node id, a
+// non-finite weight) reject the record — the checksum guarantees the bytes
+// are what the writer wrote, but Scan also accepts hand-crafted files.
+func decodeRecord(payload []byte) (Record, error) {
+	if len(payload) < payloadFixed {
+		return Record{}, fmt.Errorf("wal: record payload %d bytes, need at least %d", len(payload), payloadFixed)
+	}
+	r := Record{
+		Watermark: binary.LittleEndian.Uint64(payload[0:]),
+		Theta:     math.Float64frombits(binary.LittleEndian.Uint64(payload[8:])),
+	}
+	numEdits := int(binary.LittleEndian.Uint32(payload[16:]))
+	if len(payload) != payloadFixed+editSize*numEdits {
+		return Record{}, fmt.Errorf("wal: record claims %d edits, payload holds %d bytes", numEdits, len(payload))
+	}
+	if r.Watermark == 0 {
+		return Record{}, fmt.Errorf("wal: record with zero watermark")
+	}
+	if math.IsNaN(r.Theta) || math.IsInf(r.Theta, 0) || r.Theta < 0 {
+		return Record{}, fmt.Errorf("wal: record theta %g not a finite non-negative", r.Theta)
+	}
+	if numEdits == 0 {
+		return Record{}, fmt.Errorf("wal: record with no edits")
+	}
+	r.Edits = make([]graph.EdgeEdit, numEdits)
+	for i := range r.Edits {
+		p := payload[payloadFixed+editSize*i:]
+		from := int32(binary.LittleEndian.Uint32(p[0:]))
+		to := int32(binary.LittleEndian.Uint32(p[4:]))
+		w := math.Float64frombits(binary.LittleEndian.Uint64(p[8:]))
+		flags := binary.LittleEndian.Uint32(p[16:])
+		if from < 0 || to < 0 {
+			return Record{}, fmt.Errorf("wal: edit %d names negative node (%d→%d)", i, from, to)
+		}
+		if math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
+			return Record{}, fmt.Errorf("wal: edit %d weight %g not a finite non-negative", i, w)
+		}
+		if flags&^flagRemove != 0 {
+			return Record{}, fmt.Errorf("wal: edit %d has unknown flags %#x", i, flags)
+		}
+		r.Edits[i] = graph.EdgeEdit{
+			From:   graph.NodeID(from),
+			To:     graph.NodeID(to),
+			Weight: w,
+			Remove: flags&flagRemove != 0,
+		}
+	}
+	return r, nil
+}
+
+// Scan decodes a journal image: every intact record of the valid prefix,
+// the prefix's byte length (header included), and — when the image ends in
+// a torn or corrupt record — a description of why the scan stopped. A
+// short, checksum-failing, or watermark-regressing record ends the valid
+// prefix; everything before it is trustworthy because each record's CRC
+// verified. Only a missing or wrong header is a hard error: that is not a
+// torn tail but a file that was never a journal. Never panics on any
+// input.
+func Scan(data []byte) (recs []Record, validLen int64, tailErr error, err error) {
+	if len(data) < headerSize || string(data[:headerSize]) != Magic {
+		return nil, 0, nil, fmt.Errorf("wal: bad journal header (not a %s file)", Magic)
+	}
+	pos := headerSize
+	prevWM := uint64(0)
+	for {
+		rest := data[pos:]
+		if len(rest) == 0 {
+			return recs, int64(pos), nil, nil
+		}
+		if len(rest) < recordPrefix {
+			return recs, int64(pos), fmt.Errorf("wal: torn record prefix (%d trailing bytes)", len(rest)), nil
+		}
+		plen := int(binary.LittleEndian.Uint32(rest[0:]))
+		crc := binary.LittleEndian.Uint32(rest[4:])
+		if plen < payloadFixed || plen > maxRecordBytes {
+			return recs, int64(pos), fmt.Errorf("wal: implausible record length %d", plen), nil
+		}
+		if len(rest) < recordPrefix+plen {
+			return recs, int64(pos), fmt.Errorf("wal: torn record payload (%d of %d bytes)", len(rest)-recordPrefix, plen), nil
+		}
+		payload := rest[recordPrefix : recordPrefix+plen]
+		if crc32.Checksum(payload, castagnoli) != crc {
+			return recs, int64(pos), fmt.Errorf("wal: record checksum mismatch at offset %d", pos), nil
+		}
+		rec, derr := decodeRecord(payload)
+		if derr != nil {
+			return recs, int64(pos), derr, nil
+		}
+		if rec.Watermark <= prevWM {
+			return recs, int64(pos), fmt.Errorf("wal: watermark %d not above predecessor %d", rec.Watermark, prevWM), nil
+		}
+		prevWM = rec.Watermark
+		recs = append(recs, rec)
+		pos += recordPrefix + plen
+	}
+}
+
+// Options configures a Log.
+type Options struct {
+	// NoSync skips the per-append fsync. Appends then only guarantee
+	// ordering within the OS page cache — a process crash keeps every
+	// acknowledged batch, a machine crash may lose a recent suffix. The
+	// recovery benchmark uses it to price the fsync; production serving
+	// should not.
+	NoSync bool
+}
+
+// Log is an open journal file positioned for appends. Safe for concurrent
+// use; Append and TruncateBelow serialize on an internal mutex.
+type Log struct {
+	mu      sync.Mutex
+	path    string
+	f       *os.File
+	size    int64
+	batches int
+	lastWM  uint64
+	noSync  bool
+	buf     []byte
+}
+
+// Recovery reports what Open found in an existing journal.
+type Recovery struct {
+	// Records is every intact record, in watermark order.
+	Records []Record
+	// DroppedBytes is the length of the torn/corrupt tail truncated away
+	// (0 for a cleanly closed journal).
+	DroppedBytes int64
+	// TailError describes the tail corruption, nil when DroppedBytes is 0.
+	TailError error
+}
+
+// Open opens (creating if absent) the journal at path, scans it, truncates
+// any torn tail so the file ends at the last intact record, and returns
+// the log positioned for appends plus everything recovered. The caller
+// replays the recovered records before appending new ones; appended
+// watermarks must continue ascending past the last recovered record.
+func Open(path string, opts Options) (*Log, *Recovery, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	l := &Log{path: path, f: f, noSync: opts.NoSync}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	rec := &Recovery{}
+	if st.Size() == 0 {
+		// Fresh journal: write and persist the header now, so a crash
+		// before the first append still leaves a well-formed file.
+		if _, err := f.Write([]byte(Magic)); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if err := l.sync(); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		l.size = headerSize
+		return l, rec, nil
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	recs, valid, tailErr, err := Scan(data)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("wal: %s: %w", path, err)
+	}
+	if valid < int64(len(data)) {
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if err := l.sync(); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		rec.DroppedBytes = int64(len(data)) - valid
+		rec.TailError = tailErr
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	l.size = valid
+	l.batches = len(recs)
+	if len(recs) > 0 {
+		l.lastWM = recs[len(recs)-1].Watermark
+	}
+	rec.Records = recs
+	return l, rec, nil
+}
+
+// sync flushes the file unless the log runs unsynced.
+func (l *Log) sync() error {
+	if l.noSync {
+		return nil
+	}
+	return l.f.Sync()
+}
+
+// Append frames, writes and (unless NoSync) fsyncs one record. When it
+// returns nil the record is durable — this is the fsync the serving layer
+// performs before acknowledging a batch. Watermarks must strictly ascend.
+func (l *Log) Append(r Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return fmt.Errorf("wal: append to closed journal")
+	}
+	if r.Watermark <= l.lastWM {
+		return fmt.Errorf("wal: watermark %d not above last journaled %d", r.Watermark, l.lastWM)
+	}
+	l.buf = AppendRecord(l.buf[:0], r)
+	if _, err := l.f.Write(l.buf); err != nil {
+		// A short write leaves a torn tail; the next Open truncates it.
+		return err
+	}
+	if err := l.sync(); err != nil {
+		return err
+	}
+	l.size += int64(len(l.buf))
+	l.batches++
+	l.lastWM = r.Watermark
+	return nil
+}
+
+// Size returns the journal's current byte length.
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// Batches returns how many records the journal currently holds.
+func (l *Log) Batches() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.batches
+}
+
+// TruncateBelow atomically drops every record with watermark ≤ wm — the
+// checkpoint's journal truncation. The surviving suffix is rewritten to a
+// sibling temp file, fsync'd, and renamed over the journal, so a crash at
+// any point leaves either the old complete journal or the new one, never a
+// half-truncated file. Appends are blocked for the duration (the suffix is
+// small right after a checkpoint).
+func (l *Log) TruncateBelow(wm uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return fmt.Errorf("wal: truncate of closed journal")
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	data, err := io.ReadAll(l.f)
+	if err != nil {
+		return err
+	}
+	recs, _, _, err := Scan(data)
+	if err != nil {
+		return err
+	}
+	tmp := l.path + ".tmp"
+	tf, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	buf := []byte(Magic)
+	kept := 0
+	var lastWM uint64
+	for _, r := range recs {
+		if r.Watermark <= wm {
+			continue
+		}
+		buf = AppendRecord(buf, r)
+		kept++
+		lastWM = r.Watermark
+	}
+	if _, err := tf.Write(buf); err != nil {
+		tf.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := tf.Sync(); err != nil {
+		tf.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := tf.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, l.path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	syncDir(l.path)
+	// The old fd still points at the unlinked inode; swap to the new file
+	// positioned at its end.
+	nf, err := os.OpenFile(l.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := nf.Seek(0, io.SeekEnd); err != nil {
+		nf.Close()
+		return err
+	}
+	l.f.Close()
+	l.f = nf
+	l.size = int64(len(buf))
+	l.batches = kept
+	if kept > 0 {
+		l.lastWM = lastWM
+	}
+	// lastWM is sticky when nothing survived: appends must still ascend
+	// past everything ever journaled, truncated or not.
+	return nil
+}
+
+// Close flushes and closes the journal. Further appends fail.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.sync()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	return err
+}
+
+// syncDir fsyncs the directory containing path, persisting a rename. Best
+// effort: some filesystems refuse directory fsync, and the rename itself
+// is already atomic.
+func syncDir(path string) {
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}

@@ -1,0 +1,307 @@
+package wal
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func testRecords() []Record {
+	return []Record{
+		{Watermark: 1, Theta: 0, Edits: []graph.EdgeEdit{{From: 0, To: 1}}},
+		{Watermark: 2, Theta: 1e-4, Edits: []graph.EdgeEdit{
+			{From: 3, To: 4, Weight: 2.5},
+			{From: 4, To: 3, Remove: true},
+		}},
+		{Watermark: 5, Theta: 0.25, Edits: []graph.EdgeEdit{
+			{From: 100, To: 0, Weight: 0.125},
+			{From: 0, To: 100},
+			{From: 7, To: 8, Remove: true},
+		}},
+	}
+}
+
+func recordsEqual(t *testing.T, got, want []Record) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		g, w := got[i], want[i]
+		if g.Watermark != w.Watermark || g.Theta != w.Theta || len(g.Edits) != len(w.Edits) {
+			t.Fatalf("record %d = %+v, want %+v", i, g, w)
+		}
+		for j := range w.Edits {
+			if g.Edits[j] != w.Edits[j] {
+				t.Fatalf("record %d edit %d = %+v, want %+v", i, j, g.Edits[j], w.Edits[j])
+			}
+		}
+	}
+}
+
+func TestWALAppendScanRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "edits.wal")
+	l, rec, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Records) != 0 || rec.DroppedBytes != 0 {
+		t.Fatalf("fresh journal recovered %+v", rec)
+	}
+	want := testRecords()
+	for _, r := range want {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Batches() != len(want) {
+		t.Fatalf("Batches() = %d, want %d", l.Batches(), len(want))
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: every record comes back bit-identical, no tail dropped.
+	l2, rec2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if rec2.DroppedBytes != 0 || rec2.TailError != nil {
+		t.Fatalf("clean journal reported tail damage: %+v", rec2)
+	}
+	recordsEqual(t, rec2.Records, want)
+
+	// Appends continue past the recovered watermark...
+	next := Record{Watermark: 6, Edits: []graph.EdgeEdit{{From: 1, To: 2}}}
+	if err := l2.Append(next); err != nil {
+		t.Fatal(err)
+	}
+	// ...and regressions are refused.
+	if err := l2.Append(Record{Watermark: 6, Edits: []graph.EdgeEdit{{From: 2, To: 1}}}); err == nil {
+		t.Fatal("duplicate watermark accepted")
+	}
+}
+
+// TestWALTornTailEveryTruncation cuts a three-record journal at every byte
+// offset: the scan must never panic, never lose an intact record, and
+// reopening the truncated file must recover exactly the record prefix the
+// cut preserved — the crash-mid-append contract.
+func TestWALTornTailEveryTruncation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "edits.wal")
+	l, _, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testRecords()
+	var boundaries []int64 // valid prefix lengths: header, then after each record
+	boundaries = append(boundaries, headerSize)
+	for _, r := range want {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+		boundaries = append(boundaries, l.Size())
+	}
+	l.Close()
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for cut := headerSize; cut <= len(full); cut++ {
+		// How many whole records survive a cut at this offset?
+		wantRecs := 0
+		wantValid := int64(headerSize)
+		for i, b := range boundaries[1:] {
+			if int64(cut) >= b {
+				wantRecs = i + 1
+				wantValid = b
+			}
+		}
+		recs, valid, tailErr, err := Scan(full[:cut])
+		if err != nil {
+			t.Fatalf("cut %d: scan error: %v", cut, err)
+		}
+		if len(recs) != wantRecs || valid != wantValid {
+			t.Fatalf("cut %d: scanned %d records valid=%d, want %d records valid=%d",
+				cut, len(recs), valid, wantRecs, wantValid)
+		}
+		if torn := int64(cut) != wantValid; torn != (tailErr != nil) {
+			t.Fatalf("cut %d: torn=%v but tailErr=%v", cut, torn, tailErr)
+		}
+		recordsEqual(t, recs, want[:wantRecs])
+	}
+
+	// Reopen at a torn offset: the file is truncated back to the last
+	// intact record and appends work again.
+	cut := int(boundaries[2]) + 5 // two records + a torn third prefix
+	tornPath := filepath.Join(dir, "torn.wal")
+	if err := os.WriteFile(tornPath, full[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, rec, err := Open(tornPath, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if rec.DroppedBytes != 5 || rec.TailError == nil {
+		t.Fatalf("torn reopen: dropped %d (err %v), want 5 bytes dropped", rec.DroppedBytes, rec.TailError)
+	}
+	recordsEqual(t, rec.Records, want[:2])
+	if st, _ := os.Stat(tornPath); st.Size() != boundaries[2] {
+		t.Fatalf("torn tail not truncated: size %d, want %d", st.Size(), boundaries[2])
+	}
+	if err := l2.Append(Record{Watermark: 9, Edits: []graph.EdgeEdit{{From: 0, To: 2}}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWALCorruptMiddleStopsScan flips a byte inside the middle record: the
+// scan must keep the intact prefix and refuse everything from the damage on
+// (records are not self-delimiting once a checksum fails).
+func TestWALCorruptMiddleStopsScan(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "edits.wal")
+	l, _, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testRecords()
+	var afterFirst int64
+	for i, r := range want {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			afterFirst = l.Size()
+		}
+	}
+	l.Close()
+	data, _ := os.ReadFile(path)
+	data[afterFirst+recordPrefix+3] ^= 0x40 // inside record 2's payload
+	recs, valid, tailErr, err := Scan(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || valid != afterFirst || tailErr == nil {
+		t.Fatalf("corrupt middle: %d records valid=%d err=%v, want 1 record valid=%d", len(recs), valid, tailErr, afterFirst)
+	}
+	recordsEqual(t, recs, want[:1])
+}
+
+func TestWALTruncateBelow(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "edits.wal")
+	l, _, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testRecords() // watermarks 1, 2, 5
+	for _, r := range want {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.TruncateBelow(2); err != nil {
+		t.Fatal(err)
+	}
+	if l.Batches() != 1 {
+		t.Fatalf("after TruncateBelow(2): %d batches, want 1", l.Batches())
+	}
+	// The live log keeps appending to the new file.
+	if err := l.Append(Record{Watermark: 7, Edits: []graph.EdgeEdit{{From: 2, To: 3}}}); err != nil {
+		t.Fatal(err)
+	}
+	// Even when everything is dropped, the watermark floor survives.
+	if err := l.TruncateBelow(100); err != nil {
+		t.Fatal(err)
+	}
+	if l.Batches() != 0 || l.Size() != headerSize {
+		t.Fatalf("after full truncation: %d batches %d bytes", l.Batches(), l.Size())
+	}
+	if err := l.Append(Record{Watermark: 7, Edits: []graph.EdgeEdit{{From: 2, To: 3}}}); err == nil {
+		t.Fatal("watermark reuse accepted after truncation")
+	}
+	if err := l.Append(Record{Watermark: 8, Edits: []graph.EdgeEdit{{From: 2, To: 3}}}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	l2, rec, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if len(rec.Records) != 1 || rec.Records[0].Watermark != 8 {
+		t.Fatalf("recovered %+v, want single watermark-8 record", rec.Records)
+	}
+}
+
+func TestWALRejectsForeignFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "not-a.wal")
+	if err := os.WriteFile(path, []byte("definitely not a journal"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(path, Options{}); err == nil {
+		t.Fatal("foreign file opened as journal")
+	}
+}
+
+// TestWALScanRejectsBadRecords hand-crafts records that frame and checksum
+// correctly but violate record invariants; each must end the valid prefix.
+func TestWALScanRejectsBadRecords(t *testing.T) {
+	base := testRecords()[0]
+	mut := []struct {
+		name string
+		rec  Record
+	}{
+		{"zero watermark", Record{Watermark: 0, Edits: base.Edits}},
+		{"nan theta", Record{Watermark: 1, Theta: math.NaN(), Edits: base.Edits}},
+		{"inf theta", Record{Watermark: 1, Theta: math.Inf(1), Edits: base.Edits}},
+		{"negative theta", Record{Watermark: 1, Theta: -1, Edits: base.Edits}},
+		{"no edits", Record{Watermark: 1}},
+		{"negative node", Record{Watermark: 1, Edits: []graph.EdgeEdit{{From: -1, To: 0}}}},
+		{"nan weight", Record{Watermark: 1, Edits: []graph.EdgeEdit{{From: 0, To: 1, Weight: math.NaN()}}}},
+		{"inf weight", Record{Watermark: 1, Edits: []graph.EdgeEdit{{From: 0, To: 1, Weight: math.Inf(1)}}}},
+	}
+	for _, m := range mut {
+		data := AppendRecord([]byte(Magic), m.rec)
+		recs, valid, tailErr, err := Scan(data)
+		if err != nil {
+			t.Fatalf("%s: header error: %v", m.name, err)
+		}
+		if len(recs) != 0 || valid != headerSize || tailErr == nil {
+			t.Errorf("%s: accepted (%d records, valid=%d, tailErr=%v)", m.name, len(recs), valid, tailErr)
+		}
+	}
+}
+
+func TestWALNoSyncStillDurableAcrossClose(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "edits.wal")
+	l, _, err := Open(path, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testRecords()
+	for _, r := range want {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(data, []byte(Magic)) {
+		t.Fatal("journal missing header")
+	}
+	recs, _, tailErr, err := Scan(data)
+	if err != nil || tailErr != nil {
+		t.Fatalf("scan: %v / %v", err, tailErr)
+	}
+	recordsEqual(t, recs, want)
+}
