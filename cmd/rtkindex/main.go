@@ -8,6 +8,12 @@
 //	rtkindex -graph web.txt -out web.idx -K 200 -B 100 -omega 1e-6
 //	rtkindex -rewrite old.idx -out new.idx    # migrate a v1 file to v2
 //	rtkindex -graph web.txt -out web.idx -partition 4 -strategy balanced
+//	rtkindex -graph web.txt -out web.idx -relabel degree   # cache-aware layout
+//
+// With -relabel the graph is permuted into a cache-aware node order
+// (degree-descending or reverse Cuthill–McKee) before the build, and the
+// permutation is stored in the index file; rtkserve/rtkquery translate at
+// the API boundary, so external identifiers never change.
 //
 // With -partition P the index is built ONCE and then streamed out as P
 // shard-slice files (web.idx.shard0of4, …), each carrying the partition
@@ -48,6 +54,7 @@ func main() {
 		rewrite   = flag.String("rewrite", "", "load an existing index (v1 or v2) and rewrite it as format v2 to -out, instead of building")
 		part      = flag.Int("partition", 0, "also write P shard-slice files <out>.shard<i>of<P> for sharded serving (0 = none)")
 		strategy  = flag.String("strategy", "balanced", "partitioner for -partition: hash|range|balanced")
+		relabel   = flag.String("relabel", "none", "cache-aware node relabeling baked into the index: none|degree|rcm (external ids never change; the permutation is stored in the file)")
 	)
 	flag.Parse()
 	if *rewrite != "" {
@@ -78,6 +85,31 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("graph: %s\n", graph.ComputeStats(g))
+
+	// Cache-aware relabeling: permute the graph BEFORE the build so every
+	// index structure lives in the permuted (internal) space, then record the
+	// permutation on the index so the query boundary translates external ids.
+	var perm graph.Permutation
+	switch *relabel {
+	case "none":
+	case "degree":
+		perm = graph.DegreeOrderPermutation(g)
+	case "rcm":
+		perm = graph.RCMPermutation(g)
+	default:
+		log.Fatalf("unknown relabeling %q; valid -relabel values: none, degree, rcm", *relabel)
+	}
+	if perm.IsIdentity() {
+		perm = nil // nothing to translate; don't burden the file with a no-op section
+	}
+	if perm != nil {
+		pg, err := graph.ApplyPermutation(g, perm)
+		if err != nil {
+			log.Fatal(err)
+		}
+		g = pg
+		fmt.Printf("relabel: %s order applied (%d nodes permuted)\n", *relabel, len(perm))
+	}
 
 	opts := lbindex.DefaultOptions()
 	opts.K = *k
@@ -114,6 +146,11 @@ func main() {
 	idx, stats, err := lbindex.Build(g, opts)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if perm != nil {
+		if err := idx.SetRelabeling(perm); err != nil {
+			log.Fatal(err)
+		}
 	}
 	fmt.Printf("hubs: %d (selection+vectors took %v)\n", stats.HubCount, stats.HubElapsed.Round(time.Millisecond))
 	fmt.Printf("build: %v total, %d BCA iterations\n", stats.TotalElapsed.Round(time.Millisecond), stats.TotalIters)

@@ -22,6 +22,7 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"time"
 
@@ -88,6 +89,19 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// An index built with rtkindex -relabel stores its rows in the permuted
+	// (internal) space; permute the loaded graph to match and translate the
+	// query/answer at this boundary, so the command still speaks the edge-list
+	// file's external identifiers.
+	if perm := idx.Relabeling(); perm != nil {
+		full, err := perm.Extend(g.N())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if g, err = graph.ApplyPermutation(g, full); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	// Reject bad parameters exactly like the rtkserve HTTP handler does —
 	// same helper, same message.
@@ -101,9 +115,17 @@ func main() {
 	}
 	eng.SetWorkers(*workers)
 	if *explain {
-		ex, err := eng.Explain(graph.NodeID(*q), *k, false)
+		ex, err := eng.Explain(idx.ToInternal(graph.NodeID(*q)), *k, false)
 		if err != nil {
 			log.Fatal(err)
+		}
+		if idx.Relabeling() != nil {
+			ex.Query = graph.NodeID(*q)
+			ex.Stats.Query = graph.NodeID(*q)
+			for i := range ex.Decisions {
+				ex.Decisions[i].Node = idx.ToExternal(ex.Decisions[i].Node)
+			}
+			sort.Slice(ex.Decisions, func(i, j int) bool { return ex.Decisions[i].Node < ex.Decisions[j].Node })
 		}
 		if err := core.WriteExplanation(os.Stdout, ex); err != nil {
 			log.Fatal(err)
@@ -115,9 +137,16 @@ func main() {
 	if *approx {
 		query = eng.QueryApproximate
 	}
-	answer, stats, err := query(graph.NodeID(*q), *k)
+	answer, stats, err := query(idx.ToInternal(graph.NodeID(*q)), *k)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if idx.Relabeling() != nil {
+		stats.Query = graph.NodeID(*q)
+		for i := range answer {
+			answer[i] = idx.ToExternal(answer[i])
+		}
+		sort.Slice(answer, func(i, j int) bool { return answer[i] < answer[j] })
 	}
 
 	fmt.Printf("reverse top-%d of node %d: %d nodes\n", *k, *q, len(answer))
@@ -150,6 +179,18 @@ func querySharded(g *graph.Graph, paths []string, q, k, workers int, useMmap boo
 			log.Fatal(err)
 		}
 		slices[i] = idx
+	}
+	// Slices of a relabeled index carry the build-time permutation; permute
+	// the loaded graph to match (the coordinator validates the slices agree
+	// and translates q/answers itself).
+	if perm := slices[0].Relabeling(); perm != nil {
+		full, err := perm.Extend(g.N())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if g, err = graph.ApplyPermutation(g, full); err != nil {
+			log.Fatal(err)
+		}
 	}
 	c, err := shard.NewInProc(g, slices, shard.Config{Workers: workers})
 	if err != nil {

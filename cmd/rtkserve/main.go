@@ -8,6 +8,17 @@
 //	rtkserve -graph web.txt -index web.idx -addr :7471
 //	rtkserve -graph web.txt -index web.idx -mmap=off         # portable heap load
 //	rtkserve -graph web.txt -K 50 -B 20 -addr 127.0.0.1:0   # build the index at startup
+//	rtkserve -graph web.txt -index web.idx -spmm-batch 32    # wider SpMM query batching
+//
+// Concurrent queries that miss the cache coalesce into SpMM proximity
+// groups (up to -spmm-batch wide, after waiting at most -spmm-window for
+// companions): the group's proximity columns advance in one slab, sharing
+// every CSR traversal, and each query still returns — and frees its
+// admission slot — the moment its own column is decided. Answers are
+// bit-identical to unbatched ones. An index built with rtkindex -relabel
+// is served transparently: the daemon permutes the loaded graph to the
+// index's stored cache-aware layout and translates identifiers at the API
+// boundary.
 //
 // Format-v2 index files are served zero-copy from an mmap'd image by
 // default, making daemon cold start a matter of mapping and checksum
@@ -26,6 +37,11 @@
 // overlay in the background (queries never block); pass "wait":true in the
 // body for synchronous edit-then-read semantics. Track progress via
 // /v1/stats (applied_watermark, overlay_delta_edges, compactions).
+// Edit weights must be finite, non-negative and — when nonzero — at least
+// graph.MinNormalWeight: smaller weights are rejected with 400, because a
+// subnormal out-weight normalizer's reciprocal overflows to +Inf and
+// NaN-poisons proximity scores (weight 0 on an insert means the default
+// weight 1).
 //
 // On SIGTERM/SIGINT the daemon drains gracefully: /healthz flips to 503,
 // the listener stops accepting, in-flight requests finish (bounded by
@@ -74,6 +90,8 @@ func main() {
 		mmapMode     = flag.String("mmap", "on", "serve a v2 index zero-copy from the mapped file: on|off (off = portable heap load)")
 		maxInflight  = flag.Int("max-inflight", 0, "max concurrent engine computations (0 = 4×GOMAXPROCS)")
 		workers      = flag.Int("workers", 0, "total intra-query worker budget (0 = GOMAXPROCS)")
+		spmmBatch    = flag.Int("spmm-batch", 0, "max concurrent queries coalesced into one SpMM proximity group (0 = default 16; 1 or negative disables batching)")
+		spmmWindow   = flag.Duration("spmm-window", 0, "how long an under-filled SpMM group waits for companions before firing (0 = default 1ms)")
 		drain        = flag.Duration("drain", 15*time.Second, "graceful drain timeout on SIGTERM")
 		compactAfter = flag.Int("compact-after", 0, "overlay delta edges before background compaction (0 = max(4096, M/8), negative disables)")
 
@@ -129,6 +147,23 @@ func main() {
 		}
 		log.Printf("index: loaded %s in %v (K=%d, %d refinement commits, mmap=%v)",
 			*indexPath, time.Since(start).Round(time.Microsecond), idx.K(), idx.Refinements(), idx.MmapBacked())
+		// An index built under a cache-aware relabeling stores its graph in
+		// the permuted (internal) space; the edge-list file speaks external
+		// ids. Permute the loaded graph to match — identifiers added after
+		// the build keep identity labels, so a grown graph pads the stored
+		// permutation rather than failing.
+		if perm := idx.Relabeling(); perm != nil {
+			full, err := perm.Extend(g.N())
+			if err != nil {
+				log.Fatal(err)
+			}
+			pg, err := graph.ApplyPermutation(g, full)
+			if err != nil {
+				log.Fatal(err)
+			}
+			g = pg
+			log.Printf("relabel: applied the index's stored permutation (%d nodes)", len(perm))
+		}
 	} else {
 		opts := lbindex.DefaultOptions()
 		opts.K = *k
@@ -147,6 +182,8 @@ func main() {
 		MaxInflight:  *maxInflight,
 		WorkerBudget: *workers,
 		CompactAfter: *compactAfter,
+		SpMMBatch:    *spmmBatch,
+		SpMMWindow:   *spmmWindow,
 	}
 	var srv *serve.Server
 	if *journalPath != "" {

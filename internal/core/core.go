@@ -76,7 +76,9 @@ type QueryStats struct {
 	RefineSteps int
 	// ExactFallbacks counts candidates that had to be decided by an exact
 	// power-method computation because bound refinement stalled (residue
-	// trapped below the propagation threshold). Rare by construction.
+	// trapped below the propagation threshold). Rare by construction; a
+	// sweep's fallbacks are batch-resolved through one forward SpMM slab
+	// (resolveFallbacks), but each still counts individually here.
 	ExactFallbacks int
 	// Committed counts refined states written back to the index (update
 	// mode only).
@@ -85,6 +87,11 @@ type QueryStats struct {
 	// step 1.
 	Elapsed     time.Duration
 	PMPNElapsed time.Duration
+	// FallbackElapsed is the part of Elapsed spent resolving deferred
+	// exact fallbacks through forward SpMM slabs (resolveFallbacks).
+	// Under QueryBatch the resolution is shared across the whole batch
+	// and each pending query is charged the full shared wall time.
+	FallbackElapsed time.Duration
 }
 
 // Engine evaluates reverse top-k queries against a graph and its index.
@@ -275,7 +282,35 @@ func (e *Engine) DecideList(pq []float64, k int, nodes []graph.NodeID) ([]graph.
 // the lowest-segment error is reported, and committed refinements from
 // other segments remain in the index — exactly as a sequential sweep would
 // have left every node decided before the failure.
+//
+// Candidates whose refinement budget runs out are deferred by the sweep
+// (per shard, in segment order) and resolved afterwards in one pass of
+// SpMM-batched exact solves on the coordinating goroutine — same pending
+// list, same order, whatever the worker count, so the sequential and
+// sharded engines still make bit-identical decisions and commits.
 func (e *Engine) decideSet(pq []float64, k int, list []graph.NodeID, stats *QueryStats) ([]graph.NodeID, error) {
+	results, pend, err := e.decideSetDeferred(pq, k, list, stats)
+	if err != nil {
+		return nil, err
+	}
+	if len(pend) > 0 {
+		fbStart := time.Now()
+		fb, err := e.resolveFallbacks(pend, k, stats)
+		stats.FallbackElapsed += time.Since(fbStart)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, fb...)
+	}
+	return results, nil
+}
+
+// decideSetDeferred is decideSet's sweep without the fallback resolution:
+// it returns the nodes the bounds decided plus the deferred candidates, in
+// list order whatever the worker count. QueryBatch uses it directly so a
+// whole query batch's fallbacks can be deduplicated and resolved in shared
+// slabs instead of per query.
+func (e *Engine) decideSetDeferred(pq []float64, k int, list []graph.NodeID, stats *QueryStats) ([]graph.NodeID, []pendingFallback, error) {
 	count := e.g.N()
 	if list != nil {
 		count = len(list)
@@ -286,65 +321,66 @@ func (e *Engine) decideSet(pq []float64, k int, list []graph.NodeID, stats *Quer
 		}
 		return graph.NodeID(i)
 	}
+	var results []graph.NodeID
+	var pend []pendingFallback
 	if e.workers <= 1 {
 		ws := e.wsPool.Get()
 		defer e.wsPool.Put(ws)
-		var results []graph.NodeID
 		for i := 0; i < count; i++ {
 			u := nodeAt(i)
-			added, err := e.decide(ws, u, k, pq[u], stats)
+			added, err := e.decide(ws, u, k, pq[u], stats, &pend)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			if added {
 				results = append(results, u)
 			}
 		}
-		return results, nil
-	}
-
-	type shard struct {
-		results []graph.NodeID
-		stats   QueryStats
-		err     error
-	}
-	segs := vecmath.Split(count, e.workers)
-	shards := make([]shard, len(segs))
-	var wg sync.WaitGroup
-	for si, seg := range segs {
-		wg.Add(1)
-		go func(sh *shard, seg vecmath.Range) {
-			defer wg.Done()
-			ws := e.wsPool.Get()
-			defer e.wsPool.Put(ws)
-			for i := seg.Lo; i < seg.Hi; i++ {
-				u := nodeAt(i)
-				added, err := e.decide(ws, u, k, pq[u], &sh.stats)
-				if err != nil {
-					sh.err = err
-					return
-				}
-				if added {
-					sh.results = append(sh.results, u)
-				}
-			}
-		}(&shards[si], seg)
-	}
-	wg.Wait()
-	var results []graph.NodeID
-	for si := range shards {
-		sh := &shards[si]
-		if sh.err != nil {
-			return nil, sh.err
+	} else {
+		type shard struct {
+			results []graph.NodeID
+			pend    []pendingFallback
+			stats   QueryStats
+			err     error
 		}
-		results = append(results, sh.results...)
-		stats.Candidates += sh.stats.Candidates
-		stats.Hits += sh.stats.Hits
-		stats.RefineSteps += sh.stats.RefineSteps
-		stats.ExactFallbacks += sh.stats.ExactFallbacks
-		stats.Committed += sh.stats.Committed
+		segs := vecmath.Split(count, e.workers)
+		shards := make([]shard, len(segs))
+		var wg sync.WaitGroup
+		for si, seg := range segs {
+			wg.Add(1)
+			go func(sh *shard, seg vecmath.Range) {
+				defer wg.Done()
+				ws := e.wsPool.Get()
+				defer e.wsPool.Put(ws)
+				for i := seg.Lo; i < seg.Hi; i++ {
+					u := nodeAt(i)
+					added, err := e.decide(ws, u, k, pq[u], &sh.stats, &sh.pend)
+					if err != nil {
+						sh.err = err
+						return
+					}
+					if added {
+						sh.results = append(sh.results, u)
+					}
+				}
+			}(&shards[si], seg)
+		}
+		wg.Wait()
+		for si := range shards {
+			sh := &shards[si]
+			if sh.err != nil {
+				return nil, nil, sh.err
+			}
+			results = append(results, sh.results...)
+			pend = append(pend, sh.pend...)
+			stats.Candidates += sh.stats.Candidates
+			stats.Hits += sh.stats.Hits
+			stats.RefineSteps += sh.stats.RefineSteps
+			stats.ExactFallbacks += sh.stats.ExactFallbacks
+			stats.Committed += sh.stats.Committed
+		}
 	}
-	return results, nil
+	return results, pend, nil
 }
 
 // eachIndexed iterates the nodes whose index rows this engine
@@ -373,8 +409,11 @@ func (e *Engine) eachIndexed() func(yield func(graph.NodeID) bool) {
 // given puq = p_u(q). ws is the BCA scratch to refine with — one pooled
 // workspace for the whole sweep on the sequential path, a per-shard one
 // under decideSharded (stats must likewise be private to the calling
-// shard).
-func (e *Engine) decide(ws *bca.Workspace, u graph.NodeID, k int, puq float64, stats *QueryStats) (bool, error) {
+// shard). A candidate whose refinement budget runs out is NOT decided
+// here: it is appended to *pend for the caller to batch-resolve with
+// exact vectors after the sweep (resolveFallbacks), and reported as not
+// added.
+func (e *Engine) decide(ws *bca.Workspace, u graph.NodeID, k int, puq float64, stats *QueryStats, pend *[]pendingFallback) (bool, error) {
 	lb := e.idx.KthLowerBound(u, k)
 	if puq < lb-e.tieTol {
 		return false, nil // pruned immediately (never becomes a candidate)
@@ -459,34 +498,21 @@ func (e *Engine) decide(ws *bca.Workspace, u graph.NodeID, k int, puq float64, s
 		decided, isResult = true, true
 	}
 	if !decided {
-		// Exact fallback: compute p_u in full and compare pkmax with the
-		// exact proximity. This preserves correctness unconditionally. The
-		// gather-form solver's result is independent of the worker count by
-		// construction, so sequential and sharded engines make the same
-		// call here; 1 inner worker avoids oversubscribing the shards (the
-		// fallback runs inside a decision shard when workers > 1).
+		// Exact fallback: the node needs p_u in full, compared against its
+		// own exact pkmax. The vector depends only on u — not on the query
+		// — and each one is a whole power method, so the sweep DEFERS it:
+		// the caller collects every stalled candidate and resolves them
+		// together through one forward SpMM slab (resolveFallbacks), where
+		// B columns share each CSR traversal instead of streaming the
+		// matrix from RAM B separate times. The batched columns are
+		// bit-identical to the per-candidate solves, so deferral changes
+		// no decision and no committed state. The refined st is NOT
+		// committed here even in update mode: resolution commits the
+		// strictly better exact state instead, exactly as the inline
+		// fallback did.
 		stats.ExactFallbacks++
-		res, err := rwr.ProximityVectorParallel(e.g, u, e.idx.Options().RWR, 1)
-		if err != nil {
-			return false, err
-		}
-		isResult = puq >= vecmath.KthLargest(res.Vector, k)-e.tieTol
-		if e.update {
-			// The power method just delivered the EXACT vector; commit it
-			// as a fully drained state (all ink retained, zero residue) so
-			// no future query ever spends work on this node again. This is
-			// what makes the update curve of Fig. 7/8 flatten: the index
-			// converges to exactness on the nodes queries care about.
-			exact := &bca.State{
-				Origin: u,
-				T:      st.T + 1,
-				RNorm:  0,
-				W:      vecmath.GatherSparse(res.Vector, 0),
-			}
-			e.idx.Commit(u, exact, vecmath.TopKValues(res.Vector, e.idx.K()))
-			stats.Committed++
-			return isResult, nil
-		}
+		*pend = append(*pend, pendingFallback{u: u, puq: puq, nextT: st.T + 1})
+		return false, nil
 	}
 
 	if dirty && e.update {
@@ -494,6 +520,87 @@ func (e *Engine) decide(ws *bca.Workspace, u graph.NodeID, k int, puq float64, s
 		stats.Committed++
 	}
 	return isResult, nil
+}
+
+// pendingFallback is one candidate whose refinement budget ran out before
+// a bound decided: u must be resolved by the exact power method. puq and
+// the would-be next BCA iteration number are captured at deferral time so
+// resolution needs nothing but the exact vector.
+type pendingFallback struct {
+	u     graph.NodeID
+	puq   float64
+	nextT int
+}
+
+// resolveFallbacks decides every deferred candidate with exact proximity
+// vectors computed in SpMM batches, returning the members. Each column is
+// bit-identical to the scalar ProximityVectorParallel solve the inline
+// fallback used to run, at any worker count, so the decisions — and, in
+// update mode, the committed exact states — match the unbatched engine's
+// exactly. Runs on the coordinating goroutine after the decision sweep, so
+// it can use the engine's full worker budget without oversubscribing the
+// shards.
+func (e *Engine) resolveFallbacks(pend []pendingFallback, k int, stats *QueryStats) ([]graph.NodeID, error) {
+	th, err := e.exactThresholds(pend, k, e.workers, func(int) { stats.Committed++ })
+	if err != nil {
+		return nil, err
+	}
+	var results []graph.NodeID
+	for i, pf := range pend {
+		if pf.puq >= th[i]-e.tieTol {
+			results = append(results, pf.u)
+		}
+	}
+	return results, nil
+}
+
+// exactThresholds computes each deferred candidate's exact decision
+// threshold pkmax(u) — the k-th largest entry of u's exact proximity
+// vector — through forward SpMM slabs of at most spmmChunkWidth columns,
+// with the given worker budget. In update mode each solved vector is also
+// committed as a fully drained exact state (all ink retained, zero
+// residue) so no future query ever spends work on that node again — this
+// is what makes the update curve of Fig. 7/8 flatten: the index converges
+// to exactness on the nodes queries care about. onCommit is invoked once
+// per committed column (for the caller's stats attribution).
+func (e *Engine) exactThresholds(pend []pendingFallback, k, workers int, onCommit func(col int)) ([]float64, error) {
+	th := make([]float64, len(pend))
+	for lo := 0; lo < len(pend); lo += spmmChunkWidth {
+		hi := min(lo+spmmChunkWidth, len(pend))
+		chunk := pend[lo:hi]
+		origins := make([]graph.NodeID, len(chunk))
+		for i, pf := range chunk {
+			origins[i] = pf.u
+		}
+		var colErr error
+		err := rwr.ProximityVectorBatchFunc(e.g, origins, e.idx.Options().RWR, workers, func(i int, res rwr.Result, rerr error) {
+			if rerr != nil {
+				if colErr == nil {
+					colErr = rerr
+				}
+				return
+			}
+			pf := chunk[i]
+			th[lo+i] = vecmath.KthLargest(res.Vector, k)
+			if e.update {
+				exact := &bca.State{
+					Origin: pf.u,
+					T:      pf.nextT,
+					RNorm:  0,
+					W:      vecmath.GatherSparse(res.Vector, 0),
+				}
+				e.idx.Commit(pf.u, exact, vecmath.TopKValues(res.Vector, e.idx.K()))
+				onCommit(lo + i)
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		if colErr != nil {
+			return nil, colErr
+		}
+	}
+	return th, nil
 }
 
 // BruteForce answers a reverse top-k query by computing the exact proximity

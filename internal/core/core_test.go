@@ -513,3 +513,83 @@ func TestQueryNodeUsuallyInOwnResult(t *testing.T) {
 		t.Errorf("query node not in its own reverse top-3: %v", res)
 	}
 }
+
+// TestBatchedFallbacksMatchBruteForce pins the deferred-fallback path:
+// with the refinement budget squeezed to one step, most candidates stall
+// and must be resolved by the SpMM-batched exact solver. The answers must
+// still equal brute force, sequential and sharded engines must agree, and
+// in update mode the committed exact states must make a repeat query need
+// zero fallbacks.
+func TestBatchedFallbacksMatchBruteForce(t *testing.T) {
+	p := rwr.DefaultParams()
+	for _, seed := range []int64{3, 8} {
+		g := randomGraph(seed, 150, seed%2 == 0)
+		rng := rand.New(rand.NewSource(seed + 7))
+		queries := make([]graph.NodeID, 3)
+		for i := range queries {
+			queries[i] = graph.NodeID(rng.Intn(g.N()))
+		}
+
+		fallbacks := 0
+		var seqAnswers [][]graph.NodeID
+		{
+			idx := buildIndex(t, g, 10, 2)
+			eng, err := NewEngine(g, idx, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng.SetMaxRefineSteps(1)
+			for _, q := range queries {
+				got, stats, err := eng.Query(q, 10)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := BruteForce(g, q, 10, p, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("seed=%d q=%d: engine %v, BF %v", seed, q, got, want)
+				}
+				fallbacks += stats.ExactFallbacks
+				seqAnswers = append(seqAnswers, got)
+				// The batch committed every fallback node's EXACT vector:
+				// repeating the query must not fall back again.
+				_, again, err := eng.Query(q, 10)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if again.ExactFallbacks != 0 {
+					t.Fatalf("seed=%d q=%d: %d fallbacks on refined index", seed, q, again.ExactFallbacks)
+				}
+			}
+		}
+		if fallbacks == 0 {
+			t.Fatalf("seed=%d: refinement budget 1 produced no fallbacks — test exercises nothing", seed)
+		}
+
+		// Sharded sweep, fresh index: identical answers and identical
+		// fallback counts (the pending list is worker-independent).
+		idx := buildIndex(t, g, 10, 2)
+		eng, err := NewEngine(g, idx, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.SetMaxRefineSteps(1)
+		eng.SetWorkers(4)
+		shardedFallbacks := 0
+		for i, q := range queries {
+			got, stats, err := eng.Query(q, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, seqAnswers[i]) {
+				t.Fatalf("seed=%d q=%d: sharded %v, sequential %v", seed, q, got, seqAnswers[i])
+			}
+			shardedFallbacks += stats.ExactFallbacks
+		}
+		if shardedFallbacks != fallbacks {
+			t.Fatalf("seed=%d: sharded engine made %d fallbacks, sequential %d", seed, shardedFallbacks, fallbacks)
+		}
+	}
+}

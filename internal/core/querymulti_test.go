@@ -1,0 +1,181 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rwr"
+)
+
+// TestQueryMultiMatchesQuery: every answer delivered by the SpMM-batched
+// path equals the scalar View.Query answer — same nodes, same PMPN
+// iteration count — across batch widths, mixed k, duplicate queries and
+// worker counts.
+func TestQueryMultiMatchesQuery(t *testing.T) {
+	g := viewTestGraph(t, 61, 120)
+	idx := buildIndex(t, g, 8, 3)
+	v, err := NewView(g, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pool := make([]graph.NodeID, 0, 16)
+	ks := make([]int, 0, 16)
+	for i := 0; i < 16; i++ {
+		pool = append(pool, graph.NodeID((i*29)%g.N()))
+		ks = append(ks, 1+i%8)
+	}
+	pool[5] = pool[2] // duplicate query in one batch
+	ks[5] = ks[2]
+
+	for _, width := range []int{1, 2, 4, 16} {
+		qs, kset := pool[:width], ks[:width]
+		for _, workers := range []int{1, 3} {
+			type delivery struct {
+				answer []graph.NodeID
+				stats  QueryStats
+				err    error
+			}
+			got := make([]delivery, width)
+			var mu sync.Mutex
+			seen := make([]int, width)
+			err := v.QueryMulti(qs, kset, workers, func(i int, answer []graph.NodeID, stats QueryStats, err error) {
+				mu.Lock()
+				defer mu.Unlock()
+				seen[i]++
+				got[i] = delivery{answer, stats, err}
+			})
+			if err != nil {
+				t.Fatalf("width=%d workers=%d: %v", width, workers, err)
+			}
+			for i := range qs {
+				if seen[i] != 1 {
+					t.Fatalf("width=%d workers=%d: query %d delivered %d times", width, workers, i, seen[i])
+				}
+				if got[i].err != nil {
+					t.Fatalf("width=%d workers=%d q=%d: %v", width, workers, qs[i], got[i].err)
+				}
+				want, wstats, err := v.Query(qs[i], kset[i], workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got[i].answer, want) {
+					t.Errorf("width=%d workers=%d q=%d k=%d: batched %v, scalar %v",
+						width, workers, qs[i], kset[i], got[i].answer, want)
+				}
+				if got[i].stats.PMPNIters != wstats.PMPNIters {
+					t.Errorf("width=%d workers=%d q=%d: batched PMPN took %d iters, scalar %d",
+						width, workers, qs[i], got[i].stats.PMPNIters, wstats.PMPNIters)
+				}
+				if got[i].stats.Query != qs[i] || got[i].stats.K != kset[i] {
+					t.Errorf("stats echo wrong query: %+v", got[i].stats)
+				}
+			}
+		}
+	}
+}
+
+// TestQueryMultiDeferredFallbacks: when candidates exhaust their refinement
+// budget mid-batch, QueryMulti parks them and resolves the whole batch's
+// stalls in deduplicated shared slabs (grouped by k). The answers must equal
+// the scalar View path under the same budget and the brute-force oracle, the
+// fallback path must actually fire, and the shared resolution wall clock
+// must be charged to the parked queries' stats.
+func TestQueryMultiDeferredFallbacks(t *testing.T) {
+	p := rwr.DefaultParams()
+	g := randomGraph(11, 150, false)
+	idx := buildIndex(t, g, 10, 2)
+	v, err := NewView(g, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Starve the refinement budget on every pooled engine so bound decisions
+	// stall and the deferred-resolution path is the one under test.
+	v.engines = sync.Pool{New: func() any {
+		e, _ := NewEngine(g, idx, false)
+		e.SetMaxRefineSteps(1)
+		return e
+	}}
+
+	rng := rand.New(rand.NewSource(19))
+	qs := make([]graph.NodeID, 6)
+	ks := make([]int, 6)
+	for i := range qs {
+		qs[i] = graph.NodeID(rng.Intn(g.N()))
+		ks[i] = 5 + i%2*5 // mixed k ∈ {5, 10}: two resolution groups
+	}
+
+	for _, workers := range []int{1, 4} {
+		answers := make([][]graph.NodeID, len(qs))
+		var mu sync.Mutex
+		fallbacks, charged := 0, 0
+		err := v.QueryMulti(qs, ks, workers, func(i int, answer []graph.NodeID, stats QueryStats, qerr error) {
+			mu.Lock()
+			defer mu.Unlock()
+			if qerr != nil {
+				t.Errorf("workers=%d q=%d: %v", workers, qs[i], qerr)
+				return
+			}
+			answers[i] = answer
+			fallbacks += stats.ExactFallbacks
+			if stats.ExactFallbacks > 0 && stats.FallbackElapsed > 0 {
+				charged++
+			}
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if fallbacks == 0 {
+			t.Fatalf("workers=%d: no fallbacks fired; the deferred path went untested", workers)
+		}
+		if charged == 0 {
+			t.Errorf("workers=%d: no parked query was charged FallbackElapsed", workers)
+		}
+		for i := range qs {
+			want, err := BruteForce(g, qs[i], ks[i], p, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(answers[i], want) {
+				t.Errorf("workers=%d q=%d k=%d: batched %v, brute force %v",
+					workers, qs[i], ks[i], answers[i], want)
+			}
+			scalar, _, err := v.Query(qs[i], ks[i], workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(answers[i], scalar) {
+				t.Errorf("workers=%d q=%d k=%d: batched %v, scalar view %v",
+					workers, qs[i], ks[i], answers[i], scalar)
+			}
+		}
+	}
+}
+
+// TestQueryMultiValidation: malformed batches error before any delivery.
+func TestQueryMultiValidation(t *testing.T) {
+	g := toyGraph(t)
+	idx := buildIndex(t, g, 3, 1)
+	v, err := NewView(g, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deliver := func(i int, answer []graph.NodeID, stats QueryStats, err error) {
+		t.Errorf("deliver called (i=%d) for an invalid batch", i)
+	}
+	if err := v.QueryMulti([]graph.NodeID{0, 1}, []int{2}, 1, deliver); err == nil {
+		t.Error("want length-mismatch error")
+	}
+	if err := v.QueryMulti([]graph.NodeID{0, 99}, []int{2, 2}, 1, deliver); err == nil {
+		t.Error("want out-of-range error")
+	}
+	if err := v.QueryMulti([]graph.NodeID{0, 1}, []int{2, 0}, 1, deliver); err == nil {
+		t.Error("want k error")
+	}
+	if err := v.QueryMulti(nil, nil, 1, deliver); err != nil {
+		t.Errorf("empty batch: %v", err)
+	}
+}

@@ -80,6 +80,12 @@ func ApplyEdits(g *graph.Graph, edits []Edit, policy graph.DanglingPolicy) (*gra
 		if w < 0 {
 			return nil, fmt.Errorf("evolve: negative weight on edge %d→%d", e.From, e.To)
 		}
+		if w < graph.MinNormalWeight {
+			// Mirror graph.Overlay.Apply (and graph.Builder): a subnormal
+			// weight can sum into a subnormal out-weight normalizer whose
+			// reciprocal overflows to +Inf and NaN-poisons proximity scores.
+			return nil, fmt.Errorf("evolve: subnormal weight %g on edge %d→%d (minimum %g)", w, e.From, e.To, graph.MinNormalWeight)
+		}
 		exists := int(e.From) < g.N() && int(e.To) < g.N() && g.EdgeWeight(e.From, e.To) != 0
 		if exists && !removed[k] {
 			return nil, fmt.Errorf("evolve: inserting duplicate edge %d→%d (remove it first to change its weight)", e.From, e.To)

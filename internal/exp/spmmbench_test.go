@@ -1,0 +1,73 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunSpMMBenchShape runs the batching experiment at toy scale: every
+// width must reproduce the scalar oracle answers, timings must be sane, and
+// the JSON record must round-trip.
+func TestRunSpMMBenchShape(t *testing.T) {
+	cfg := DefaultSpMMBenchConfig(1)
+	cfg.Nodes = 3000
+	cfg.Queries = 8
+	cfg.Widths = []int{1, 4}
+	cfg.OracleQueries = 4
+	res, err := RunSpMMBench(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(cfg.Widths) {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), len(cfg.Widths))
+	}
+	if res.Layout != "degree" {
+		t.Fatalf("layout = %q, want degree", res.Layout)
+	}
+	for _, r := range res.Rows {
+		if !r.OracleAgree {
+			t.Fatalf("width=%d: batched answers differ from the scalar engine", r.Width)
+		}
+		if r.QPS <= 0 || r.NSPerQuery <= 0 || r.PMPNIters <= 0 {
+			t.Fatalf("width=%d: degenerate timings %+v", r.Width, r)
+		}
+	}
+	if res.Rows[0].SpeedupVsScalar != 1 {
+		t.Fatalf("scalar row speedup = %v, want 1", res.Rows[0].SpeedupVsScalar)
+	}
+
+	jsonPath := filepath.Join(t.TempDir(), "BENCH_spmm.json")
+	var buf bytes.Buffer
+	if err := WriteSpMMBench(&buf, res, jsonPath); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "vs-scalar") {
+		t.Fatalf("table output missing header:\n%s", buf.String())
+	}
+	blob, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back SpMMBenchResult
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.GraphNodes != res.GraphNodes || len(back.Rows) != len(res.Rows) {
+		t.Fatalf("JSON round-trip mismatch: %+v vs %+v", back, res)
+	}
+}
+
+// TestRunSpMMBenchRejectsBadWidths: the sweep must anchor on the scalar
+// baseline.
+func TestRunSpMMBenchRejectsBadWidths(t *testing.T) {
+	cfg := DefaultSpMMBenchConfig(1)
+	cfg.Nodes = 500
+	cfg.Widths = []int{2, 4}
+	if _, err := RunSpMMBench(cfg, nil); err == nil {
+		t.Fatal("accepted a width sweep without the scalar baseline")
+	}
+}

@@ -76,6 +76,12 @@ func (b *Builder) Build(policy DanglingPolicy) (g *Graph, remap []NodeID, err er
 			if w <= 0 {
 				return nil, nil, fmt.Errorf("graph: edge %d→%d has non-positive weight %g", srcs[i], dsts[i], w)
 			}
+			if w < MinNormalWeight {
+				// A subnormal weight can sum into a subnormal normalizer whose
+				// reciprocal overflows to +Inf and NaN-poisons the transition
+				// column; reject it at the door.
+				return nil, nil, fmt.Errorf("graph: edge %d→%d has subnormal weight %g (minimum %g)", srcs[i], dsts[i], w, MinNormalWeight)
+			}
 		}
 	}
 
@@ -261,6 +267,7 @@ func assemble(srcs, dsts []NodeID, weights []float64, n int) *Graph {
 		weighted:   outWeights != nil,
 	}
 	g.totalOutWeight = make([]float64, n)
+	g.invTotalOutWeight = make([]float64, n)
 	for u := 0; u < n; u++ {
 		if outWeights != nil {
 			var s float64
@@ -270,6 +277,9 @@ func assemble(srcs, dsts []NodeID, weights []float64, n int) *Graph {
 			g.totalOutWeight[u] = s
 		} else {
 			g.totalOutWeight[u] = float64(outIndex[u+1] - outIndex[u])
+		}
+		if w := g.totalOutWeight[u]; w > 0 {
+			g.invTotalOutWeight[u] = 1 / w
 		}
 	}
 	g.buildInAdjacency()

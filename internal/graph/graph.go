@@ -19,6 +19,17 @@ import (
 // per direction instead of 800MB.
 type NodeID = int32
 
+// MinNormalWeight is the smallest edge weight the graph layer accepts:
+// the smallest positive normal float64 (0x1p-1022). Subnormal weights are
+// rejected because a column whose weights sum into the subnormal range has
+// an inverse normalizer that overflows to +Inf, which would turn the
+// node's transition column into NaN and silently poison every downstream
+// proximity score. Because IEEE addition of positive normals rounds to a
+// value no smaller than either operand, per-edge enforcement guarantees
+// every TotalOutWeight is a normal number and every inverse normalizer is
+// finite.
+const MinNormalWeight = 0x1p-1022
+
 // DanglingPolicy selects how nodes without outgoing edges are handled when a
 // Graph is built. The paper (footnote 1, §2.1) permits either deleting them
 // or redirecting them to a sink; we implement both plus a self-loop variant,
@@ -78,6 +89,10 @@ type Graph struct {
 	// unweighted graphs it equals the out-degree. It is the normalizer of
 	// the column of the transition matrix belonging to u.
 	totalOutWeight []float64
+	// invTotalOutWeight[u] = 1/totalOutWeight[u], precomputed so the matvec
+	// kernels multiply instead of dividing per row. Always finite: Build
+	// rejects subnormal weights, so every normalizer is a normal number.
+	invTotalOutWeight []float64
 
 	// In-adjacency mirror, aligned the same way.
 	inIndex   []int64
@@ -141,6 +156,15 @@ func (g *Graph) InWeightsOf(u NodeID) []float64 {
 // column: the sum of u's out-edge weights (== out-degree when unweighted).
 func (g *Graph) TotalOutWeight(u NodeID) float64 {
 	return g.totalOutWeight[u]
+}
+
+// InvTotalOutWeight returns the precomputed reciprocal of TotalOutWeight(u).
+// The kernels multiply by it instead of dividing per row; the value is bit
+// -identical to 1/TotalOutWeight(u) (IEEE-754 division is exactly rounded,
+// hence deterministic) and always finite because Build rejects weights
+// below MinNormalWeight.
+func (g *Graph) InvTotalOutWeight(u NodeID) float64 {
+	return g.invTotalOutWeight[u]
 }
 
 // HasEdge reports whether the directed edge u→v exists. It runs a binary
@@ -226,10 +250,16 @@ func (g *Graph) Validate() error {
 			if w <= 0 {
 				return fmt.Errorf("graph: non-positive weight on edge %d→%d", u, v)
 			}
+			if w < MinNormalWeight {
+				return fmt.Errorf("graph: subnormal weight %g on edge %d→%d", w, u, v)
+			}
 			outSum += w
 		}
 		if diff := outSum - g.totalOutWeight[u]; diff > 1e-9 || diff < -1e-9 {
 			return fmt.Errorf("graph: cached out-weight of %d is %g, recomputed %g", u, g.totalOutWeight[u], outSum)
+		}
+		if u < len(g.invTotalOutWeight) && g.invTotalOutWeight[u] != 1/g.totalOutWeight[u] {
+			return fmt.Errorf("graph: cached inverse out-weight of %d is %g, recomputed %g", u, g.invTotalOutWeight[u], 1/g.totalOutWeight[u])
 		}
 		for e := g.inIndex[u]; e < g.inIndex[u+1]; e++ {
 			v := g.inEdges[e]

@@ -23,8 +23,11 @@ type nodePatch struct {
 	out  []NodeID  // strictly sorted
 	outW []float64 // nil ⇒ all weight 1
 	wTot float64   // sum of out weights (== len(out) when outW is nil)
-	in   []NodeID  // sorted
-	inW  []float64 // nil ⇒ all weight 1
+	// invWTot = 1/wTot, memoized when the out side is installed so the
+	// matvec kernels never divide (or re-derive the normalizer) per call.
+	invWTot float64
+	in      []NodeID  // sorted
+	inW     []float64 // nil ⇒ all weight 1
 }
 
 func (p *nodePatch) footprint() int { return len(p.out) + len(p.in) }
@@ -161,6 +164,17 @@ func (o *Overlay) TotalOutWeight(u NodeID) float64 {
 	return o.base.TotalOutWeight(u)
 }
 
+// InvTotalOutWeight returns the reciprocal of TotalOutWeight(u), memoized
+// in the patch at Apply time for patched nodes and precomputed in the base
+// CSR otherwise. Bit-identical to 1/TotalOutWeight(u) and always finite:
+// Apply rejects subnormal weights, so every normalizer is a normal number.
+func (o *Overlay) InvTotalOutWeight(u NodeID) float64 {
+	if o.outPatched(u) {
+		return o.patch[u].invWTot
+	}
+	return o.base.InvTotalOutWeight(u)
+}
+
 // HasEdge reports whether u→v exists (binary search over u's sorted
 // out-neighbors, patched or base).
 func (o *Overlay) HasEdge(u, v NodeID) bool {
@@ -230,6 +244,11 @@ func (o *Overlay) Apply(edits []EdgeEdit) (*Overlay, error) {
 		}
 		if w < 0 {
 			return nil, fmt.Errorf("graph: negative weight on edge %d→%d", e.From, e.To)
+		}
+		if w < MinNormalWeight {
+			// Same guard as graph.Builder: a subnormal weight can sum into a
+			// subnormal normalizer whose reciprocal overflows to +Inf.
+			return nil, fmt.Errorf("graph: subnormal weight %g on edge %d→%d (minimum %g)", w, e.From, e.To, MinNormalWeight)
 		}
 		exists := int(e.From) < o.n && int(e.To) < o.n && o.EdgeWeight(e.From, e.To) != 0
 		if exists && !removed[k] {
@@ -398,6 +417,11 @@ func (d *Overlay) installOut(u NodeID, out []NodeID, outW []float64, fresh map[N
 			s += w
 		}
 		p.wTot = s
+	}
+	if p.wTot > 0 {
+		p.invWTot = 1 / p.wTot
+	} else {
+		p.invWTot = 0
 	}
 	d.outDirty[uint(u)>>6] |= 1 << (uint(u) & 63)
 	d.deltaEdges += p.footprint()

@@ -1,0 +1,77 @@
+package graph
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestBuilderRejectsSubnormalWeights: a weight below MinNormalWeight would
+// produce a normalizer whose reciprocal overflows to +Inf, so Build refuses
+// it outright.
+func TestBuilderRejectsSubnormalWeights(t *testing.T) {
+	b := NewBuilder(2)
+	b.AddWeightedEdge(0, 1, 5e-324) // smallest subnormal
+	b.AddWeightedEdge(1, 0, 1)
+	if _, _, err := b.Build(DanglingSelfLoop); err == nil || !strings.Contains(err.Error(), "subnormal") {
+		t.Fatalf("Build accepted a subnormal weight: err=%v", err)
+	}
+
+	// The smallest *normal* weight is fine, and its inverse is finite.
+	b2 := NewBuilder(2)
+	b2.AddWeightedEdge(0, 1, MinNormalWeight)
+	b2.AddWeightedEdge(1, 0, 1)
+	g, _, err := b2.Build(DanglingSelfLoop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv := g.InvTotalOutWeight(0); math.IsInf(inv, 0) || math.IsNaN(inv) {
+		t.Fatalf("inverse normalizer of minimum normal weight not finite: %g", inv)
+	}
+}
+
+// TestOverlayApplyRejectsSubnormalWeights: the O(edits) delta path enforces
+// the same guard as the full rebuild.
+func TestOverlayApplyRejectsSubnormalWeights(t *testing.T) {
+	g, err := FromEdges(2, [][2]NodeID{{0, 1}, {1, 0}}, DanglingSelfLoop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := NewOverlay(g)
+	if _, err := o.Apply([]EdgeEdit{{From: 0, To: 0, Weight: 1e-310}}); err == nil || !strings.Contains(err.Error(), "subnormal") {
+		t.Fatalf("Overlay.Apply accepted a subnormal weight: err=%v", err)
+	}
+	// Receiver unchanged, normalizers still finite.
+	if inv := o.InvTotalOutWeight(0); inv != 1 {
+		t.Fatalf("receiver mutated: InvTotalOutWeight(0) = %g, want 1", inv)
+	}
+}
+
+// TestOverlayInvTotalOutWeightMemoized: patched nodes answer from the
+// normalizer memoized at Apply time, bit-identical to 1/TotalOutWeight, and
+// unpatched nodes fall through to the base CSR's precomputed slab.
+func TestOverlayInvTotalOutWeightMemoized(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddWeightedEdge(0, 1, 2)
+	b.AddWeightedEdge(0, 2, 0.5)
+	b.AddWeightedEdge(1, 2, 3)
+	b.AddWeightedEdge(2, 0, 1)
+	g, _, err := b.Build(DanglingSelfLoop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := NewOverlay(g)
+	o2, err := o.Apply([]EdgeEdit{{From: 0, To: 1, Remove: true}, {From: 0, To: 1, Weight: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := NodeID(0); int(u) < o2.N(); u++ {
+		want := 1 / o2.TotalOutWeight(u)
+		if got := o2.InvTotalOutWeight(u); got != want {
+			t.Fatalf("node %d: InvTotalOutWeight %g, want %g", u, got, want)
+		}
+	}
+	if o2.TotalOutWeight(0) != 7.5 {
+		t.Fatalf("patched normalizer %g, want 7.5", o2.TotalOutWeight(0))
+	}
+}

@@ -48,6 +48,10 @@ import (
 // full index on disk in total, not P×. Full images are written exactly as
 // before, bit for bit.
 //
+// Indexes carrying a cache-aware relabeling append one more trailing section
+// (secPerm; nsec = 20 full, 23 sharded) holding the external→internal node
+// permutation, so the translation boundary survives a save/load round trip.
+//
 // Every byte of the image except the fileCRC field itself is covered by
 // fileCRC, so any single-byte corruption is detected (the fileCRC field is
 // self-checking: corrupting it breaks the comparison). Per-section CRCs
@@ -86,6 +90,50 @@ const (
 	secPartRows
 	v2NumSectionsSharded
 )
+
+// secPerm stores the build-time cache-aware node relabeling: one u32
+// internal id per external id (see Index.SetRelabeling). The section is
+// OPTIONAL — indexes without a relabeling write exactly the old images, bit
+// for bit — and when present always occupies the LAST table position, with
+// this fixed id in both full (nsec = v2NumSectionsPerm) and shard-slice
+// (nsec = v2NumSectionsShardedPerm) images; sectionID maps table positions
+// to ids. The payload may cover fewer nodes than n when the image was saved
+// after node growth (grown ids keep identity labels) and must be a bijection
+// on its own length, which every loader verifies.
+const secPerm = v2NumSectionsSharded
+
+const (
+	v2NumSectionsPerm        = v2NumSections + 1
+	v2NumSectionsShardedPerm = v2NumSectionsSharded + 1
+	// v2MaxSections sizes the by-section-id offset/length tables.
+	v2MaxSections = secPerm + 1
+)
+
+// hasPermSection reports whether a section count implies a trailing
+// relabeling section.
+func hasPermSection(nsec int) bool {
+	return nsec == v2NumSectionsPerm || nsec == v2NumSectionsShardedPerm
+}
+
+// validNsec reports whether nsec is one of the four section counts a v2
+// image can carry.
+func validNsec(nsec int) bool {
+	return nsec == v2NumSections || nsec == v2NumSectionsSharded || hasPermSection(nsec)
+}
+
+// shardedNsec reports whether nsec implies the shard-slice sections.
+func shardedNsec(nsec int) bool {
+	return nsec == v2NumSectionsSharded || nsec == v2NumSectionsShardedPerm
+}
+
+// sectionID maps a table position to its section id: the identity, except
+// that the last position of a perm-carrying image holds secPerm.
+func sectionID(nsec, pos int) int {
+	if hasPermSection(nsec) && pos == nsec-1 {
+		return secPerm
+	}
+	return pos
+}
 
 const (
 	v2PreambleSize = 32
@@ -256,7 +304,7 @@ func (idx *Index) Save(w io.Writer) error {
 	for s := 0; s < e.nsec; s++ {
 		h := crc32.New(castagnoli)
 		bw := &binWriter{w: bufio.NewWriterSize(h, 1<<16)}
-		e.emitSection(s, bw)
+		e.emitSection(sectionID(e.nsec, s), bw)
 		if bw.err != nil {
 			return bw.err
 		}
@@ -320,8 +368,8 @@ type v2emitter struct {
 	// streamed three times (section CRCs, file CRC, output), and a value
 	// read per pass could change between passes and tear the checksums.
 	watermark uint64
-	lens      [v2NumSectionsSharded]int
-	offs      [v2NumSectionsSharded]int
+	lens      [v2MaxSections]int
+	offs      [v2MaxSections]int
 	fileSize  int
 }
 
@@ -366,6 +414,9 @@ func (idx *Index) newV2EmitterLocked() (*v2emitter, error) {
 		e.rows = idx.owned
 		_, _, _, _, partBounds = idx.part.Parts()
 	}
+	if idx.perm != nil {
+		e.nsec++ // the trailing secPerm section
+	}
 
 	var colNNZ, rNNZ, wNNZ, sNNZ int
 	for _, c := range cols {
@@ -399,7 +450,7 @@ func (idx *Index) newV2EmitterLocked() (*v2emitter, error) {
 	}
 	numStates := e.numStates
 
-	e.lens = [v2NumSectionsSharded]int{
+	e.lens = [v2MaxSections]int{
 		secMeta:       v2MetaSize,
 		secHubIDs:     4 * hubCount,
 		secHubTopK:    8 * hubCount * o.K,
@@ -425,11 +476,15 @@ func (idx *Index) newV2EmitterLocked() (*v2emitter, error) {
 		e.lens[secPartBounds] = 4 * len(partBounds)
 		e.lens[secPartRows] = 4 * len(e.rows)
 	}
+	if idx.perm != nil {
+		e.lens[secPerm] = 4 * len(idx.perm)
+	}
 	pos := v2HeaderEndOf(e.nsec)
 	for s := 0; s < e.nsec; s++ {
+		id := sectionID(e.nsec, s)
 		pos = alignUp8(pos)
-		e.offs[s] = pos
-		pos += e.lens[s]
+		e.offs[id] = pos
+		pos += e.lens[id]
 	}
 	e.fileSize = alignUp8(pos)
 	return e, nil
@@ -533,6 +588,10 @@ func (e *v2emitter) emitSection(s int, bw *binWriter) {
 		for _, u := range e.rows {
 			bw.u32(uint32(u))
 		}
+	case secPerm:
+		for _, in := range e.idx.perm {
+			bw.u32(uint32(in))
+		}
 	}
 }
 
@@ -554,11 +613,12 @@ func (e *v2emitter) emitBody(w io.Writer) error {
 	bw := &binWriter{w: bufio.NewWriterSize(w, 1<<20)}
 	pos := v2HeaderEndOf(e.nsec)
 	for s := 0; s < e.nsec; s++ {
-		for ; pos < e.offs[s]; pos++ {
+		id := sectionID(e.nsec, s)
+		for ; pos < e.offs[id]; pos++ {
 			bw.u8(0)
 		}
-		e.emitSection(s, bw)
-		pos += e.lens[s]
+		e.emitSection(id, bw)
+		pos += e.lens[id]
 	}
 	for ; pos < e.fileSize; pos++ {
 		bw.u8(0)
@@ -577,11 +637,12 @@ func (e *v2emitter) buildHeader(secCRC []uint32) []byte {
 	binary.LittleEndian.PutUint64(header[8:], uint64(e.fileSize))
 	binary.LittleEndian.PutUint32(header[16:], uint32(e.nsec))
 	for s := 0; s < e.nsec; s++ {
+		id := sectionID(e.nsec, s)
 		entry := header[v2PreambleSize+s*v2TableEntry:]
-		binary.LittleEndian.PutUint32(entry[0:], uint32(s))
+		binary.LittleEndian.PutUint32(entry[0:], uint32(id))
 		binary.LittleEndian.PutUint32(entry[4:], secCRC[s])
-		binary.LittleEndian.PutUint64(entry[8:], uint64(e.offs[s]))
-		binary.LittleEndian.PutUint64(entry[16:], uint64(e.lens[s]))
+		binary.LittleEndian.PutUint64(entry[8:], uint64(e.offs[id]))
+		binary.LittleEndian.PutUint64(entry[16:], uint64(e.lens[id]))
 	}
 	binary.LittleEndian.PutUint32(header[20:], crc32.Checksum(header[v2PreambleSize:], castagnoli))
 	return header
@@ -651,8 +712,8 @@ func readAligned(r io.Reader, pre []byte, n int) ([]byte, error) {
 type v2parser struct {
 	data  []byte
 	nsec  int
-	offs  [v2NumSectionsSharded]int
-	lens  [v2NumSectionsSharded]int
+	offs  [v2MaxSections]int
+	lens  [v2MaxSections]int
 	alias bool
 }
 
@@ -753,8 +814,9 @@ func parseV2(data []byte, deep bool) (*Index, error) {
 		return nil, fmt.Errorf("lbindex: v2 header claims %d bytes, image has %d", got, len(data))
 	}
 	nsec := int(binary.LittleEndian.Uint32(data[16:20]))
-	if nsec != v2NumSections && nsec != v2NumSectionsSharded {
-		return nil, fmt.Errorf("lbindex: v2 image has %d sections, want %d (full) or %d (shard slice)", nsec, v2NumSections, v2NumSectionsSharded)
+	if !validNsec(nsec) {
+		return nil, fmt.Errorf("lbindex: v2 image has %d sections, want %d/%d (full) or %d/%d (shard slice), the larger with a relabeling",
+			nsec, v2NumSections, v2NumSectionsPerm, v2NumSectionsSharded, v2NumSectionsShardedPerm)
 	}
 	headerEnd := v2HeaderEndOf(nsec)
 	if len(data) < headerEnd {
@@ -774,14 +836,15 @@ func parseV2(data []byte, deep bool) (*Index, error) {
 	p := &v2parser{data: data, nsec: nsec, alias: hostLittleEndian && uintptr(unsafe.Pointer(&data[0]))%8 == 0}
 	for s := 0; s < nsec; s++ {
 		e := data[v2PreambleSize+s*v2TableEntry:]
-		if id := binary.LittleEndian.Uint32(e[0:]); id != uint32(s) {
-			return nil, fmt.Errorf("lbindex: section %d has unexpected id %d", s, id)
+		want := sectionID(nsec, s)
+		if id := binary.LittleEndian.Uint32(e[0:]); id != uint32(want) {
+			return nil, fmt.Errorf("lbindex: section at position %d has id %d, want %d", s, id, want)
 		}
 		off, ln := binary.LittleEndian.Uint64(e[8:]), binary.LittleEndian.Uint64(e[16:])
 		if off%8 != 0 || off < uint64(headerEnd) || ln > uint64(len(data)) || off > uint64(len(data))-ln {
-			return nil, fmt.Errorf("lbindex: section %d spans [%d,%d) outside the %d-byte image", s, off, off+ln, len(data))
+			return nil, fmt.Errorf("lbindex: section %d spans [%d,%d) outside the %d-byte image", want, off, off+ln, len(data))
 		}
-		p.offs[s], p.lens[s] = int(off), int(ln)
+		p.offs[want], p.lens[want] = int(off), int(ln)
 	}
 
 	// Meta. Legacy-length blocks predate the journal watermark and imply
@@ -817,7 +880,7 @@ func parseV2(data []byte, deep bool) (*Index, error) {
 	if hubCount < 0 || hubCount > n || numStates < 0 || numStates > n-hubCount {
 		return nil, fmt.Errorf("lbindex: implausible hub/state counts %d/%d for n=%d", hubCount, numStates, n)
 	}
-	if nsec == v2NumSections && numStates != n-hubCount {
+	if !shardedNsec(nsec) && numStates != n-hubCount {
 		return nil, fmt.Errorf("lbindex: full image stores %d states, graph has %d non-hub nodes", numStates, n-hubCount)
 	}
 	if refinements < 0 {
@@ -833,7 +896,7 @@ func parseV2(data []byte, deep bool) (*Index, error) {
 	shardID := 0
 	var rows []graph.NodeID
 	rowCount := n
-	if nsec == v2NumSectionsSharded {
+	if shardedNsec(nsec) {
 		if p.lens[secPartMeta] != v2PartMetaSize {
 			return nil, fmt.Errorf("lbindex: partition meta section has %d bytes, want %d", p.lens[secPartMeta], v2PartMetaSize)
 		}
@@ -870,7 +933,7 @@ func parseV2(data []byte, deep bool) (*Index, error) {
 	// Expected section lengths, from the validated counts.
 	colNNZ := p.lens[secHubColIdx] / 4
 	rNNZ, wNNZ, sNNZ := p.lens[secStateRIdx]/4, p.lens[secStateWIdx]/4, p.lens[secStateSIdx]/4
-	want := [v2NumSectionsSharded]int{
+	want := [v2MaxSections]int{
 		secMeta:       p.lens[secMeta], // already validated: current or legacy size
 		secHubIDs:     4 * hubCount,
 		secHubTopK:    8 * hubCount * o.K,
@@ -891,14 +954,23 @@ func parseV2(data []byte, deep bool) (*Index, error) {
 		secStateSVal:  8 * sNNZ,
 		secPhat:       8 * rowCount * o.K,
 	}
-	if nsec == v2NumSectionsSharded {
+	if shardedNsec(nsec) {
 		want[secPartMeta] = p.lens[secPartMeta]
 		want[secPartBounds] = p.lens[secPartBounds]
 		want[secPartRows] = p.lens[secPartRows]
 	}
+	if hasPermSection(nsec) {
+		// The relabeling's length is self-describing (bounds-checked when it
+		// is decoded below); only 4-byte granularity is structural.
+		if p.lens[secPerm]%4 != 0 {
+			return nil, fmt.Errorf("lbindex: relabeling section holds %d bytes, not a multiple of 4", p.lens[secPerm])
+		}
+		want[secPerm] = p.lens[secPerm]
+	}
 	for s := 0; s < nsec; s++ {
-		if p.lens[s] != want[s] {
-			return nil, fmt.Errorf("lbindex: section %d holds %d bytes, want %d", s, p.lens[s], want[s])
+		id := sectionID(nsec, s)
+		if p.lens[id] != want[id] {
+			return nil, fmt.Errorf("lbindex: section %d holds %d bytes, want %d", id, p.lens[id], want[id])
 		}
 	}
 
@@ -1006,6 +1078,13 @@ func parseV2(data []byte, deep bool) (*Index, error) {
 	idx := &Index{opts: o, n: n, hubs: hm, phat: phat, states: states, part: pm, shardID: shardID, owned: rows}
 	idx.refinements.Store(refinements)
 	idx.watermark.Store(watermark)
+	if hasPermSection(nsec) {
+		// Bijection-validated in BOTH load modes: a permutation that is not a
+		// bijection would silently misroute every translated query.
+		if err := idx.loadRelabeling(p.i32s(secPerm)); err != nil {
+			return nil, err
+		}
+	}
 	if deep {
 		if err := idx.CheckInvariants(); err != nil {
 			return nil, err
@@ -1032,7 +1111,7 @@ func checkProximities(xs []float64, what string) error {
 // whole-file checksum error message.
 func localizeV2Corruption(data []byte) string {
 	nsec := int(binary.LittleEndian.Uint32(data[16:20]))
-	if nsec != v2NumSections && nsec != v2NumSectionsSharded {
+	if !validNsec(nsec) {
 		return fmt.Sprintf("implausible section count %d", nsec)
 	}
 	if len(data) < v2HeaderEndOf(nsec) {
@@ -1043,10 +1122,10 @@ func localizeV2Corruption(data []byte) string {
 		crc := binary.LittleEndian.Uint32(e[4:])
 		off, ln := binary.LittleEndian.Uint64(e[8:]), binary.LittleEndian.Uint64(e[16:])
 		if off > uint64(len(data)) || ln > uint64(len(data))-off {
-			return fmt.Sprintf("section %d table entry out of bounds", s)
+			return fmt.Sprintf("section %d table entry out of bounds", sectionID(nsec, s))
 		}
 		if crc32.Checksum(data[off:off+ln], castagnoli) != crc {
-			return fmt.Sprintf("section %d payload corrupt", s)
+			return fmt.Sprintf("section %d payload corrupt", sectionID(nsec, s))
 		}
 	}
 	return "preamble, table or padding corrupt"

@@ -104,6 +104,14 @@ func requireIndexEqual(t *testing.T, a, b *Index) {
 		requireSparseEqual(t, "W", as.W, bs.W)
 		requireSparseEqual(t, "S", as.S, bs.S)
 	}
+	if len(a.perm) != len(b.perm) {
+		t.Fatalf("relabeling covers %d vs %d nodes", len(a.perm), len(b.perm))
+	}
+	for i := range a.perm {
+		if a.perm[i] != b.perm[i] {
+			t.Fatalf("relabeling differs at %d: %d vs %d", i, a.perm[i], b.perm[i])
+		}
+	}
 }
 
 // TestV2RoundTripProperty is the migration property test: a v1 image loads,

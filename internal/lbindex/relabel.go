@@ -1,0 +1,72 @@
+package lbindex
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// SetRelabeling records the cache-aware node relabeling the index's graph
+// was built under: perm[external] = internal (see graph.Permutation). The
+// permutation must be a bijection on exactly the current node count; a nil
+// or identity permutation clears the relabeling. Set once at build (or load)
+// time, before the index serves queries — the translation boundary (package
+// core) reads it on every query, so it must not change underneath.
+func (idx *Index) SetRelabeling(p graph.Permutation) error {
+	if len(p) == 0 || p.IsIdentity() {
+		idx.perm, idx.permInv = nil, nil
+		return nil
+	}
+	if err := p.Validate(idx.n); err != nil {
+		return err
+	}
+	idx.perm = append(graph.Permutation(nil), p...)
+	idx.permInv = idx.perm.Inverse()
+	return nil
+}
+
+// Relabeling returns the stored relabeling, or nil when the index uses the
+// external identifier space directly. The slice is internal storage and must
+// not be modified; it may cover fewer nodes than N() after growth (grown
+// nodes keep identity labels).
+func (idx *Index) Relabeling() graph.Permutation { return idx.perm }
+
+// ToInternal translates an external node identifier to the internal storage
+// identifier. Identifiers beyond the permutation — nodes added after build,
+// which keep identity labels, and every id under an identity relabeling —
+// map to themselves, as do out-of-range ids (the caller's validation reports
+// those against the external space).
+func (idx *Index) ToInternal(u graph.NodeID) graph.NodeID {
+	if u >= 0 && int(u) < len(idx.perm) {
+		return idx.perm[u]
+	}
+	return u
+}
+
+// ToExternal translates an internal storage identifier back to the external
+// identifier callers speak.
+func (idx *Index) ToExternal(u graph.NodeID) graph.NodeID {
+	if u >= 0 && int(u) < len(idx.permInv) {
+		return idx.permInv[u]
+	}
+	return u
+}
+
+// loadRelabeling installs a permutation decoded from a v2 image: a bijection
+// on its own length, which may be shorter than n when the image was saved
+// after growth (grown ids keep identity labels).
+func (idx *Index) loadRelabeling(raw []int32) error {
+	if len(raw) == 0 || len(raw) > idx.n {
+		return fmt.Errorf("lbindex: relabeling covers %d nodes, index has %d", len(raw), idx.n)
+	}
+	perm := make(graph.Permutation, len(raw))
+	for i, v := range raw {
+		perm[i] = graph.NodeID(v)
+	}
+	if err := perm.Validate(len(perm)); err != nil {
+		return err
+	}
+	idx.perm = perm
+	idx.permInv = perm.Inverse()
+	return nil
+}

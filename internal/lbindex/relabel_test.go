@@ -1,0 +1,195 @@
+package lbindex
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// reversePerm is a deterministic non-identity bijection for tests.
+func reversePerm(n int) graph.Permutation {
+	p := make(graph.Permutation, n)
+	for i := range p {
+		p[i] = graph.NodeID(n - 1 - i)
+	}
+	return p
+}
+
+// TestRelabelingRoundTrip: an index carrying a relabeling survives a v2
+// save/load in both load modes, with the permutation, its translation
+// methods and every other field intact; clones and grown clones inherit it.
+func TestRelabelingRoundTrip(t *testing.T) {
+	idx := refinedIndex(t, 17, 30, 4)
+	perm := reversePerm(idx.N())
+	if err := idx.SetRelabeling(perm); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "perm.idx")
+	if err := idx.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	for _, mmap := range []bool{false, true} {
+		loaded, err := LoadFile(path, LoadOptions{Mmap: mmap})
+		if err != nil {
+			t.Fatalf("mmap=%v: %v", mmap, err)
+		}
+		requireIndexEqual(t, idx, loaded)
+		for u := graph.NodeID(0); int(u) < idx.N(); u++ {
+			if got := loaded.ToInternal(u); got != perm[u] {
+				t.Fatalf("mmap=%v: ToInternal(%d) = %d, want %d", mmap, u, got, perm[u])
+			}
+			if got := loaded.ToExternal(loaded.ToInternal(u)); got != u {
+				t.Fatalf("mmap=%v: translation round trip of %d gives %d", mmap, u, got)
+			}
+		}
+		// Growth beyond the permutation keeps identity labels.
+		grown := loaded.CloneGrown(idx.N() + 3)
+		if got := grown.ToInternal(graph.NodeID(idx.N() + 1)); int(got) != idx.N()+1 {
+			t.Fatalf("grown node translated to %d, want identity", got)
+		}
+		if got := grown.Relabeling(); len(got) != idx.N() {
+			t.Fatalf("grown clone relabeling covers %d nodes, want %d", len(got), idx.N())
+		}
+	}
+	if c := idx.Clone(); c.ToInternal(0) != perm[0] {
+		t.Fatal("Clone dropped the relabeling")
+	}
+}
+
+// TestRelabelingIdentityNotStored: a nil or identity relabeling writes
+// exactly the image an index without one writes — bit for bit, with the
+// original section count.
+func TestRelabelingIdentityNotStored(t *testing.T) {
+	idx := refinedIndex(t, 23, 20, 3)
+	var before bytes.Buffer
+	if err := idx.Save(&before); err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.SetRelabeling(graph.IdentityPermutation(idx.N())); err != nil {
+		t.Fatal(err)
+	}
+	if idx.Relabeling() != nil {
+		t.Fatal("identity relabeling was stored")
+	}
+	var after bytes.Buffer
+	if err := idx.Save(&after); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before.Bytes(), after.Bytes()) {
+		t.Fatal("identity relabeling changed the saved image")
+	}
+	if nsec := binary.LittleEndian.Uint32(after.Bytes()[16:20]); nsec != v2NumSections {
+		t.Fatalf("image has %d sections, want %d", nsec, v2NumSections)
+	}
+}
+
+// TestSetRelabelingRejectsBadPermutations: wrong length and non-bijections
+// are refused, leaving any previously installed relabeling in place.
+func TestSetRelabelingRejectsBadPermutations(t *testing.T) {
+	idx := refinedIndex(t, 31, 12, 3)
+	good := reversePerm(idx.N())
+	if err := idx.SetRelabeling(good); err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.SetRelabeling(reversePerm(idx.N() - 1)); err == nil {
+		t.Fatal("short permutation accepted")
+	}
+	dup := reversePerm(idx.N())
+	dup[1] = dup[0]
+	if err := idx.SetRelabeling(dup); err == nil {
+		t.Fatal("non-bijection accepted")
+	}
+	if got := idx.ToInternal(0); got != good[0] {
+		t.Fatalf("failed SetRelabeling clobbered the installed permutation: ToInternal(0) = %d", got)
+	}
+}
+
+// TestRelabelingCorruptionRejected: every single-byte flip of a
+// perm-carrying image is rejected (the checksum net covers the new
+// section), and a payload whose CHECKSUMS are valid but whose permutation
+// is not a bijection is rejected by the structural validation — corruption
+// of the mapping cannot hide behind a recomputed CRC.
+func TestRelabelingCorruptionRejected(t *testing.T) {
+	idx := refinedIndex(t, 41, 16, 3)
+	if err := idx.SetRelabeling(reversePerm(idx.N())); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := idx.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	corrupt := alignedBytes(len(valid))
+	for off := 0; off < len(valid); off++ {
+		copy(corrupt, valid)
+		corrupt[off] ^= 0xFF
+		if _, err := Load(bytes.NewReader(corrupt)); err == nil {
+			t.Fatalf("deep loader accepted a flip at offset %d/%d", off, len(valid))
+		}
+		if _, err := parseV2(corrupt, false); err == nil {
+			t.Fatalf("structural parser accepted a flip at offset %d/%d", off, len(valid))
+		}
+	}
+
+	// Forge a duplicate entry in the perm payload and re-seal all three
+	// checksum layers; only the bijection check can catch this now.
+	forged := alignedBytes(len(valid))
+	copy(forged, valid)
+	nsec := int(binary.LittleEndian.Uint32(forged[16:20]))
+	entry := forged[v2PreambleSize+(nsec-1)*v2TableEntry:]
+	off := binary.LittleEndian.Uint64(entry[8:])
+	ln := binary.LittleEndian.Uint64(entry[16:])
+	copy(forged[off:], forged[off+4:off+8]) // perm[0] = perm[1]
+	binary.LittleEndian.PutUint32(entry[4:], crc32.Checksum(forged[off:off+ln], castagnoli))
+	headerEnd := v2HeaderEndOf(nsec)
+	binary.LittleEndian.PutUint32(forged[20:24], crc32.Checksum(forged[v2PreambleSize:headerEnd], castagnoli))
+	fileCRC := crc32.Update(crc32.Checksum(forged[:24], castagnoli), castagnoli, forged[28:])
+	binary.LittleEndian.PutUint32(forged[24:28], fileCRC)
+	for _, deep := range []bool{true, false} {
+		if _, err := parseV2(forged, deep); err == nil {
+			t.Fatalf("deep=%v: non-bijection permutation with valid checksums accepted", deep)
+		}
+	}
+}
+
+// TestShardSliceRelabeling: slices inherit the full index's relabeling and
+// carry it through the sharded image format.
+func TestShardSliceRelabeling(t *testing.T) {
+	g, idx := shardTestIndex(t)
+	perm := reversePerm(idx.N())
+	if err := idx.SetRelabeling(perm); err != nil {
+		t.Fatal(err)
+	}
+	pm := shardMaps(t, g, 3)["range"]
+	slice, err := idx.ShardSlice(pm, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slice.ToInternal(2) != perm[2] {
+		t.Fatal("slice dropped the relabeling")
+	}
+	path := filepath.Join(t.TempDir(), "slice.idx")
+	if err := slice.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	for _, mmap := range []bool{false, true} {
+		loaded, err := LoadFile(path, LoadOptions{Mmap: mmap})
+		if err != nil {
+			t.Fatalf("mmap=%v: %v", mmap, err)
+		}
+		_, shard, ok := loaded.Shard()
+		if !ok || shard != 1 {
+			t.Fatalf("mmap=%v: shard info lost", mmap)
+		}
+		for u := graph.NodeID(0); int(u) < idx.N(); u += 13 {
+			if loaded.ToInternal(u) != perm[u] {
+				t.Fatalf("mmap=%v: slice relabeling differs at %d", mmap, u)
+			}
+		}
+	}
+}

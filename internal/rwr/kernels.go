@@ -13,6 +13,12 @@ import (
 // type-switch to these devirtualized loops for the two in-tree view types.
 // Each loop accumulates in exactly the same neighbor order, so CSR,
 // overlay and generic paths produce bit-identical vectors.
+//
+// Normalization multiplies by the inverse out-weight instead of dividing:
+// the CSR and Overlay precompute 1/TotalOutWeight at build/Apply time
+// (rejecting subnormal weights, so the inverse is always finite — no NaN
+// can enter a column), and the generic fallback computes the same exactly
+// rounded 1/TotalOutWeight(u) inline, keeping all paths bit-identical.
 
 func mulTransitionTRangeCSR(g *graph.Graph, x, dst []float64, lo, hi int) {
 	for u := graph.NodeID(lo); int(u) < hi; u++ {
@@ -23,14 +29,12 @@ func mulTransitionTRangeCSR(g *graph.Graph, x, dst []float64, lo, hi int) {
 			for _, v := range nbrs {
 				acc += x[v]
 			}
-			acc /= float64(len(nbrs))
 		} else {
 			for i, v := range nbrs {
 				acc += ws[i] * x[v]
 			}
-			acc /= g.TotalOutWeight(u)
 		}
-		dst[u] = acc
+		dst[u] = acc * g.InvTotalOutWeight(u)
 	}
 }
 
@@ -43,14 +47,12 @@ func mulTransitionTRangeOverlay(g *graph.Overlay, x, dst []float64, lo, hi int) 
 			for _, v := range nbrs {
 				acc += x[v]
 			}
-			acc /= float64(len(nbrs))
 		} else {
 			for i, v := range nbrs {
 				acc += ws[i] * x[v]
 			}
-			acc /= g.TotalOutWeight(u)
 		}
-		dst[u] = acc
+		dst[u] = acc * g.InvTotalOutWeight(u)
 	}
 }
 
@@ -63,14 +65,12 @@ func mulTransitionTRangeGeneric[G graph.View](g G, x, dst []float64, lo, hi int)
 			for _, v := range nbrs {
 				acc += x[v]
 			}
-			acc /= float64(len(nbrs))
 		} else {
 			for i, v := range nbrs {
 				acc += ws[i] * x[v]
 			}
-			acc /= g.TotalOutWeight(u)
 		}
-		dst[u] = acc
+		dst[u] = acc * (1 / g.TotalOutWeight(u))
 	}
 }
 
@@ -81,11 +81,11 @@ func mulTransitionRangeCSR(g *graph.Graph, x, dst []float64, lo, hi int) {
 		var acc float64
 		if ws == nil {
 			for _, u := range nbrs {
-				acc += x[u] / g.TotalOutWeight(u)
+				acc += x[u] * g.InvTotalOutWeight(u)
 			}
 		} else {
 			for i, u := range nbrs {
-				acc += ws[i] * x[u] / g.TotalOutWeight(u)
+				acc += ws[i] * (x[u] * g.InvTotalOutWeight(u))
 			}
 		}
 		dst[v] = acc
@@ -99,11 +99,11 @@ func mulTransitionRangeOverlay(g *graph.Overlay, x, dst []float64, lo, hi int) {
 		var acc float64
 		if ws == nil {
 			for _, u := range nbrs {
-				acc += x[u] / g.TotalOutWeight(u)
+				acc += x[u] * g.InvTotalOutWeight(u)
 			}
 		} else {
 			for i, u := range nbrs {
-				acc += ws[i] * x[u] / g.TotalOutWeight(u)
+				acc += ws[i] * (x[u] * g.InvTotalOutWeight(u))
 			}
 		}
 		dst[v] = acc
@@ -117,11 +117,11 @@ func mulTransitionRangeGeneric[G graph.View](g G, x, dst []float64, lo, hi int) 
 		var acc float64
 		if ws == nil {
 			for _, u := range nbrs {
-				acc += x[u] / g.TotalOutWeight(u)
+				acc += x[u] * (1 / g.TotalOutWeight(u))
 			}
 		} else {
 			for i, u := range nbrs {
-				acc += ws[i] * x[u] / g.TotalOutWeight(u)
+				acc += ws[i] * (x[u] * (1 / g.TotalOutWeight(u)))
 			}
 		}
 		dst[v] = acc
@@ -137,12 +137,12 @@ func mulTransitionCSR(g *graph.Graph, x, dst []float64) {
 		nbrs := g.OutNeighbors(u)
 		ws := g.OutWeightsOf(u)
 		if ws == nil {
-			share := base / float64(len(nbrs))
+			share := base * g.InvTotalOutWeight(u)
 			for _, v := range nbrs {
 				dst[v] += share
 			}
 		} else {
-			inv := base / g.TotalOutWeight(u)
+			inv := base * g.InvTotalOutWeight(u)
 			for i, v := range nbrs {
 				dst[v] += inv * ws[i]
 			}
@@ -159,12 +159,12 @@ func mulTransitionOverlay(g *graph.Overlay, x, dst []float64) {
 		nbrs := g.OutNeighbors(u)
 		ws := g.OutWeightsOf(u)
 		if ws == nil {
-			share := base / float64(len(nbrs))
+			share := base * g.InvTotalOutWeight(u)
 			for _, v := range nbrs {
 				dst[v] += share
 			}
 		} else {
-			inv := base / g.TotalOutWeight(u)
+			inv := base * g.InvTotalOutWeight(u)
 			for i, v := range nbrs {
 				dst[v] += inv * ws[i]
 			}
@@ -181,12 +181,12 @@ func mulTransitionGeneric[G graph.View](g G, x, dst []float64) {
 		nbrs := g.OutNeighbors(u)
 		ws := g.OutWeightsOf(u)
 		if ws == nil {
-			share := base / float64(len(nbrs))
+			share := base * (1 / g.TotalOutWeight(u))
 			for _, v := range nbrs {
 				dst[v] += share
 			}
 		} else {
-			inv := base / g.TotalOutWeight(u)
+			inv := base * (1 / g.TotalOutWeight(u))
 			for i, v := range nbrs {
 				dst[v] += inv * ws[i]
 			}

@@ -4,7 +4,14 @@
 // (Eq. 1/12), the transposed power method PMPN of Algorithm 2 / Theorem 2
 // for the proximities from all nodes TO a query node, full proximity-matrix
 // construction for brute-force baselines, PageRank, and the Monte Carlo
-// estimators discussed in §6.
+// estimators discussed in §6. ProximityToBatch/ProximityToBatchFunc are the
+// multi-query SpMM tier: the PMPN columns of a whole query batch advance in
+// one node-major slab, sharing every CSR traversal, with per-column
+// convergence and retirement — each column bit-identical to its scalar
+// ProximityToParallel run. ProximityVectorBatch/ProximityVectorBatchFunc
+// are the same slab machinery over the forward power method (one column
+// per origin node's p_u), which the query engine uses to resolve all of a
+// sweep's exact fallbacks at once.
 package rwr
 
 import (

@@ -1,0 +1,362 @@
+package rwr
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/vecmath"
+)
+
+// Multi-query SpMM tier of the PMPN power iteration: B concurrent queries'
+// iterates live in one dense node-major slab (column j of query j at
+// x[u*w+j]) and every round runs ONE sweep of the transition matrix over
+// all of them, amortizing the CSR's memory traffic B ways — the serving
+// bottleneck at production traffic, where each scalar query streams the
+// whole matrix from RAM by itself.
+//
+// Bit-identity contract: per column, every floating-point operation — the
+// neighbor-order accumulation, the multiply by the precomputed inverse
+// normalizer, the (1−α) scale, the restart add, and the block-order
+// residual reduction at residualBlock granularity — is the same operation
+// sequence as ProximityToParallel, so each query's vector, residual and
+// iteration count are bit-identical to a scalar run at any worker count
+// and any batch width. A column that converges retires from the slab
+// immediately (the survivors repack to a narrower stride) without
+// stalling the rest of the batch.
+
+// spmmTransitionTRangeCSR computes dst[u*w+j] = (Aᵀ·x_j)(u) for u ∈
+// [lo, hi) and all w columns, accumulating each column in the same
+// neighbor order as the scalar mulTransitionTRangeCSR.
+func spmmTransitionTRangeCSR(g *graph.Graph, x, dst []float64, w, lo, hi int) {
+	for u := lo; u < hi; u++ {
+		nbrs := g.OutNeighbors(graph.NodeID(u))
+		ws := g.OutWeightsOf(graph.NodeID(u))
+		row := dst[u*w : u*w+w]
+		for j := range row {
+			row[j] = 0
+		}
+		if ws == nil {
+			for _, v := range nbrs {
+				xr := x[int(v)*w : int(v)*w+w]
+				for j, xv := range xr {
+					row[j] += xv
+				}
+			}
+		} else {
+			for i, v := range nbrs {
+				wi := ws[i]
+				xr := x[int(v)*w : int(v)*w+w]
+				for j, xv := range xr {
+					row[j] += wi * xv
+				}
+			}
+		}
+		inv := g.InvTotalOutWeight(graph.NodeID(u))
+		for j := range row {
+			row[j] *= inv
+		}
+	}
+}
+
+func spmmTransitionTRangeOverlay(g *graph.Overlay, x, dst []float64, w, lo, hi int) {
+	for u := lo; u < hi; u++ {
+		nbrs := g.OutNeighbors(graph.NodeID(u))
+		ws := g.OutWeightsOf(graph.NodeID(u))
+		row := dst[u*w : u*w+w]
+		for j := range row {
+			row[j] = 0
+		}
+		if ws == nil {
+			for _, v := range nbrs {
+				xr := x[int(v)*w : int(v)*w+w]
+				for j, xv := range xr {
+					row[j] += xv
+				}
+			}
+		} else {
+			for i, v := range nbrs {
+				wi := ws[i]
+				xr := x[int(v)*w : int(v)*w+w]
+				for j, xv := range xr {
+					row[j] += wi * xv
+				}
+			}
+		}
+		inv := g.InvTotalOutWeight(graph.NodeID(u))
+		for j := range row {
+			row[j] *= inv
+		}
+	}
+}
+
+func spmmTransitionTRangeGeneric[G graph.View](g G, x, dst []float64, w, lo, hi int) {
+	for u := lo; u < hi; u++ {
+		nbrs := g.OutNeighbors(graph.NodeID(u))
+		ws := g.OutWeightsOf(graph.NodeID(u))
+		row := dst[u*w : u*w+w]
+		for j := range row {
+			row[j] = 0
+		}
+		if ws == nil {
+			for _, v := range nbrs {
+				xr := x[int(v)*w : int(v)*w+w]
+				for j, xv := range xr {
+					row[j] += xv
+				}
+			}
+		} else {
+			for i, v := range nbrs {
+				wi := ws[i]
+				xr := x[int(v)*w : int(v)*w+w]
+				for j, xv := range xr {
+					row[j] += wi * xv
+				}
+			}
+		}
+		inv := 1 / g.TotalOutWeight(graph.NodeID(u))
+		for j := range row {
+			row[j] *= inv
+		}
+	}
+}
+
+// spmmTransitionTRange dispatches to the devirtualized loop for the two
+// in-tree view types (mirroring MulTransitionTRange).
+func spmmTransitionTRange[G graph.View](g G, x, dst []float64, w, lo, hi int) {
+	switch cg := any(g).(type) {
+	case *graph.Graph:
+		spmmTransitionTRangeCSR(cg, x, dst, w, lo, hi)
+	case *graph.Overlay:
+		spmmTransitionTRangeOverlay(cg, x, dst, w, lo, hi)
+	default:
+		spmmTransitionTRangeGeneric(g, x, dst, w, lo, hi)
+	}
+}
+
+// batchColumn tracks one live column of the slab.
+type batchColumn struct {
+	idx int          // caller's position in the queries slice
+	q   graph.NodeID // restart node
+}
+
+// ProximityToBatchFunc runs the SpMM-batched PMPN iteration for all queries
+// at once and invokes retire(i, res, err) — on the coordinating goroutine,
+// between iterations — as each query's column converges (err == nil) or
+// the iteration cap is hit (err != nil, matching ProximityToParallel's
+// non-convergence error). Each retired Result is bit-identical to
+// ProximityToParallel(g, queries[i], p, workers) — vector, residual and
+// iteration count — and converged columns leave the slab without stalling
+// the survivors. Validation failures return an error before any retire
+// call.
+func ProximityToBatchFunc[G graph.View](g G, queries []graph.NodeID, p Params, workers int, retire func(i int, res Result, err error)) error {
+	return spmmBatch(g, queries, p, workers, spmmTransitionTRange[G], retire)
+}
+
+// spmmBatch is the shared slab driver behind ProximityToBatchFunc (the
+// transposed PMPN iteration) and ProximityVectorBatchFunc (the forward
+// power method, spmmfwd.go). Both iterations have the same shape —
+// x ← (1−α)·M·x + α·e_origin with an L1 stopping rule — and differ only in
+// the batched matvec kern, which must fill dst rows [lo, hi) of the
+// node-major slab from x at the given column stride. Everything else (slab
+// layout, restart add, blocked residual reduction, per-column retirement
+// and repacking) is identical, so both entry points inherit the same
+// bit-identity and worker-independence guarantees from one body.
+func spmmBatch[G graph.View](g G, origins []graph.NodeID, p Params, workers int, kern func(g G, x, dst []float64, w, lo, hi int), retire func(i int, res Result, err error)) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	n := g.N()
+	for _, q := range origins {
+		if int(q) < 0 || int(q) >= n {
+			return fmt.Errorf("rwr: node %d out of range [0,%d)", q, n)
+		}
+	}
+	if len(origins) == 0 {
+		return nil
+	}
+	workers = normWorkers(workers)
+
+	w := len(origins)
+	x := make([]float64, n*w)
+	next := make([]float64, n*w)
+	cols := make([]batchColumn, w)
+	for j, q := range origins {
+		cols[j] = batchColumn{idx: j, q: q}
+		x[int(q)*w+j] = 1
+	}
+	nblocks := (n + residualBlock - 1) / residualBlock
+	partial := make([]float64, nblocks*w)
+	colRes := make([]float64, w)
+	oneMinus := 1 - p.Alpha
+
+	// Shared per-iteration state, published to the persistent workers by
+	// the start-channel sends (iterateParallel's protocol).
+	var cur, dst []float64
+	width := w
+	segs := blockSegments(n, workers)
+
+	// runSeg is one worker's share of one iteration: the batched matvec for
+	// seg's rows, the (1−α) scale, the per-column restart add, and the
+	// per-(block, column) L1 residual partials (ascending row order within
+	// a block — vecmath.L1DiffRange's order per column). partial is indexed
+	// [block*width + j].
+	runSeg := func(seg vecmath.Range) {
+		kern(g, cur, dst, width, seg.Lo, seg.Hi)
+		for i := seg.Lo * width; i < seg.Hi*width; i++ {
+			dst[i] *= oneMinus
+		}
+		for j := 0; j < width; j++ {
+			if q := int(cols[j].q); seg.Lo <= q && q < seg.Hi {
+				dst[q*width+j] += p.Alpha
+			}
+		}
+		for blo := seg.Lo; blo < seg.Hi; blo += residualBlock {
+			bhi := blo + residualBlock
+			if bhi > seg.Hi {
+				bhi = seg.Hi
+			}
+			prow := partial[(blo/residualBlock)*width : (blo/residualBlock)*width+width]
+			for j := range prow {
+				prow[j] = 0
+			}
+			for i := blo; i < bhi; i++ {
+				base := i * width
+				for j := 0; j < width; j++ {
+					prow[j] += math.Abs(cur[base+j] - dst[base+j])
+				}
+			}
+		}
+	}
+
+	var start []chan struct{}
+	var done chan struct{}
+	if len(segs) > 1 {
+		start = make([]chan struct{}, len(segs))
+		for i := range start {
+			start[i] = make(chan struct{})
+		}
+		done = make(chan struct{}, len(segs))
+		for i, seg := range segs {
+			go func(i int, seg vecmath.Range) {
+				for range start[i] {
+					runSeg(seg)
+					done <- struct{}{}
+				}
+			}(i, seg)
+		}
+		defer func() {
+			for _, ch := range start {
+				close(ch)
+			}
+		}()
+	}
+
+	for t := 1; t <= p.MaxIters; t++ {
+		cur, dst = x, next
+		if len(segs) > 1 {
+			for _, ch := range start {
+				ch <- struct{}{}
+			}
+			for range segs {
+				<-done
+			}
+		} else {
+			runSeg(segs[0])
+		}
+		x, next = next, x // x now holds this iteration's output
+
+		// Per-column residual, summed in ascending block order — the same
+		// reduction order as the scalar path's reduce().
+		for j := 0; j < width; j++ {
+			var s float64
+			for b := 0; b < nblocks; b++ {
+				s += partial[b*width+j]
+			}
+			colRes[j] = s
+		}
+
+		retiring := 0
+		for j := 0; j < width; j++ {
+			if colRes[j] < p.Eps {
+				retiring++
+			}
+		}
+		if retiring == 0 {
+			continue
+		}
+		keep := make([]int, 0, width-retiring)
+		for j := 0; j < width; j++ {
+			c := cols[j]
+			if colRes[j] < p.Eps {
+				vec := make([]float64, n)
+				for i := 0; i < n; i++ {
+					vec[i] = x[i*width+j]
+				}
+				retire(c.idx, Result{Vector: vec, Iterations: t, Residual: colRes[j]}, nil)
+			} else {
+				keep = append(keep, j)
+			}
+		}
+		if len(keep) == 0 {
+			return nil
+		}
+		// Repack the survivors to the narrower stride, in place. next's
+		// contents are dead (every dst row is rewritten from scratch each
+		// iteration), so only x needs the data moved.
+		repackSlab(x, n, width, keep)
+		for jj, j := range keep {
+			cols[jj] = cols[j]
+			colRes[jj] = colRes[j]
+		}
+		width = len(keep)
+		cols = cols[:width]
+		x = x[:n*width]
+		next = next[:n*width]
+	}
+
+	// Iteration cap hit: the survivors fail exactly like the scalar path
+	// (Iterations counts the cap overrun the same way iterate does).
+	for j := 0; j < width; j++ {
+		vec := make([]float64, n)
+		for i := 0; i < n; i++ {
+			vec[i] = x[i*width+j]
+		}
+		retire(cols[j].idx,
+			Result{Vector: vec, Iterations: p.MaxIters + 1, Residual: colRes[j]},
+			fmt.Errorf("rwr: did not converge within %d iterations (residual %g)", p.MaxIters, colRes[j]))
+	}
+	return nil
+}
+
+// ProximityToBatch is the collect-everything form of ProximityToBatchFunc:
+// results[i] is bit-identical to ProximityToParallel(g, queries[i], p,
+// workers). The returned error is a validation failure (no results) or the
+// first per-column non-convergence (results still filled).
+func ProximityToBatch[G graph.View](g G, queries []graph.NodeID, p Params, workers int) ([]Result, error) {
+	results := make([]Result, len(queries))
+	var colErr error
+	if err := ProximityToBatchFunc(g, queries, p, workers, func(i int, res Result, err error) {
+		results[i] = res
+		if err != nil && colErr == nil {
+			colErr = err
+		}
+	}); err != nil {
+		return nil, err
+	}
+	return results, colErr
+}
+
+// repackSlab compacts the kept columns of an n×w node-major slab to stride
+// len(keep), in place. keep must be ascending; every destination index is
+// ≤ its source index, so a single forward pass never clobbers unread data.
+func repackSlab(s []float64, n, w int, keep []int) {
+	w2 := len(keep)
+	for u := 0; u < n; u++ {
+		src := u * w
+		dstBase := u * w2
+		for jj, j := range keep {
+			s[dstBase+jj] = s[src+j]
+		}
+	}
+}

@@ -1,0 +1,241 @@
+package rwr
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// spmmWidths covers the batch shapes of the acceptance criteria.
+var spmmWidths = []int{1, 2, 4, 16}
+
+// weightedTestGraph builds a deterministic weighted graph: a WebGraph
+// topology with pseudo-random positive weights.
+func weightedTestGraph(t *testing.T, n int, seed int64) *graph.Graph {
+	t.Helper()
+	base, err := gen.WebGraph(n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := graph.NewBuilder(base.N())
+	rng := uint64(seed)*2862933555777941757 + 3037000493
+	for u := graph.NodeID(0); int(u) < base.N(); u++ {
+		for _, v := range base.OutNeighbors(u) {
+			rng = rng*2862933555777941757 + 3037000493
+			w := 0.25 + float64(rng>>40)/float64(1<<24)*4
+			b.AddWeightedEdge(u, v, w)
+		}
+	}
+	g, _, err := b.Build(graph.DanglingSelfLoop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// spmmTestViews returns the graph families × view types the batched path
+// must hold bit-identity on: unweighted and weighted CSRs, and an Overlay
+// with an applied edit batch (patched and unpatched nodes mixed).
+func spmmTestViews(t *testing.T) map[string]graph.View {
+	t.Helper()
+	web, err := gen.WebGraph(700, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	social, err := gen.SocialGraph(300, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weighted := weightedTestGraph(t, 400, 11)
+	ov := graph.NewOverlay(social)
+	ov, err = ov.Apply([]graph.EdgeEdit{
+		{From: 0, To: 299},
+		{From: 7, To: 3, Weight: 2.5},
+		{From: 301, To: 5}, // grows the overlay beyond the base CSR
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]graph.View{
+		"web-unweighted": web,
+		"social":         social,
+		"weighted":       weighted,
+		"overlay":        ov,
+	}
+}
+
+// TestProximityToBatchBitIdentical is the tentpole's contract: every column
+// of the SpMM-batched PMPN — vector, iteration count and residual — is
+// bit-identical to a scalar ProximityToParallel run, across graph families,
+// batch widths {1,2,4,16} and worker counts.
+func TestProximityToBatchBitIdentical(t *testing.T) {
+	for name, g := range spmmTestViews(t) {
+		t.Run(name, func(t *testing.T) {
+			p := DefaultParams()
+			n := g.N()
+			for _, width := range spmmWidths {
+				queries := make([]graph.NodeID, width)
+				for j := range queries {
+					queries[j] = graph.NodeID((j * 37) % n)
+				}
+				want := make([]Result, width)
+				for j, q := range queries {
+					res, err := ProximityToParallel(g, q, p, 1)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want[j] = res
+				}
+				for _, workers := range []int{1, 3, 8} {
+					got, err := ProximityToBatch(g, queries, p, workers)
+					if err != nil {
+						t.Fatalf("width=%d workers=%d: %v", width, workers, err)
+					}
+					for j := range queries {
+						if got[j].Iterations != want[j].Iterations {
+							t.Fatalf("width=%d workers=%d col=%d: %d iterations, scalar did %d",
+								width, workers, j, got[j].Iterations, want[j].Iterations)
+						}
+						if got[j].Residual != want[j].Residual {
+							t.Fatalf("width=%d workers=%d col=%d: residual %g, scalar %g",
+								width, workers, j, got[j].Residual, want[j].Residual)
+						}
+						for u := range got[j].Vector {
+							if got[j].Vector[u] != want[j].Vector[u] {
+								t.Fatalf("width=%d workers=%d col=%d: vector differs at node %d: %g vs %g",
+									width, workers, j, u, got[j].Vector[u], want[j].Vector[u])
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestProximityToBatchEarlyRetirement: columns retire in scalar-iteration
+// order, each at exactly its scalar iteration count, while the batch keeps
+// running — a fast query never waits for the slowest one.
+func TestProximityToBatchEarlyRetirement(t *testing.T) {
+	g, err := gen.WebGraph(500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams()
+	queries := []graph.NodeID{0, 9, 250, 499, 123, 44, 318, 77}
+	scalarIters := make([]int, len(queries))
+	for j, q := range queries {
+		res, err := ProximityToParallel(g, q, p, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scalarIters[j] = res.Iterations
+	}
+	lastIter := 0
+	retired := make([]bool, len(queries))
+	err = ProximityToBatchFunc(g, queries, p, 4, func(i int, res Result, err error) {
+		if err != nil {
+			t.Fatalf("col %d: %v", i, err)
+		}
+		if retired[i] {
+			t.Fatalf("col %d retired twice", i)
+		}
+		retired[i] = true
+		if res.Iterations != scalarIters[i] {
+			t.Fatalf("col %d retired at iteration %d, scalar converged at %d", i, res.Iterations, scalarIters[i])
+		}
+		if res.Iterations < lastIter {
+			t.Fatalf("col %d retired at iteration %d after a column retired at %d", i, res.Iterations, lastIter)
+		}
+		lastIter = res.Iterations
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ok := range retired {
+		if !ok {
+			t.Fatalf("col %d never retired", i)
+		}
+	}
+}
+
+// TestProximityToBatchDuplicateQueries: the same restart node may occupy
+// several columns; each retires independently with identical bits.
+func TestProximityToBatchDuplicateQueries(t *testing.T) {
+	g, err := gen.SocialGraph(200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams()
+	queries := []graph.NodeID{42, 42, 7, 42}
+	got, err := ProximityToBatch(g, queries, p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range got[0].Vector {
+		if got[0].Vector[u] != got[1].Vector[u] || got[0].Vector[u] != got[3].Vector[u] {
+			t.Fatalf("duplicate columns differ at node %d", u)
+		}
+	}
+}
+
+// TestProximityToBatchNonConvergence: columns that hit the iteration cap
+// fail with the scalar path's exact error while converged columns still
+// succeed.
+func TestProximityToBatchNonConvergence(t *testing.T) {
+	g, err := gen.WebGraph(300, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams()
+	p.MaxIters = 3 // far below the ~140 iterations ε=1e-10 needs
+	want, wantErr := ProximityToParallel(g, 5, p, 1)
+	if wantErr == nil {
+		t.Fatal("scalar run unexpectedly converged in 3 iterations")
+	}
+	results, err := ProximityToBatch(g, []graph.NodeID{5, 9}, p, 2)
+	if err == nil {
+		t.Fatal("batch run unexpectedly converged in 3 iterations")
+	}
+	if err.Error() != wantErr.Error() {
+		t.Fatalf("batch error %q, scalar error %q", err, wantErr)
+	}
+	if results[0].Iterations != want.Iterations || results[0].Residual != want.Residual {
+		t.Fatalf("failed column result (%d, %g) differs from scalar (%d, %g)",
+			results[0].Iterations, results[0].Residual, want.Iterations, want.Residual)
+	}
+	for u := range results[0].Vector {
+		if results[0].Vector[u] != want.Vector[u] {
+			t.Fatalf("failed column vector differs at node %d", u)
+		}
+	}
+}
+
+// TestProximityToBatchValidation: parameter and range failures reject the
+// whole batch before any retire call; an empty batch is a no-op.
+func TestProximityToBatchValidation(t *testing.T) {
+	g, err := gen.WebGraph(50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams()
+	if err := ProximityToBatchFunc(g, []graph.NodeID{50}, p, 1, func(int, Result, error) {
+		t.Fatal("retire called on validation failure")
+	}); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("out-of-range query: got %v", err)
+	}
+	bad := p
+	bad.Alpha = 1.5
+	if err := ProximityToBatchFunc(g, []graph.NodeID{0}, bad, 1, func(int, Result, error) {
+		t.Fatal("retire called on validation failure")
+	}); err == nil {
+		t.Fatal("bad alpha accepted")
+	}
+	if err := ProximityToBatchFunc(g, nil, p, 1, func(int, Result, error) {
+		t.Fatal("retire called on empty batch")
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,153 @@
+package rwr
+
+import (
+	"repro/internal/graph"
+)
+
+// Forward (gather-form) SpMM tier: B power-method columns — one per origin
+// node, each the proximity vector p_u of ProximityVectorParallel — advance
+// together in one node-major slab, sharing every in-adjacency traversal.
+// This is the engine's exact-fallback batcher: a query whose refinement
+// budget leaves several candidates undecided resolves them all with one
+// slab sweep instead of streaming the CSR once per candidate.
+//
+// The kernels mirror mulTransitionRangeCSR/Overlay/Generic: each output
+// row v gathers over v's in-neighbors in the same order, multiplying by
+// the same (precomputed or inline-computed) inverse normalizer, so every
+// column is bit-identical to its scalar run at any batch width and worker
+// count.
+
+// spmmTransitionRangeCSR computes dst[v*w+j] = (A·x_j)(v) for v ∈ [lo, hi)
+// and all w columns, accumulating each column in the same in-neighbor
+// order as the scalar mulTransitionRangeCSR.
+func spmmTransitionRangeCSR(g *graph.Graph, x, dst []float64, w, lo, hi int) {
+	for v := lo; v < hi; v++ {
+		nbrs := g.InNeighbors(graph.NodeID(v))
+		ws := g.InWeightsOf(graph.NodeID(v))
+		row := dst[v*w : v*w+w]
+		for j := range row {
+			row[j] = 0
+		}
+		if ws == nil {
+			for _, u := range nbrs {
+				inv := g.InvTotalOutWeight(u)
+				xr := x[int(u)*w : int(u)*w+w]
+				for j, xv := range xr {
+					row[j] += xv * inv
+				}
+			}
+		} else {
+			for i, u := range nbrs {
+				wi := ws[i]
+				inv := g.InvTotalOutWeight(u)
+				xr := x[int(u)*w : int(u)*w+w]
+				for j, xv := range xr {
+					row[j] += wi * (xv * inv)
+				}
+			}
+		}
+	}
+}
+
+func spmmTransitionRangeOverlay(g *graph.Overlay, x, dst []float64, w, lo, hi int) {
+	for v := lo; v < hi; v++ {
+		nbrs := g.InNeighbors(graph.NodeID(v))
+		ws := g.InWeightsOf(graph.NodeID(v))
+		row := dst[v*w : v*w+w]
+		for j := range row {
+			row[j] = 0
+		}
+		if ws == nil {
+			for _, u := range nbrs {
+				inv := g.InvTotalOutWeight(u)
+				xr := x[int(u)*w : int(u)*w+w]
+				for j, xv := range xr {
+					row[j] += xv * inv
+				}
+			}
+		} else {
+			for i, u := range nbrs {
+				wi := ws[i]
+				inv := g.InvTotalOutWeight(u)
+				xr := x[int(u)*w : int(u)*w+w]
+				for j, xv := range xr {
+					row[j] += wi * (xv * inv)
+				}
+			}
+		}
+	}
+}
+
+func spmmTransitionRangeGeneric[G graph.View](g G, x, dst []float64, w, lo, hi int) {
+	for v := lo; v < hi; v++ {
+		nbrs := g.InNeighbors(graph.NodeID(v))
+		ws := g.InWeightsOf(graph.NodeID(v))
+		row := dst[v*w : v*w+w]
+		for j := range row {
+			row[j] = 0
+		}
+		if ws == nil {
+			for _, u := range nbrs {
+				inv := 1 / g.TotalOutWeight(u)
+				xr := x[int(u)*w : int(u)*w+w]
+				for j, xv := range xr {
+					row[j] += xv * inv
+				}
+			}
+		} else {
+			for i, u := range nbrs {
+				wi := ws[i]
+				inv := 1 / g.TotalOutWeight(u)
+				xr := x[int(u)*w : int(u)*w+w]
+				for j, xv := range xr {
+					row[j] += wi * (xv * inv)
+				}
+			}
+		}
+	}
+}
+
+// spmmTransitionRange dispatches to the devirtualized loop for the two
+// in-tree view types (mirroring MulTransitionRange).
+func spmmTransitionRange[G graph.View](g G, x, dst []float64, w, lo, hi int) {
+	switch cg := any(g).(type) {
+	case *graph.Graph:
+		spmmTransitionRangeCSR(cg, x, dst, w, lo, hi)
+	case *graph.Overlay:
+		spmmTransitionRangeOverlay(cg, x, dst, w, lo, hi)
+	default:
+		spmmTransitionRangeGeneric(g, x, dst, w, lo, hi)
+	}
+}
+
+// ProximityVectorBatchFunc runs the SpMM-batched forward power method for
+// all origins at once and invokes retire(i, res, err) — on the
+// coordinating goroutine, between iterations — as each origin's column
+// converges (err == nil) or the iteration cap is hit (err != nil). Each
+// retired Result is bit-identical to ProximityVectorParallel(g,
+// origins[i], p, workers) — vector, residual and iteration count — at any
+// batch width and worker count, and converged columns leave the slab
+// without stalling the survivors. Validation failures return an error
+// before any retire call.
+func ProximityVectorBatchFunc[G graph.View](g G, origins []graph.NodeID, p Params, workers int, retire func(i int, res Result, err error)) error {
+	return spmmBatch(g, origins, p, workers, spmmTransitionRange[G], retire)
+}
+
+// ProximityVectorBatch is the collect-everything form of
+// ProximityVectorBatchFunc: results[i] is bit-identical to
+// ProximityVectorParallel(g, origins[i], p, workers). The returned error
+// is a validation failure (no results) or the first per-column
+// non-convergence (results still filled).
+func ProximityVectorBatch[G graph.View](g G, origins []graph.NodeID, p Params, workers int) ([]Result, error) {
+	results := make([]Result, len(origins))
+	var colErr error
+	if err := ProximityVectorBatchFunc(g, origins, p, workers, func(i int, res Result, err error) {
+		results[i] = res
+		if err != nil && colErr == nil {
+			colErr = err
+		}
+	}); err != nil {
+		return nil, err
+	}
+	return results, colErr
+}

@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestRelabeledServerMatchesIdentity: a daemon serving a degree-ordered
+// relabeled (graph, index) pair is externally indistinguishable from one
+// serving the identity layout — queries answer with the same node sets, and
+// edit batches sent in external ids route to the right internal rows (the
+// translation in runBatch), so post-edit answers agree too.
+func TestRelabeledServerMatchesIdentity(t *testing.T) {
+	g := testGraph(t, 95, 70)
+	idx := testIndex(t, g, 5)
+	_, tsID := newTestServer(t, g, idx, Config{CacheBytes: -1})
+
+	perm := graph.DegreeOrderPermutation(g)
+	if perm.IsIdentity() {
+		t.Fatal("test graph degenerated to an identity degree order")
+	}
+	pg, err := graph.ApplyPermutation(g, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pidx := testIndex(t, pg, 5)
+	if err := pidx.SetRelabeling(perm); err != nil {
+		t.Fatal(err)
+	}
+	_, tsPerm := newTestServer(t, pg, pidx, Config{CacheBytes: -1})
+
+	sweep := func(stage string) {
+		t.Helper()
+		for q := 0; q < g.N(); q += 9 {
+			for _, k := range []int{1, 5} {
+				url := fmt.Sprintf("/v1/reverse-topk?q=%d&k=%d", q, k)
+				respID, bodyID := get(t, tsID.URL+url)
+				respPerm, bodyPerm := get(t, tsPerm.URL+url)
+				if respID.StatusCode != http.StatusOK || respPerm.StatusCode != http.StatusOK {
+					t.Fatalf("%s q=%d k=%d: status %d vs %d", stage, q, k, respID.StatusCode, respPerm.StatusCode)
+				}
+				want := decodeQuery(t, bodyID)
+				got := decodeQuery(t, bodyPerm)
+				if !sameNodes(got.Results, want.Results) {
+					t.Errorf("%s q=%d k=%d: relabeled %v, identity %v", stage, q, k, got.Results, want.Results)
+				}
+			}
+		}
+	}
+	sweep("pre-edit")
+
+	// One removal of an existing external edge plus one insert of a fresh
+	// one, posted identically (external ids) to both servers.
+	hasEdge := func(u, v graph.NodeID) bool {
+		for _, w := range g.OutNeighbors(u) {
+			if w == v {
+				return true
+			}
+		}
+		return false
+	}
+	ru := graph.NodeID(0)
+	for g.OutDegree(ru) == 0 {
+		ru++
+	}
+	rv := g.OutNeighbors(ru)[0]
+	var iu, iv graph.NodeID = -1, -1
+findInsert:
+	for u := graph.NodeID(0); int(u) < g.N(); u++ {
+		for v := graph.NodeID(0); int(v) < g.N(); v++ {
+			if u != v && !hasEdge(u, v) {
+				iu, iv = u, v
+				break findInsert
+			}
+		}
+	}
+	if iu < 0 {
+		t.Fatal("no insertable edge found")
+	}
+	req := EditsRequest{
+		Edits: []EditJSON{
+			{From: ru, To: rv, Remove: true},
+			{From: iu, To: iv, Weight: 1},
+		},
+		Wait: true,
+	}
+	for _, ts := range []string{tsID.URL, tsPerm.URL} {
+		resp, _, raw := postEdits(t, ts, req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("edits on %s: status %d: %s", ts, resp.StatusCode, raw)
+		}
+	}
+	sweep("post-edit")
+}

@@ -40,11 +40,30 @@ type Config struct {
 	// fresh CSR after a batch. 0 selects max(4096, M/8) of the initial
 	// graph; negative disables compaction.
 	CompactAfter int
+	// SpMMBatch caps how many concurrently admitted queries coalesce into
+	// one SpMM group (their PMPN columns advance in a shared slab — see
+	// spmmBatcher). 0 selects DefaultSpMMBatch; 1 or negative disables
+	// batching and every query computes scalar.
+	SpMMBatch int
+	// SpMMWindow is how long an under-width group waits for more queries
+	// before firing anyway — the latency bound a lone query pays for the
+	// chance to share a slab. 0 selects DefaultSpMMWindow; negative fires
+	// groups immediately (batching only captures truly simultaneous
+	// arrivals).
+	SpMMWindow time.Duration
 }
 
 // DefaultCacheBytes is the result-cache byte budget when Config.CacheBytes
 // is 0.
 const DefaultCacheBytes = 8 << 20
+
+// DefaultSpMMBatch is the SpMM group width when Config.SpMMBatch is 0 —
+// the knee of the batch-width sweep in BENCH_spmm.json.
+const DefaultSpMMBatch = 16
+
+// DefaultSpMMWindow is the group coalescing window when Config.SpMMWindow
+// is 0.
+const DefaultSpMMWindow = time.Millisecond
 
 var (
 	errSaturated = errors.New("serve: too many in-flight queries")
@@ -70,6 +89,9 @@ type Server struct {
 	cache       *Cache
 	budget      int
 	maxInflight int64
+	// batcher coalesces admitted computations into SpMM groups; nil when
+	// batching is disabled (Config.SpMMBatch ≤ 1 after defaulting).
+	batcher *spmmBatcher
 	// active counts currently running engine computations (admitted work,
 	// not raw connections).
 	active   atomic.Int64
@@ -119,6 +141,11 @@ type Server struct {
 	errored    atomic.Int64
 	epochSwaps atomic.Int64
 
+	// spmmGroups counts SpMM groups fired at width ≥ 2; spmmBatched counts
+	// the queries they served.
+	spmmGroups  atomic.Int64
+	spmmBatched atomic.Int64
+
 	maintErrors    atomic.Int64
 	lastRejectedWM atomic.Uint64
 	compactions    atomic.Int64
@@ -135,6 +162,10 @@ type Server struct {
 	// maintenance batch — used to hold a maintenance pass open while
 	// queries flow.
 	testMaintGate func()
+	// testDeliverGate, when set by tests, runs inside a batched group's
+	// deliver callback before the entry is finished — used to hold one
+	// member of a group open while the others complete.
+	testDeliverGate func(q graph.NodeID)
 }
 
 // editBatch is one journaled maintenance unit: an edit batch with its
@@ -205,6 +236,15 @@ func newServer(g *graph.Graph, idx *lbindex.Index, cfg Config) (*Server, error) 
 			cfg.CompactAfter = m
 		}
 	}
+	if cfg.SpMMBatch == 0 {
+		cfg.SpMMBatch = DefaultSpMMBatch
+	}
+	if cfg.SpMMWindow == 0 {
+		cfg.SpMMWindow = DefaultSpMMWindow
+	}
+	if cfg.SpMMWindow < 0 {
+		cfg.SpMMWindow = 0
+	}
 	s := &Server{
 		store:        store,
 		cache:        NewCache(cfg.CacheBytes),
@@ -215,6 +255,9 @@ func newServer(g *graph.Graph, idx *lbindex.Index, cfg Config) (*Server, error) 
 		done:         make(chan struct{}),
 		compactAfter: cfg.CompactAfter,
 		start:        time.Now(),
+	}
+	if cfg.SpMMBatch > 1 {
+		s.batcher = newSpmmBatcher(cfg.SpMMBatch, cfg.SpMMWindow)
 	}
 	store.AttachCache(s.cache)
 	s.overlay.Store(graph.NewOverlay(g))
@@ -352,10 +395,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	w.Write(body)
 }
 
-// compute runs one admitted engine computation against a pinned snapshot
-// and serializes the response body. Admission happens here — after the
-// cache — so cache hits and coalesced waiters are never rejected, only
-// work that would actually occupy an engine.
+// compute runs one admitted computation against a pinned snapshot and
+// serializes the response body. Admission happens here — after the cache —
+// so cache hits and coalesced waiters are never rejected, only work that
+// would actually occupy an engine. With SpMM batching enabled the admitted
+// query joins its snapshot's group and blocks until ITS result delivers:
+// the admission slot is per query and frees as soon as this query is
+// answered, even while the rest of the group is still computing.
 func (s *Server) compute(snap *Snapshot, q graph.NodeID, k int) ([]byte, error) {
 	active := s.active.Add(1)
 	defer s.active.Add(-1)
@@ -365,10 +411,20 @@ func (s *Server) compute(snap *Snapshot, q graph.NodeID, k int) ([]byte, error) 
 	if gate := s.testComputeGate; gate != nil {
 		gate()
 	}
-	// Deal the worker budget across active computations, mirroring
-	// core.QueryBatch: a lone query gets the whole budget, a busy server
-	// runs sequential engines.
-	workers := s.budget / int(active)
+	if s.batcher != nil {
+		e := s.joinGroup(snap, q, k)
+		<-e.done
+		return e.body, e.err
+	}
+	return s.computeScalar(snap, q, k)
+}
+
+// computeScalar is the unbatched computation: one engine query with this
+// computation's dealt share of the worker budget, mirroring
+// core.QueryBatch — a lone query gets the whole budget, a busy server runs
+// sequential engines.
+func (s *Server) computeScalar(snap *Snapshot, q graph.NodeID, k int) ([]byte, error) {
+	workers := s.budget / int(max(s.active.Load(), 1))
 	if workers < 1 {
 		workers = 1
 	}
@@ -408,6 +464,11 @@ type StatsResponse struct {
 	WorkerBudget  int     `json:"worker_budget"`
 	Draining      bool    `json:"draining"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
+
+	// SpMM batching: groups fired at width ≥ 2 and the queries they served
+	// (zero when batching is disabled).
+	SpMMGroups         int64 `json:"spmm_groups"`
+	SpMMBatchedQueries int64 `json:"spmm_batched_queries"`
 
 	// Shard-slice identity (set when the daemon serves one shard of a
 	// partitioned index; absent on a full index).
@@ -476,6 +537,9 @@ func (s *Server) Stats() StatsResponse {
 		WorkerBudget:  s.budget,
 		Draining:      s.draining.Load(),
 		UptimeSeconds: time.Since(s.start).Seconds(),
+
+		SpMMGroups:         s.spmmGroups.Load(),
+		SpMMBatchedQueries: s.spmmBatched.Load(),
 
 		EnqueuedWatermark:   enq,
 		AppliedWatermark:    app,
@@ -744,14 +808,28 @@ func (s *Server) runBatch(b *editBatch) {
 	}
 	cur := s.overlay.Load()
 
+	// Translate edit endpoints into the internal label space the served
+	// graph stores (free without a relabeling). The journal keeps the
+	// external-id batch the client sent: replay re-translates against the
+	// same permutation carried by the index image, deterministically. Ids
+	// beyond the permutation — growth — keep identity labels in both
+	// spaces.
+	edits := b.edits
+	if idx := s.store.Current().View.Index(); idx.Relabeling() != nil {
+		edits = make([]evolve.Edit, len(b.edits))
+		for i, e := range b.edits {
+			edits[i] = evolve.Edit{From: idx.ToInternal(e.From), To: idx.ToInternal(e.To), Weight: e.Weight, Remove: e.Remove}
+		}
+	}
+
 	// Bound node growth before applying: one edit introduces at most two
 	// fresh identifiers, so anything larger is a fat-finger (or hostile)
 	// id jump that would allocate the whole range. Mirror the overlay's
 	// netting — an insert cancelled by a later remove of the same edge
 	// never grows the graph.
 	maxID := graph.NodeID(-1)
-	live := make(map[[2]graph.NodeID]bool, len(b.edits))
-	for _, e := range b.edits {
+	live := make(map[[2]graph.NodeID]bool, len(edits))
+	for _, e := range edits {
 		if e.Remove {
 			delete(live, [2]graph.NodeID{e.From, e.To})
 			continue
@@ -766,13 +844,13 @@ func (s *Server) runBatch(b *editBatch) {
 			maxID = k[1]
 		}
 	}
-	if growth := int(maxID) + 1 - cur.N(); growth > maxGrowthPerEdit*len(b.edits) {
+	if growth := int(maxID) + 1 - cur.N(); growth > maxGrowthPerEdit*len(edits) {
 		fail(fmt.Errorf("%w: edits grow the graph by %d nodes (max %d for %d edits); add nodes in contiguous batches",
-			errBadEdits, growth, maxGrowthPerEdit*len(b.edits), len(b.edits)))
+			errBadEdits, growth, maxGrowthPerEdit*len(edits), len(edits)))
 		return
 	}
 
-	next, err := cur.Apply(b.edits)
+	next, err := cur.Apply(edits)
 	if err != nil {
 		fail(fmt.Errorf("%w: %v", errBadEdits, err))
 		return
@@ -781,7 +859,7 @@ func (s *Server) runBatch(b *editBatch) {
 	snap := s.store.Current()
 	idx := snap.View.Index()
 	opts := idx.Options()
-	affected, err := evolve.AffectedNodes(next, evolve.Sources(b.edits), b.theta, opts.RWR)
+	affected, err := evolve.AffectedNodes(next, evolve.Sources(edits), b.theta, opts.RWR)
 	if err != nil {
 		fail(err)
 		return

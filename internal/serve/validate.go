@@ -6,6 +6,7 @@ import (
 	"net/http"
 
 	"repro/internal/evolve"
+	"repro/internal/graph"
 )
 
 // ParamError is a rejected reverse top-k query parameter: a message for the
@@ -41,12 +42,18 @@ func ValidateQueryParams(q, k, n, maxK int) *ParamError {
 
 // ValidateEdits checks an edit batch and its staleness threshold before any
 // watermark is assigned: empty batches, non-finite or negative theta,
-// negative node identifiers and non-finite or negative weights are all
-// rejected with errBadEdits (HTTP 400). Every front end — the in-process
-// API, the single-daemon handler and the fan-out coordinator — shares this
-// helper, so all reject identical inputs with identical messages; it also
-// matches what the write-ahead journal's reader accepts, so a batch that
-// validates here always survives a journal round trip.
+// negative node identifiers and non-finite, negative or subnormal weights
+// are all rejected with errBadEdits (HTTP 400). Subnormal weights (below
+// graph.MinNormalWeight) are refused because they can sum into an
+// out-weight normalizer whose reciprocal overflows to +Inf, which would
+// NaN-poison every proximity score downstream of the edited node — the
+// graph layer rejects them too, but rejecting here keeps the bad batch out
+// of the journal and returns a 400 instead of a failed maintenance batch.
+// Every front end — the in-process API, the single-daemon handler and the
+// fan-out coordinator — shares this helper, so all reject identical inputs
+// with identical messages; it also matches what the write-ahead journal's
+// reader accepts, so a batch that validates here always survives a journal
+// round trip.
 func ValidateEdits(edits []evolve.Edit, theta float64) error {
 	if len(edits) == 0 {
 		return fmt.Errorf("%w: no edits given", errBadEdits)
@@ -63,6 +70,9 @@ func ValidateEdits(edits []evolve.Edit, theta float64) error {
 		}
 		if math.IsNaN(e.Weight) || math.IsInf(e.Weight, 0) || e.Weight < 0 {
 			return fmt.Errorf("%w: edit %d weight %g not a finite non-negative", errBadEdits, i, e.Weight)
+		}
+		if e.Weight != 0 && e.Weight < graph.MinNormalWeight {
+			return fmt.Errorf("%w: edit %d weight %g below minimum %g (subnormal weights would zero a transition-column normalizer)", errBadEdits, i, e.Weight, graph.MinNormalWeight)
 		}
 	}
 	return nil

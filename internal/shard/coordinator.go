@@ -152,6 +152,22 @@ func NewInProc(g graph.View, slices []*lbindex.Index, cfg Config) (*Coordinator,
 		}
 		views[i] = v
 	}
+	// Every slice must agree on the cache-aware relabeling (all descend
+	// from one full index): the coordinator translates at its own query
+	// boundary, so a slice speaking a different internal space would
+	// silently decide the wrong rows.
+	base := views[0].Index().Relabeling()
+	for i := 1; i < len(views); i++ {
+		other := views[i].Index().Relabeling()
+		if len(other) != len(base) {
+			return nil, fmt.Errorf("shard: slice %d carries a different relabeling (%d nodes, shard 0 has %d)", i, len(other), len(base))
+		}
+		for j := range base {
+			if base[j] != other[j] {
+				return nil, fmt.Errorf("shard: slice %d carries a different relabeling (differs at node %d)", i, j)
+			}
+		}
+	}
 	c := &Coordinator{
 		g:          g,
 		pm:         pm,
@@ -207,7 +223,10 @@ func (c *Coordinator) Views() []*core.View { return c.views }
 
 // Query answers one reverse top-k query by scatter-gather over the shards.
 // The answer set is bit-identical to core.Engine.Query on the unsharded
-// index, in ascending node order.
+// index, in ascending node order. Like core.View, the coordinator is a
+// relabeling translation boundary: q and the answer are external ids,
+// translated to and from the internal space the slices store (free when no
+// relabeling is installed).
 func (c *Coordinator) Query(q graph.NodeID, k int) ([]graph.NodeID, QueryStats, error) {
 	stats := QueryStats{Query: q, K: k}
 	if int(q) < 0 || int(q) >= c.g.N() {
@@ -217,6 +236,7 @@ func (c *Coordinator) Query(q graph.NodeID, k int) ([]graph.NodeID, QueryStats, 
 		return nil, stats, fmt.Errorf("shard: k=%d outside [1,%d] supported by every shard", k, c.maxK)
 	}
 	start := time.Now()
+	q = c.views[0].Index().ToInternal(q)
 
 	screens := make([]*core.Screen, len(c.views))
 	for i, v := range c.views {
@@ -339,6 +359,11 @@ func (c *Coordinator) Query(q graph.NodeID, k int) ([]graph.NodeID, QueryStats, 
 	}
 	for _, s := range screens {
 		results = append(results, s.Hits()...)
+	}
+	if idx := c.views[0].Index(); idx.Relabeling() != nil {
+		for i := range results {
+			results[i] = idx.ToExternal(results[i])
+		}
 	}
 	sort.Slice(results, func(i, j int) bool { return results[i] < results[j] })
 	stats.Results = len(results)

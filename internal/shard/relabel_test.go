@@ -1,0 +1,93 @@
+package shard
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/lbindex"
+	"repro/internal/partition"
+)
+
+// TestCoordinatorRelabeledMatchesIdentity: a coordinator over shard slices
+// of a cache-aware relabeled index answers every query with exactly the
+// node set the identity-labeled single engine produces — the coordinator's
+// boundary translation composes with scatter-gather across strategies and
+// shard counts.
+func TestCoordinatorRelabeledMatchesIdentity(t *testing.T) {
+	g, idx := buildCase(t, "web", 220)
+	eng, err := core.NewEngine(g, idx, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	perm := graph.DegreeOrderPermutation(g)
+	if perm.IsIdentity() {
+		t.Fatal("test graph degenerated to an identity degree order")
+	}
+	pg, err := graph.ApplyPermutation(g, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := lbindex.DefaultOptions()
+	opts.K = 24
+	opts.HubBudget = 8
+	pidx, _, err := lbindex.Build(pg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pidx.SetRelabeling(perm); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, P := range []int{2, 3} {
+		for name, pm := range partitions(t, pg, P) {
+			c, err := NewFromFull(pg, pidx, pm, Config{Workers: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for q := graph.NodeID(1); int(q) < g.N(); q += 31 {
+				for _, k := range []int{1, 8, 24} {
+					want, _, err := eng.Query(q, k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, _, err := c.Query(q, k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Errorf("%s P=%d q=%d k=%d: coordinator %v, identity engine %v", name, P, q, k, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCoordinatorRejectsMixedRelabelings: slices from indexes with
+// different relabelings cannot form one coordinator.
+func TestCoordinatorRejectsMixedRelabelings(t *testing.T) {
+	g, idx := buildCase(t, "web", 80)
+	pm, err := partition.NewRange(g.N(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := idx.ShardSlice(pm, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relabeled := idx.Clone()
+	perm := graph.DegreeOrderPermutation(g)
+	if err := relabeled.SetRelabeling(perm); err != nil {
+		t.Fatal(err)
+	}
+	other, err := relabeled.ShardSlice(pm, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewInProc(g, []*lbindex.Index{plain, other}, Config{}); err == nil {
+		t.Fatal("coordinator accepted slices with mismatched relabelings")
+	}
+}
