@@ -8,7 +8,12 @@
 //	rtkquery -graph web.txt -index web.idx -q 42 -k 10
 //	rtkquery -graph web.txt -index web.idx -q 42 -k 10 -update -save
 //	rtkquery -graph web.txt -index web.idx -q 42 -k 10 -workers 0   # one query, all cores
+//	rtkquery -graph web.txt -index web.idx -q 42 -k 10 -mode approx -eps 0.1 -delta 0.001
 //	rtkquery -graph web.txt -shards web.idx.shard0of2,web.idx.shard1of2 -q 42 -k 10
+//
+// With -mode approx, the anytime (ε,δ) tier answers with a guaranteed part
+// and a maybe part instead of refining to an exact answer; eps bounds the
+// undecided fraction and delta (optional) enables the Monte Carlo stage.
 //
 // With -shards, the comma-separated shard-slice files (rtkindex -partition)
 // are queried through the in-process scatter-gather coordinator: one shared
@@ -48,8 +53,21 @@ func main() {
 		mmapMode  = flag.String("mmap", "on", "load a v2 index zero-copy via mmap: on|off (off = portable heap load)")
 		approx    = flag.Bool("approx", false, "hits-only approximate mode (§5.3): no refinement, subset answer")
 		explain   = flag.Bool("explain", false, "print the per-candidate decision trace instead of running the query")
+		mode      = flag.String("mode", "", "query tier: exact (default) or approx — the anytime (ε,δ) tier")
+		eps       = flag.String("eps", "", "anytime undecided-fraction budget in [0,1); default 0.1 (needs -mode approx)")
+		delta     = flag.String("delta", "", "anytime Monte Carlo failure budget in [0,0.5]; default 0 (needs -mode approx)")
+		mcSeed    = flag.Int64("seed", 0, "anytime Monte Carlo seed (used when delta > 0)")
 	)
 	flag.Parse()
+	// Same shared validator as the rtkserve HTTP handler: same inputs, same
+	// rejections, same messages.
+	anytime, epsV, deltaV, perr := serve.ParseApproxParams(*mode, *eps, *delta)
+	if perr != nil {
+		log.Fatal(perr)
+	}
+	if anytime && (*update || *save || *approx || *explain) {
+		log.Fatal("-mode approx is incompatible with -update/-save/-approx/-explain")
+	}
 	if *graphPath == "" || (*indexPath == "" && *shards == "") || *q < 0 {
 		log.Fatal("-graph, -q and one of -index/-shards are required")
 	}
@@ -82,7 +100,10 @@ func main() {
 		if *update || *save || *approx || *explain {
 			log.Fatal("-shards supports plain queries only (no -update/-save/-approx/-explain)")
 		}
-		querySharded(g, strings.Split(*shards, ","), *q, *k, *workers, useMmap)
+		if anytime && deltaV != 0 {
+			log.Fatal("-shards -mode approx is deterministic only (delta must be unset)")
+		}
+		querySharded(g, strings.Split(*shards, ","), *q, *k, *workers, useMmap, anytime, epsV)
 		return
 	}
 	idx, err := lbindex.LoadFile(*indexPath, lbindex.LoadOptions{Mmap: useMmap})
@@ -107,6 +128,28 @@ func main() {
 	// same helper, same message.
 	if perr := serve.ValidateQueryParams(*q, *k, g.N(), idx.K()); perr != nil {
 		log.Fatal(perr)
+	}
+
+	if anytime {
+		view, err := core.NewView(g, idx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := view.QueryAnytime(graph.NodeID(*q), *k, core.AnytimeOptions{Eps: epsV, Delta: deltaV, Seed: *mcSeed}, *workers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := res.Stats
+		fmt.Printf("anytime reverse top-%d of node %d (eps=%g delta=%g):\n", *k, *q, epsV, deltaV)
+		fmt.Printf("guaranteed (%d): %v\n", len(res.Guaranteed), res.Guaranteed)
+		fmt.Printf("maybe (%d): %v\n", len(res.Maybe), res.Maybe)
+		fmt.Printf("stats: eps_achieved=%.4f tau=%.3g rounds=%d converged=%v confirmed=%d pruned=%d mc_confirmed=%d mc_pruned=%d mc_walks=%d\n",
+			s.EpsAchieved, s.TauAchieved, s.Rounds, s.Converged,
+			s.ConfirmedByBound, s.PrunedByBound, s.MCConfirmed, s.MCPruned, s.MCWalks)
+		fmt.Printf("time: total=%v pmpn=%v mc=%v (%d PMPN iterations)\n",
+			s.Elapsed.Round(time.Microsecond), s.PMPNElapsed.Round(time.Microsecond),
+			s.MCElapsed.Round(time.Microsecond), s.PMPNIters)
+		return
 	}
 
 	eng, err := core.NewEngine(g, idx, *update)
@@ -165,8 +208,9 @@ func main() {
 }
 
 // querySharded loads the shard-slice files and answers the query through
-// the in-process scatter-gather coordinator.
-func querySharded(g *graph.Graph, paths []string, q, k, workers int, useMmap bool) {
+// the in-process scatter-gather coordinator — exactly (anytime = false) or
+// under the anytime eps budget (anytime = true).
+func querySharded(g *graph.Graph, paths []string, q, k, workers int, useMmap, anytime bool, eps float64) {
 	if workers <= 0 {
 		// Same convention as the unsharded path: 0 means all cores (the
 		// coordinator's own ≤0 default would mean "one per shard").
@@ -198,6 +242,20 @@ func querySharded(g *graph.Graph, paths []string, q, k, workers int, useMmap boo
 	}
 	if perr := serve.ValidateQueryParams(q, k, g.N(), c.MaxK()); perr != nil {
 		log.Fatal(perr)
+	}
+	if anytime {
+		guaranteed, maybe, stats, err := c.QueryAnytime(graph.NodeID(q), k, eps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("anytime reverse top-%d of node %d (eps=%g):\n", k, q, eps)
+		fmt.Printf("guaranteed (%d): %v\n", len(guaranteed), guaranteed)
+		fmt.Printf("maybe (%d): %v\n", len(maybe), maybe)
+		fmt.Printf("shards: P=%d rounds=%d eps_achieved=%.4f pruned_by_bound=%d confirmed_by_bound=%d early_stop=%v\n",
+			c.P(), stats.Rounds, stats.EpsAchieved, stats.PrunedByBound, stats.ConfirmedByBound, stats.EarlyStop)
+		fmt.Printf("time: total=%v pmpn=%v (%d PMPN iterations)\n",
+			stats.Elapsed.Round(time.Microsecond), stats.PMPNElapsed.Round(time.Microsecond), stats.PMPNIters)
+		return
 	}
 	answer, stats, err := c.Query(graph.NodeID(q), k)
 	if err != nil {

@@ -17,8 +17,15 @@
 // and the internal/shard scatter-gather coordinator that computes one
 // PMPN, exchanges pruning bounds between rounds and merges per-shard
 // decisions into the exact global answer — plus the rtkserve -shards
-// HTTP fan-out over stock shard daemons), and how to run the paper
-// experiments and benchmarks.
+// HTTP fan-out over stock shard daemons), the anytime approximate tier
+// (core.View.QueryAnytime: the same PMPN driven round by round through
+// the screen, stopping at an (ε,δ) budget with a guaranteed ⊆ exact ⊆
+// guaranteed ∪ maybe two-part answer, a residual-seeded Monte Carlo
+// refinement under explicit seeds, warm-started exact escalation, and
+// mode=approx serving with budget-aware cache keys — the paper's §5.3
+// hits-only approximation, core.Engine.QueryApproximate, is now a thin
+// wrapper over this engine), and how to run the paper experiments and
+// benchmarks.
 //
 // The root package carries the repository-level benchmarks (bench_test.go):
 // one benchmark per table/figure of the paper plus ablations of the design

@@ -1,0 +1,285 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func anytimeQueries(n int) []graph.NodeID {
+	qs := []graph.NodeID{0, graph.NodeID(n / 3), graph.NodeID(n / 2), graph.NodeID(2 * n / 3), graph.NodeID(n - 1)}
+	return qs
+}
+
+func idSet(ids []graph.NodeID) map[graph.NodeID]bool {
+	m := make(map[graph.NodeID]bool, len(ids))
+	for _, u := range ids {
+		m[u] = true
+	}
+	return m
+}
+
+// checkContainment asserts guaranteed ⊆ exact ⊆ guaranteed ∪ maybe.
+func checkContainment(t *testing.T, label string, guaranteed, maybe, exact []graph.NodeID) {
+	t.Helper()
+	inExact := idSet(exact)
+	cover := idSet(guaranteed)
+	for _, u := range maybe {
+		cover[u] = true
+	}
+	for _, u := range guaranteed {
+		if !inExact[u] {
+			t.Fatalf("%s: guaranteed node %d not in exact answer %v", label, u, exact)
+		}
+	}
+	for _, u := range exact {
+		if !cover[u] {
+			t.Fatalf("%s: exact node %d in neither guaranteed %v nor maybe %v", label, u, guaranteed, maybe)
+		}
+	}
+}
+
+// TestAnytimeContainmentAcrossFamilies is the (ε, δ=0) oracle: across graph
+// families, k and the full eps sweep, the two-part answer must bracket the
+// brute-force answer, meet the budget whenever it did not stop on
+// convergence, and shrink its maybe set monotonically as eps tightens
+// (a later stop can only decide more nodes, never resurrect one).
+func TestAnytimeContainmentAcrossFamilies(t *testing.T) {
+	epsSweep := []float64{0.5, 0.2, 0.05, 0}
+	for _, family := range []string{"web", "coauthor", "spam"} {
+		family := family
+		t.Run(family, func(t *testing.T) {
+			t.Parallel()
+			g := oracleGraph(t, family)
+			idx := buildIndex(t, g, 20, 6)
+			view, err := NewView(g, idx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, k := range []int{3, 10} {
+				for _, q := range anytimeQueries(g.N()) {
+					exact, err := BruteForce(g, q, k, idx.Options().RWR, 4)
+					if err != nil {
+						t.Fatal(err)
+					}
+					prevMaybe := map[graph.NodeID]bool(nil)
+					for _, eps := range epsSweep {
+						res, err := view.QueryAnytime(q, k, AnytimeOptions{Eps: eps}, 2)
+						if err != nil {
+							t.Fatal(err)
+						}
+						label := family
+						checkContainment(t, label, res.Guaranteed, res.Maybe, exact)
+						if !res.Stats.Converged && res.Stats.EpsAchieved > eps {
+							t.Fatalf("%s k=%d q=%d eps=%g: budget missed without convergence (achieved %g)",
+								family, k, q, eps, res.Stats.EpsAchieved)
+						}
+						und := len(res.Maybe)
+						tot := len(res.Guaranteed) + und
+						want := 0.0
+						if und > 0 {
+							want = float64(und) / float64(tot)
+						}
+						if math.Abs(res.Stats.EpsAchieved-want) > 1e-12 {
+							t.Fatalf("%s: EpsAchieved=%g but |maybe|/(total)=%g", family, res.Stats.EpsAchieved, want)
+						}
+						// eps decreases through the sweep, so each maybe set must
+						// be a subset of the previous (looser) one.
+						if prevMaybe != nil {
+							for _, u := range res.Maybe {
+								if !prevMaybe[u] {
+									t.Fatalf("%s k=%d q=%d eps=%g: maybe node %d absent at looser eps",
+										family, k, q, eps, u)
+								}
+							}
+						}
+						prevMaybe = idSet(res.Maybe)
+						if eps == 0 && len(res.Maybe) > 0 && !res.Stats.Converged {
+							t.Fatalf("%s: eps=0 stopped before convergence with %d undecided", family, len(res.Maybe))
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAnytimeMonteCarlo drives the δ > 0 tier with a short round cadence so
+// the Monte Carlo stage engages mid-iteration, and checks (a) the walks
+// actually ran, (b) the probabilistic answer still brackets brute force
+// (with the fixed seed this is a deterministic regression, not a flake),
+// and (c) equal seeds give byte-identical results while the verdict maps
+// never override a deterministic screen decision.
+func TestAnytimeMonteCarlo(t *testing.T) {
+	g := oracleGraph(t, "web")
+	idx := buildIndex(t, g, 20, 6)
+	view, err := NewView(g, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := AnytimeOptions{Eps: 0.02, Delta: 1e-3, RoundIters: 1, Seed: 99, MCWalks: 256}
+	var walks int64
+	for _, q := range anytimeQueries(g.N()) {
+		exact, err := BruteForce(g, q, 10, idx.Options().RWR, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := view.QueryAnytime(q, 10, opts, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkContainment(t, "mc", res.Guaranteed, res.Maybe, exact)
+		walks += res.Stats.MCWalks
+		again, err := view.QueryAnytime(q, 10, opts, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(res.Guaranteed, again.Guaranteed) || !reflect.DeepEqual(res.Maybe, again.Maybe) {
+			t.Fatalf("q=%d: fixed-seed runs disagree: %v/%v vs %v/%v",
+				q, res.Guaranteed, res.Maybe, again.Guaranteed, again.Maybe)
+		}
+		if res.Stats.MCWalks != again.Stats.MCWalks {
+			t.Fatalf("q=%d: fixed-seed runs walked differently: %d vs %d", q, res.Stats.MCWalks, again.Stats.MCWalks)
+		}
+	}
+	if walks == 0 {
+		t.Fatal("Monte Carlo stage never engaged across the workload")
+	}
+}
+
+// TestAnytimeEscalateMatchesColdQuery is the warm-start oracle: resolving a
+// partial anytime run exactly must give the SAME answer as a cold exact
+// query, at any worker count, and regardless of whether Monte Carlo
+// verdicts were taken along the way (they are discarded).
+func TestAnytimeEscalateMatchesColdQuery(t *testing.T) {
+	for _, family := range []string{"web", "coauthor", "spam"} {
+		g := oracleGraph(t, family)
+		idx := buildIndex(t, g, 20, 6)
+		view, err := NewView(g, idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range anytimeQueries(g.N()) {
+			want, _, err := view.Query(q, 10, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 3} {
+				res, err := view.QueryAnytime(q, 10, AnytimeOptions{Eps: 0.5, Delta: 1e-3, RoundIters: 1, Seed: 7}, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, stats, err := res.Escalate(workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("%s q=%d w=%d: escalated %v, cold %v", family, q, workers, got, want)
+				}
+				if stats.Results != len(got) {
+					t.Fatalf("stats.Results=%d, answer has %d", stats.Results, len(got))
+				}
+				if _, _, err := res.Escalate(workers); err == nil {
+					t.Fatal("second Escalate accepted")
+				}
+			}
+		}
+	}
+}
+
+// TestAnytimeConcurrent hammers one shared view with interleaved exact and
+// anytime queries; under -race this is the data-race harness for the
+// approx/exact serving mix, and every concurrent answer must equal its
+// sequential counterpart.
+func TestAnytimeConcurrent(t *testing.T) {
+	g := oracleGraph(t, "web")
+	idx := buildIndex(t, g, 20, 6)
+	view, err := NewView(g, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := anytimeQueries(g.N())
+	wantExact := make([][]graph.NodeID, len(queries))
+	wantG := make([][]graph.NodeID, len(queries))
+	wantM := make([][]graph.NodeID, len(queries))
+	opts := AnytimeOptions{Eps: 0.1, Delta: 1e-3, Seed: 3, RoundIters: 2}
+	for i, q := range queries {
+		if wantExact[i], _, err = view.Query(q, 10, 1); err != nil {
+			t.Fatal(err)
+		}
+		res, err := view.QueryAnytime(q, 10, opts, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantG[i], wantM[i] = res.Guaranteed, res.Maybe
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for rep := 0; rep < 4; rep++ {
+		for i, q := range queries {
+			wg.Add(1)
+			go func(i int, q graph.NodeID, approx bool) {
+				defer wg.Done()
+				if approx {
+					res, err := view.QueryAnytime(q, 10, opts, 2)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if !reflect.DeepEqual(res.Guaranteed, wantG[i]) || !reflect.DeepEqual(res.Maybe, wantM[i]) {
+						t.Errorf("q=%d: concurrent anytime diverged", q)
+					}
+				} else {
+					got, _, err := view.Query(q, 10, 2)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if !reflect.DeepEqual(got, wantExact[i]) {
+						t.Errorf("q=%d: concurrent exact diverged", q)
+					}
+				}
+			}(i, q, rep%2 == 0)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestAnytimeValidation covers the option and parameter guard rails.
+func TestAnytimeValidation(t *testing.T) {
+	g := toyGraph(t)
+	idx := buildIndex(t, g, 5, 2)
+	view, err := NewView(g, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		q    graph.NodeID
+		k    int
+		opts AnytimeOptions
+	}{
+		{"negative q", -1, 3, AnytimeOptions{}},
+		{"q out of range", graph.NodeID(g.N()), 3, AnytimeOptions{}},
+		{"k=0", 0, 0, AnytimeOptions{}},
+		{"k beyond index", 0, idx.K() + 1, AnytimeOptions{}},
+		{"eps=1", 0, 3, AnytimeOptions{Eps: 1}},
+		{"eps<0", 0, 3, AnytimeOptions{Eps: -0.1}},
+		{"eps NaN", 0, 3, AnytimeOptions{Eps: math.NaN()}},
+		{"delta>0.5", 0, 3, AnytimeOptions{Delta: 0.6}},
+		{"delta<0", 0, 3, AnytimeOptions{Delta: -1e-9}},
+		{"negative rounds", 0, 3, AnytimeOptions{RoundIters: -1}},
+		{"negative walks", 0, 3, AnytimeOptions{MCWalks: -1}},
+	} {
+		if _, err := view.QueryAnytime(tc.q, tc.k, tc.opts, 1); err == nil {
+			t.Errorf("%s accepted", tc.name)
+		}
+	}
+}

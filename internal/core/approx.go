@@ -6,7 +6,6 @@ import (
 	"time"
 
 	"repro/internal/graph"
-	"repro/internal/rwr"
 )
 
 // QueryApproximate implements the approximation the paper suggests in §5.3
@@ -17,6 +16,15 @@ import (
 // entire candidate-refinement phase is skipped; answers are always a
 // subset of the exact answer except for boundary-noise inclusions by the
 // first upper-bound check.
+//
+// Deprecated: QueryApproximate is the anytime tier's least informative
+// corner. It is now a thin wrapper over the same round loop View.QueryAnytime
+// drives — run to convergence with ε = 0 and no Monte Carlo stage, keep the
+// confirmed set, discard the undecided one — preserved for its historical
+// hits-only contract (and its freedom from the View/engine split: it works
+// on a bare Engine in the internal label space). New callers want
+// View.QueryAnytime, which reports the discarded candidates as an explicit
+// maybe set, stops early under an ε budget, and can escalate to exact.
 //
 // The index is never modified, regardless of the engine's update mode.
 func (e *Engine) QueryApproximate(q graph.NodeID, k int) ([]graph.NodeID, QueryStats, error) {
@@ -29,34 +37,24 @@ func (e *Engine) QueryApproximate(q graph.NodeID, k int) ([]graph.NodeID, QueryS
 	}
 	start := time.Now()
 
-	pmpn, err := rwr.ProximityToParallel(e.g, q, e.idx.Options().RWR, e.workers)
+	o, err := AnytimeOptions{}.resolve() // ε = 0, δ = 0: deterministic, to convergence
 	if err != nil {
 		return nil, stats, err
 	}
-	stats.PMPNIters = pmpn.Iterations
-	stats.PMPNElapsed = time.Since(start)
-
-	var results []graph.NodeID
-	for u := range e.eachIndexed() {
-		puq := pmpn.Vector[u]
-		lb := e.idx.KthLowerBound(u, k)
-		if puq < lb-e.tieTol {
-			continue
-		}
-		stats.Candidates++
-		rnorm := e.idx.ResidueNorm(u) + e.idx.RoundingSlack(u)
-		if rnorm == 0 {
-			stats.Hits++
-			results = append(results, u)
-			continue
-		}
-		if puq >= UpperBound(e.idx.PHatRow(u), k, rnorm)-e.tieTol {
-			stats.Hits++
-			results = append(results, u)
-		}
+	var astats AnytimeStats
+	st, err := runAnytime(e.g, e.idx, q, k, o, e.workers, &astats)
+	if err != nil {
+		return nil, stats, err
 	}
+	stats.PMPNIters = astats.PMPNIters
+	stats.PMPNElapsed = astats.PMPNElapsed
+	// Candidates, as in the one-shot original: nodes the k-th lower bound
+	// never pruned — the confirmed hits plus the undecided leftovers.
+	stats.Candidates = st.screen.Confirmed() + len(st.screen.Survivors())
+	results := append([]graph.NodeID(nil), st.screen.Hits()...)
+	sort.Slice(results, func(i, j int) bool { return results[i] < results[j] })
+	stats.Hits = len(results)
 	stats.Results = len(results)
 	stats.Elapsed = time.Since(start)
-	sort.Slice(results, func(i, j int) bool { return results[i] < results[j] })
 	return results, stats, nil
 }

@@ -78,21 +78,27 @@ type RoundReport struct {
 // NewScreen prepares a screen over the nodes this view's index
 // materializes (its shard's owned set, or every node for a full index).
 func (v *View) NewScreen(k int) (*Screen, error) {
-	if k <= 0 || k > v.idx.K() {
-		return nil, fmt.Errorf("core: k=%d outside [1,%d] supported by the index", k, v.idx.K())
+	return newScreen(v.g.N(), v.idx, k)
+}
+
+// newScreen is the constructor shared by View.NewScreen and the anytime
+// engine paths that hold a raw (graph, index) pair rather than a View.
+func newScreen(n int, idx *lbindex.Index, k int) (*Screen, error) {
+	if k <= 0 || k > idx.K() {
+		return nil, fmt.Errorf("core: k=%d outside [1,%d] supported by the index", k, idx.K())
 	}
-	owned := v.idx.OwnedNodes()
+	owned := idx.OwnedNodes()
 	var ids []graph.NodeID
 	if owned != nil {
 		ids = append([]graph.NodeID(nil), owned...)
 	} else {
-		ids = make([]graph.NodeID, v.g.N())
+		ids = make([]graph.NodeID, n)
 		for u := range ids {
 			ids[u] = graph.NodeID(u)
 		}
 	}
 	s := &Screen{
-		idx: v.idx,
+		idx: idx,
 		k:   k,
 		tol: defaultTieTol,
 		ids: ids,
@@ -101,7 +107,7 @@ func (v *View) NewScreen(k int) (*Screen, error) {
 		ub:  make([]float64, len(ids)),
 	}
 	for i, u := range ids {
-		s.lb[i] = v.idx.KthLowerBound(u, k)
+		s.lb[i] = idx.KthLowerBound(u, k)
 		s.rn[i] = math.NaN()
 		s.ub[i] = math.NaN()
 		if s.lb[i] > s.maxLB {
@@ -191,6 +197,30 @@ func (s *Screen) confirm(u graph.NodeID, rep *RoundReport) {
 // Survivors returns the still-undecided nodes, ascending. The slice
 // aliases internal state and is valid until the next Advance.
 func (s *Screen) Survivors() []graph.NodeID { return s.ids }
+
+// survivorBounds returns the decision bounds (p̂_u(k), UB_u) for the i-th
+// survivor, memoizing the residue norm and staircase bound exactly like
+// Advance does. For a fully-drained row UB collapses to the lower bound.
+// The anytime tier's Monte Carlo stage compares its probabilistic
+// confidence interval for p_u(q) against these.
+func (s *Screen) survivorBounds(i int) (lb, ub float64) {
+	lb = s.lb[i]
+	rn := s.rn[i]
+	if math.IsNaN(rn) {
+		u := s.ids[i]
+		rn = s.idx.ResidueNorm(u) + s.idx.RoundingSlack(u)
+		s.rn[i] = rn
+	}
+	if rn == 0 {
+		return lb, lb
+	}
+	ub = s.ub[i]
+	if math.IsNaN(ub) {
+		ub = UpperBound(s.idx.PHatRow(s.ids[i]), s.k, rn)
+		s.ub[i] = ub
+	}
+	return lb, ub
+}
 
 // Hits returns every node confirmed so far, in confirmation order.
 func (s *Screen) Hits() []graph.NodeID { return s.hits }

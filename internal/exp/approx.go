@@ -54,7 +54,11 @@ func DefaultApproxConfig(scale int) ApproxConfig {
 // index (update mode); we therefore warm each index copy with one
 // update-mode pass of the workload before measuring, and then freeze it.
 // Expectation: recall near 1 on web graphs with a solid speedup, since all
-// candidate refinement is skipped.
+// candidate refinement is skipped. Every random choice here flows from
+// cfg.Seed (the workload) — nothing in this study or the anytime tier it
+// now rides on touches the global math/rand stream, so runs with equal
+// configs are bit-identical. RunApprox (approxtier.go) is the eps/delta
+// frontier companion to this fixed-budget study.
 func RunApproxStudy(cfg ApproxConfig, progress io.Writer) ([]ApproxRow, error) {
 	g, err := cfg.Graph.Build()
 	if err != nil {

@@ -1,0 +1,336 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/lbindex"
+	"repro/internal/workload"
+)
+
+// The approxtier experiment records the anytime tier's accuracy/latency
+// frontier: an eps sweep per graph family, each row measuring median wall
+// time against the exact engine on the same view, plus the recall /
+// precision / maybe-set geometry of the two-part answers. It is the
+// machine-readable record behind BENCH_approx.json and the CI gate that
+// fails the build if eps=0.1 approx throughput ever drops below exact.
+
+// ApproxTierFamily names one bench graph family.
+type ApproxTierFamily struct {
+	Name string `json:"name"`
+	// Kind selects the generator (web | social).
+	Kind  string `json:"kind"`
+	Nodes int    `json:"nodes"`
+	Seed  int64  `json:"seed"`
+}
+
+// ApproxTierConfig parameterizes the experiment.
+type ApproxTierConfig struct {
+	Families          []ApproxTierFamily
+	IndexK, HubBudget int
+	// K is the query k; Queries the workload size per family.
+	K, Queries int
+	// EpsList is the budget sweep; 0 means "iterate to convergence, report
+	// the pre-refinement survivors".
+	EpsList []float64
+	// Delta is the Monte Carlo failure budget applied to every row (0
+	// disables the MC stage).
+	Delta float64
+	// Seed drives the workload; MCSeed the Monte Carlo streams.
+	Seed   int64
+	MCSeed int64
+}
+
+// DefaultApproxTierConfig matches the acceptance setup: the 2^17-node web
+// graph the shard/spmm benches use (scaled by scale), plus a smaller social
+// family for a second graph shape.
+func DefaultApproxTierConfig(scale int) ApproxTierConfig {
+	n := 131072
+	if scale > 1 {
+		n *= scale
+	}
+	return ApproxTierConfig{
+		Families: []ApproxTierFamily{
+			{Name: "web", Kind: "web", Nodes: n, Seed: 909},
+			{Name: "social", Kind: "social", Nodes: 16384, Seed: 13},
+		},
+		IndexK:    32,
+		HubBudget: 48,
+		K:         10,
+		Queries:   8,
+		EpsList:   []float64{0.3, 0.1, 0.03, 0},
+		Delta:     1e-4,
+		Seed:      909,
+		MCSeed:    4242,
+	}
+}
+
+// ApproxTierFamilyInfo records one family's build and exact baseline.
+type ApproxTierFamilyInfo struct {
+	Name    string `json:"name"`
+	Nodes   int    `json:"nodes"`
+	Edges   int    `json:"edges"`
+	Hubs    int    `json:"hubs"`
+	BuildNS int64  `json:"build_ns"`
+	// Exact baseline over the same workload on the same view (full worker
+	// parallelism on both sides, so the ratio isolates the algorithm).
+	MedianExactNS int64   `json:"median_exact_ns"`
+	ExactQPS      float64 `json:"exact_qps"`
+	// MeanExactResults sizes the exact answers the recall columns divide by.
+	MeanExactResults float64 `json:"mean_exact_results"`
+}
+
+// ApproxTierRow is one (family, eps) measurement.
+type ApproxTierRow struct {
+	Family string  `json:"family"`
+	Eps    float64 `json:"eps"`
+	Delta  float64 `json:"delta"`
+	// Latency medians and ratios against the family's exact baseline.
+	MedianApproxNS int64   `json:"median_approx_ns"`
+	SpeedupVsExact float64 `json:"speedup_vs_exact"`
+	ApproxQPS      float64 `json:"approx_qps"`
+	// Accuracy of the two-part answer against the exact answer set:
+	// RecallGuaranteed = |guaranteed ∩ exact| / |exact|,
+	// RecallWithMaybe  = |(guaranteed ∪ maybe) ∩ exact| / |exact|,
+	// PrecisionGuaranteed = |guaranteed ∩ exact| / |guaranteed|
+	// (1.0 when the respective denominator is empty), averaged over queries.
+	RecallGuaranteed    float64 `json:"recall_guaranteed"`
+	RecallWithMaybe     float64 `json:"recall_with_maybe"`
+	PrecisionGuaranteed float64 `json:"precision_guaranteed"`
+	// Containment reports guaranteed ⊆ exact ⊆ guaranteed ∪ maybe on EVERY
+	// query of the row (with δ > 0 this holds w.p. ≥ 1−δ per query).
+	Containment bool `json:"containment"`
+	// Answer geometry and work, averaged over queries.
+	MeanGuaranteed  float64 `json:"mean_guaranteed"`
+	MeanMaybe       float64 `json:"mean_maybe"`
+	MeanRounds      float64 `json:"mean_rounds"`
+	MeanPMPNIters   float64 `json:"mean_pmpn_iters"`
+	EpsAchievedMean float64 `json:"eps_achieved_mean"`
+	Converged       int     `json:"converged"`
+	MCConfirmed     int64   `json:"mc_confirmed"`
+	MCPruned        int64   `json:"mc_pruned"`
+	MCWalks         int64   `json:"mc_walks"`
+}
+
+// ApproxTierResult is the machine-readable record emitted as
+// BENCH_approx.json.
+type ApproxTierResult struct {
+	IndexK    int                    `json:"index_k"`
+	HubBudget int                    `json:"hub_budget"`
+	K         int                    `json:"k"`
+	Queries   int                    `json:"queries"`
+	Delta     float64                `json:"delta"`
+	Cores     int                    `json:"cores"`
+	Families  []ApproxTierFamilyInfo `json:"families"`
+	Rows      []ApproxTierRow        `json:"rows"`
+}
+
+func median(ds []time.Duration) time.Duration {
+	s := append([]time.Duration(nil), ds...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[len(s)/2]
+}
+
+// RunApprox builds each family's index once, measures the exact baseline,
+// then sweeps the eps budgets through View.QueryAnytime over the same
+// workload.
+func RunApprox(cfg ApproxTierConfig, progress io.Writer) (*ApproxTierResult, error) {
+	res := &ApproxTierResult{
+		IndexK:    cfg.IndexK,
+		HubBudget: cfg.HubBudget,
+		K:         cfg.K,
+		Queries:   cfg.Queries,
+		Delta:     cfg.Delta,
+		Cores:     runtime.NumCPU(),
+	}
+	for _, fam := range cfg.Families {
+		var g *graph.Graph
+		var err error
+		switch fam.Kind {
+		case "web":
+			g, err = gen.WebGraph(fam.Nodes, fam.Seed)
+		case "social":
+			g, err = gen.SocialGraph(fam.Nodes, fam.Seed)
+		default:
+			err = fmt.Errorf("exp: unknown family kind %q", fam.Kind)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if progress != nil {
+			fmt.Fprintf(progress, "approxtier: %s: building index over n=%d m=%d ...\n", fam.Name, g.N(), g.M())
+		}
+		buildStart := time.Now()
+		idx, bstats, err := lbindex.Build(g, indexOptions(cfg.IndexK, cfg.HubBudget, 1e-6))
+		if err != nil {
+			return nil, err
+		}
+		view, err := core.NewView(g, idx)
+		if err != nil {
+			return nil, err
+		}
+		info := ApproxTierFamilyInfo{
+			Name:    fam.Name,
+			Nodes:   g.N(),
+			Edges:   g.M(),
+			Hubs:    bstats.HubCount,
+			BuildNS: int64(time.Since(buildStart)),
+		}
+		queries, err := workload.Queries(g.N(), cfg.Queries, cfg.Seed+1)
+		if err != nil {
+			return nil, err
+		}
+
+		// Exact baseline: same view, full worker parallelism, one warm-up.
+		if _, _, err := view.Query(queries[0], cfg.K, 0); err != nil {
+			return nil, err
+		}
+		exact := make(map[graph.NodeID]map[graph.NodeID]bool, len(queries))
+		exactSizes := 0
+		var exactLat []time.Duration
+		exactStart := time.Now()
+		for _, q := range queries {
+			t0 := time.Now()
+			ans, _, err := view.Query(q, cfg.K, 0)
+			if err != nil {
+				return nil, err
+			}
+			exactLat = append(exactLat, time.Since(t0))
+			set := make(map[graph.NodeID]bool, len(ans))
+			for _, u := range ans {
+				set[u] = true
+			}
+			exact[q] = set
+			exactSizes += len(ans)
+		}
+		exactElapsed := time.Since(exactStart)
+		info.MedianExactNS = int64(median(exactLat))
+		info.ExactQPS = float64(len(queries)) / exactElapsed.Seconds()
+		info.MeanExactResults = float64(exactSizes) / float64(len(queries))
+		res.Families = append(res.Families, info)
+
+		for _, eps := range cfg.EpsList {
+			if progress != nil {
+				fmt.Fprintf(progress, "approxtier: %s: eps=%g over %d queries ...\n", fam.Name, eps, len(queries))
+			}
+			opts := core.AnytimeOptions{Eps: eps, Delta: cfg.Delta, Seed: cfg.MCSeed}
+			if _, err := view.QueryAnytime(queries[0], cfg.K, opts, 0); err != nil {
+				return nil, err
+			}
+			row := ApproxTierRow{Family: fam.Name, Eps: eps, Delta: cfg.Delta, Containment: true}
+			var lat []time.Duration
+			var recallG, recallM, precG float64
+			start := time.Now()
+			for _, q := range queries {
+				t0 := time.Now()
+				r, err := view.QueryAnytime(q, cfg.K, opts, 0)
+				if err != nil {
+					return nil, err
+				}
+				lat = append(lat, time.Since(t0))
+				want := exact[q]
+				inG, inM := 0, 0
+				maybeSet := make(map[graph.NodeID]bool, len(r.Maybe))
+				for _, u := range r.Maybe {
+					maybeSet[u] = true
+				}
+				for _, u := range r.Guaranteed {
+					if want[u] {
+						inG++
+					} else {
+						row.Containment = false
+					}
+				}
+				for u := range want {
+					if maybeSet[u] {
+						inM++
+					}
+				}
+				covered := inG + inM
+				if covered < len(want) {
+					row.Containment = false
+				}
+				if len(want) > 0 {
+					recallG += float64(inG) / float64(len(want))
+					recallM += float64(covered) / float64(len(want))
+				} else {
+					recallG++
+					recallM++
+				}
+				if len(r.Guaranteed) > 0 {
+					precG += float64(inG) / float64(len(r.Guaranteed))
+				} else {
+					precG++
+				}
+				row.MeanGuaranteed += float64(len(r.Guaranteed))
+				row.MeanMaybe += float64(len(r.Maybe))
+				row.MeanRounds += float64(r.Stats.Rounds)
+				row.MeanPMPNIters += float64(r.Stats.PMPNIters)
+				row.EpsAchievedMean += r.Stats.EpsAchieved
+				if r.Stats.Converged {
+					row.Converged++
+				}
+				row.MCConfirmed += int64(r.Stats.MCConfirmed)
+				row.MCPruned += int64(r.Stats.MCPruned)
+				row.MCWalks += r.Stats.MCWalks
+			}
+			elapsed := time.Since(start)
+			nq := float64(len(queries))
+			row.MedianApproxNS = int64(median(lat))
+			row.SpeedupVsExact = float64(info.MedianExactNS) / float64(row.MedianApproxNS)
+			row.ApproxQPS = nq / elapsed.Seconds()
+			row.RecallGuaranteed = recallG / nq
+			row.RecallWithMaybe = recallM / nq
+			row.PrecisionGuaranteed = precG / nq
+			row.MeanGuaranteed /= nq
+			row.MeanMaybe /= nq
+			row.MeanRounds /= nq
+			row.MeanPMPNIters /= nq
+			row.EpsAchievedMean /= nq
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// WriteApprox prints the frontier and records the JSON file when jsonPath
+// is non-empty.
+func WriteApprox(w io.Writer, res *ApproxTierResult, jsonPath string) error {
+	for _, f := range res.Families {
+		fmt.Fprintf(w, "%s: n=%d m=%d, %d hubs, built in %v; exact median %v (%.2f qps), mean |exact|=%.1f\n",
+			f.Name, f.Nodes, f.Edges, f.Hubs, time.Duration(f.BuildNS).Round(time.Millisecond),
+			time.Duration(f.MedianExactNS).Round(time.Microsecond), f.ExactQPS, f.MeanExactResults)
+	}
+	tw := newTable(w)
+	fmt.Fprintln(tw, "family\teps\tmedian-ns\tvs-exact\tqps\trecall-g\trecall-g+maybe\tprec-g\t|maybe|\trounds\titers\teps-achieved\tmc-in/out\tcontain")
+	for _, r := range res.Rows {
+		fmt.Fprintf(tw, "%s\t%g\t%d\t%.2fx\t%.2f\t%.3f\t%.3f\t%.3f\t%.1f\t%.1f\t%.1f\t%.3f\t%d/%d\t%v\n",
+			r.Family, r.Eps, r.MedianApproxNS, r.SpeedupVsExact, r.ApproxQPS,
+			r.RecallGuaranteed, r.RecallWithMaybe, r.PrecisionGuaranteed,
+			r.MeanMaybe, r.MeanRounds, r.MeanPMPNIters, r.EpsAchievedMean,
+			r.MCConfirmed, r.MCPruned, r.Containment)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if jsonPath == "" {
+		return nil
+	}
+	blob, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s\n", jsonPath)
+	return nil
+}

@@ -1,0 +1,104 @@
+package rwr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestResidualWalkEstimateBand is the statistical contract of the anytime
+// tier's Monte Carlo stage: after a partial PMPN run, x[u] plus the walk
+// estimate must land within the Hoeffding band of the true proximity, for
+// every node, across graph shapes, partial depths and seeds. The band here
+// is computed at a 1e-3 failure budget per node; with fixed seeds the test
+// is a deterministic regression, not a flake.
+func TestResidualWalkEstimateBand(t *testing.T) {
+	for _, kind := range []string{"web", "social"} {
+		g := stepperGraph(t, kind, 250)
+		p := DefaultParams()
+		exact, err := ProximityToParallel(g, 9, p, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, iters := range []int{2, 6, 20} {
+			s, err := NewToStepper(g, 9, p, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Step(iters); err != nil {
+				t.Fatal(err)
+			}
+			cur, prev := s.Current(), s.Previous()
+			if prev == nil {
+				t.Fatal("no previous iterate after stepping")
+			}
+			var deltaInf float64
+			for i := range cur {
+				if d := math.Abs(cur[i] - prev[i]); d > deltaInf {
+					deltaInf = d
+				}
+			}
+			const walks, maxLen = 768, 64
+			band := ResidualWalkBand(deltaInf, maxLen, walks, p.Alpha, 1e-3)
+			if band <= 0 {
+				t.Fatalf("%s iters=%d: band %g not positive (deltaInf=%g)", kind, iters, band, deltaInf)
+			}
+			for u := 0; u < g.N(); u += 7 {
+				rng := rand.New(rand.NewSource(int64(1000*iters + u)))
+				est := ResidualWalkEstimate(g, int32(u), cur, prev, maxLen, walks, p.Alpha, rng)
+				if diff := math.Abs(cur[u] + est - exact.Vector[u]); diff > band {
+					t.Fatalf("%s iters=%d u=%d: |x+est−p| = %g exceeds band %g", kind, iters, u, diff, band)
+				}
+			}
+		}
+	}
+}
+
+// TestResidualWalkBandShape pins the band's qualitative behavior: it
+// shrinks with more walks, grows as the failure budget tightens, scales
+// linearly in ‖δ‖∞, and vanishes when the residual is zero.
+func TestResidualWalkBandShape(t *testing.T) {
+	const alpha = 0.15
+	b1 := ResidualWalkBand(1e-4, 64, 256, alpha, 1e-3)
+	b2 := ResidualWalkBand(1e-4, 64, 1024, alpha, 1e-3)
+	if !(b2 < b1) {
+		t.Errorf("band did not shrink with walks: %g !< %g", b2, b1)
+	}
+	b3 := ResidualWalkBand(1e-4, 64, 256, alpha, 1e-9)
+	if !(b3 > b1) {
+		t.Errorf("band did not grow as failure budget tightened: %g !> %g", b3, b1)
+	}
+	b4 := ResidualWalkBand(2e-4, 64, 256, alpha, 1e-3)
+	if math.Abs(b4-2*b1) > 1e-15 {
+		t.Errorf("band not linear in deltaInf: %g vs 2·%g", b4, b1)
+	}
+	if b := ResidualWalkBand(0, 64, 256, alpha, 1e-3); b != 0 {
+		t.Errorf("zero residual gave band %g", b)
+	}
+	// Infinite-length walks drop the truncation term to exactly the
+	// geometric-series span; finite lengths must stay below that ceiling
+	// plus their truncation debt.
+	long := ResidualWalkBand(1e-4, 4096, 256, alpha, 1e-3)
+	if !(long < b1) {
+		t.Errorf("longer walks did not reduce the truncation term: %g !< %g", long, b1)
+	}
+}
+
+// TestResidualWalkEstimateDeterministic: equal seeds replay equal walks.
+func TestResidualWalkEstimateDeterministic(t *testing.T) {
+	g := stepperGraph(t, "web", 120)
+	p := DefaultParams()
+	s, err := NewToStepper(g, 3, p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Step(4); err != nil {
+		t.Fatal(err)
+	}
+	cur, prev := s.Current(), s.Previous()
+	a := ResidualWalkEstimate(g, 5, cur, prev, 32, 128, p.Alpha, rand.New(rand.NewSource(42)))
+	b := ResidualWalkEstimate(g, 5, cur, prev, 32, 128, p.Alpha, rand.New(rand.NewSource(42)))
+	if a != b {
+		t.Fatalf("fixed-seed estimates differ: %g vs %g", a, b)
+	}
+}

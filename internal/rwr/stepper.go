@@ -161,6 +161,19 @@ func (s *ToStepper) iterateOnce() {
 // and must not be modified.
 func (s *ToStepper) Current() []float64 { return s.x }
 
+// Previous returns the prior iterate x^{t−1} (nil before the first Step).
+// Together with Current it yields the last step's delta δ_t = x^t − x^{t−1},
+// the seed of the Monte Carlo tail-correction estimator
+// (ResidualWalkEstimate): the remaining error p − x^t equals
+// Σ_{j≥1} ((1−α)Aᵀ)^j δ_t exactly. The slice aliases internal state (the
+// swap buffer) and is valid until the next Step.
+func (s *ToStepper) Previous() []float64 {
+	if s.iters == 0 {
+		return nil
+	}
+	return s.next
+}
+
 // Tail returns the current elementwise error bound
 // |x^t[u] − p_u(q)| ≤ Tail(): the tighter of the analytic (1−α)^t and the
 // residual-based r_t·(1−α)/α (see the type doc). 1 before any iteration.

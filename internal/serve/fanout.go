@@ -186,6 +186,10 @@ func (f *Fanout) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if f.relayFailure(w, replies, http.StatusOK) {
 		return
 	}
+	if r.URL.Query().Get("mode") == ModeApprox {
+		f.mergeApprox(w, replies)
+		return
+	}
 	merged := QueryResponse{}
 	var maxEpoch uint64
 	for i, rep := range replies {
@@ -209,6 +213,58 @@ func (f *Fanout) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	merged.Count = len(merged.Results)
 	merged.Epoch = maxEpoch
+	f.served.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Shards", fmt.Sprintf("%d", len(f.shards)))
+	body, _ := json.Marshal(merged)
+	w.Write(body)
+}
+
+// mergeApprox merges per-shard anytime answers. Partitions are disjoint, so
+// guaranteed and maybe sets union by plain concatenation; the achieved ε is
+// recomputed from the merged counts (each shard reports its local fraction,
+// which does not average), and rounds/iteration diagnostics report the
+// slowest shard — the fan-out's critical path.
+func (f *Fanout) mergeApprox(w http.ResponseWriter, replies []shardReply) {
+	merged := ApproxQueryResponse{}
+	var maxEpoch uint64
+	converged := true
+	for i, rep := range replies {
+		var ar ApproxQueryResponse
+		if err := json.Unmarshal(rep.body, &ar); err != nil {
+			f.shardErrors.Add(1)
+			writeError(w, http.StatusBadGateway, "shard %d returned malformed body: %v", i, err)
+			return
+		}
+		merged.Query, merged.K = ar.Query, ar.K
+		merged.Mode, merged.Eps, merged.Delta = ar.Mode, ar.Eps, ar.Delta
+		if ar.Epoch > maxEpoch {
+			maxEpoch = ar.Epoch
+		}
+		if ar.Rounds > merged.Rounds {
+			merged.Rounds = ar.Rounds
+		}
+		if ar.PMPNIters > merged.PMPNIters {
+			merged.PMPNIters = ar.PMPNIters
+		}
+		converged = converged && ar.Converged
+		merged.Results = append(merged.Results, ar.Results...)
+		merged.Maybe = append(merged.Maybe, ar.Maybe...)
+	}
+	sort.Slice(merged.Results, func(i, j int) bool { return merged.Results[i] < merged.Results[j] })
+	sort.Slice(merged.Maybe, func(i, j int) bool { return merged.Maybe[i] < merged.Maybe[j] })
+	if merged.Results == nil {
+		merged.Results = []graph.NodeID{}
+	}
+	if merged.Maybe == nil {
+		merged.Maybe = []graph.NodeID{}
+	}
+	merged.Count = len(merged.Results)
+	merged.Epoch = maxEpoch
+	merged.Converged = converged
+	if len(merged.Maybe) > 0 {
+		merged.EpsAchieved = float64(len(merged.Maybe)) / float64(len(merged.Results)+len(merged.Maybe))
+	}
 	f.served.Add(1)
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Shards", fmt.Sprintf("%d", len(f.shards)))

@@ -136,6 +136,73 @@ func TestFanoutMatchesSingleEngine(t *testing.T) {
 	}
 }
 
+// TestFanoutApprox: mode=approx through the fan-out coordinator merges the
+// per-shard anytime answers into one two-part response that still brackets
+// the exact answer, across P and partition strategies; parameter errors
+// relay the shard's 400.
+func TestFanoutApprox(t *testing.T) {
+	for _, tc := range []struct {
+		p        int
+		strategy string
+	}{{1, "range"}, {3, "hash"}} {
+		fx := newFanoutFixture(t, tc.p, tc.strategy)
+		eng, err := core.NewEngine(fx.g, fx.idx, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range []int{0, 42, 219} {
+			resp, err := http.Get(fmt.Sprintf("%s/v1/reverse-topk?q=%d&k=10&mode=approx&eps=0.2", fx.fanSrv.URL, q))
+			if err != nil {
+				t.Fatal(err)
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("P=%d %s q=%d: %d %s", tc.p, tc.strategy, q, resp.StatusCode, body)
+			}
+			var ar ApproxQueryResponse
+			if err := json.Unmarshal(body, &ar); err != nil {
+				t.Fatalf("malformed merged approx body %q: %v", body, err)
+			}
+			if ar.Mode != ModeApprox || ar.Eps != 0.2 || ar.Count != len(ar.Results) {
+				t.Fatalf("inconsistent merged envelope %+v", ar)
+			}
+			want, _, err := eng.Query(graph.NodeID(q), 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			inExact := map[graph.NodeID]bool{}
+			for _, u := range want {
+				inExact[u] = true
+			}
+			cover := map[graph.NodeID]bool{}
+			for _, u := range ar.Results {
+				if !inExact[u] {
+					t.Fatalf("P=%d %s q=%d: merged guaranteed %d not in exact %v", tc.p, tc.strategy, q, u, want)
+				}
+				cover[u] = true
+			}
+			for _, u := range ar.Maybe {
+				cover[u] = true
+			}
+			for _, u := range want {
+				if !cover[u] {
+					t.Fatalf("P=%d %s q=%d: exact node %d uncovered by merged answer %s", tc.p, tc.strategy, q, u, body)
+				}
+			}
+		}
+		resp, err := http.Get(fx.fanSrv.URL + "/v1/reverse-topk?q=1&k=5&mode=approx&eps=2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("eps=2 through coordinator gave %d, want 400", resp.StatusCode)
+		}
+	}
+}
+
 // TestFanoutEditsBroadcast: one POST to the coordinator must land the same
 // semantic change on every shard, with each shard re-indexing only its own
 // rows; post-edit answers must match a full server given the same batch.

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/evolve"
 	"repro/internal/graph"
 	"repro/internal/lbindex"
@@ -145,6 +146,12 @@ type Server struct {
 	// the queries they served.
 	spmmGroups  atomic.Int64
 	spmmBatched atomic.Int64
+
+	// Anytime tier counters: computations actually run (cache misses),
+	// their screen rounds, and their Monte Carlo walk total.
+	approxComputed atomic.Int64
+	approxRounds   atomic.Int64
+	approxMCWalks  atomic.Int64
 
 	maintErrors    atomic.Int64
 	lastRejectedWM atomic.Uint64
@@ -309,7 +316,8 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Handler returns the daemon's route table:
 //
-//	GET  /v1/reverse-topk?q=<node>&k=<k>  — answer a query
+//	GET  /v1/reverse-topk?q=<node>&k=<k>  — answer a query exactly
+//	     (&mode=approx&eps=<ε>&delta=<δ>   — anytime approximate tier)
 //	GET  /v1/stats                        — serving + maintenance counters
 //	GET  /healthz                         — liveness (503 when draining)
 //	POST /v1/edits                        — enqueue graph edits (202 + watermark; "wait":true blocks)
@@ -330,6 +338,28 @@ type QueryResponse struct {
 	Epoch   uint64         `json:"epoch"`
 	Count   int            `json:"count"`
 	Results []graph.NodeID `json:"results"`
+}
+
+// ApproxQueryResponse is the JSON body of /v1/reverse-topk?mode=approx: the
+// two-part anytime answer. Results holds the guaranteed members (Count its
+// size); Maybe the candidates still undecided at the achieved ε. Like exact
+// bodies, approx bodies are cached verbatim under their own
+// (mode, eps, delta)-aware key, and the Monte Carlo seed is derived from
+// (q, k, epoch), so a cached response is byte-identical to the fresh one.
+type ApproxQueryResponse struct {
+	Query       graph.NodeID   `json:"query"`
+	K           int            `json:"k"`
+	Mode        string         `json:"mode"`
+	Eps         float64        `json:"eps"`
+	Delta       float64        `json:"delta,omitempty"`
+	EpsAchieved float64        `json:"eps_achieved"`
+	Converged   bool           `json:"converged"`
+	Rounds      int            `json:"rounds"`
+	PMPNIters   int            `json:"pmpn_iters"`
+	Epoch       uint64         `json:"epoch"`
+	Count       int            `json:"count"`
+	Results     []graph.NodeID `json:"results"`
+	Maybe       []graph.NodeID `json:"maybe"`
 }
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
@@ -357,6 +387,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	approx, eps, delta, perr := ParseApproxParams(params.Get("mode"), params.Get("eps"), params.Get("delta"))
+	if perr != nil {
+		writeError(w, perr.Status, "%s", perr.Error())
+		return
+	}
+
 	// One snapshot per request: every read below — validation bounds, the
 	// cache key epoch, and the engine computation — uses this one pair, so
 	// a concurrent snapshot swap cannot tear a response. Validation is the
@@ -368,7 +404,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	key := CacheKey{Q: graph.NodeID(q), K: k, Epoch: snap.Epoch}
+	if approx {
+		key.Mode, key.Eps, key.Delta = ModeApprox, eps, delta
+	}
 	body, status, err := s.cache.GetOrCompute(key, func() ([]byte, error) {
+		if approx {
+			return s.computeApprox(snap, graph.NodeID(q), k, eps, delta)
+		}
 		return s.compute(snap, graph.NodeID(q), k)
 	})
 	if err != nil {
@@ -445,6 +487,63 @@ func (s *Server) computeScalar(snap *Snapshot, q graph.NodeID, k int) ([]byte, e
 	})
 }
 
+// computeApprox is the anytime tier's computation: admission-controlled
+// exactly like compute (the slot counts against the same MaxInflight and
+// the worker budget is dealt the same way), but always scalar — the anytime
+// round loop interleaves screens with iteration blocks, which the SpMM slab
+// cannot host. The Monte Carlo seed is a pure function of (epoch, q, k), so
+// recomputing a dropped cache entry reproduces the evicted body bytes.
+func (s *Server) computeApprox(snap *Snapshot, q graph.NodeID, k int, eps, delta float64) ([]byte, error) {
+	active := s.active.Add(1)
+	defer s.active.Add(-1)
+	if active > s.maxInflight {
+		return nil, errSaturated
+	}
+	if gate := s.testComputeGate; gate != nil {
+		gate()
+	}
+	workers := s.budget / int(max(s.active.Load(), 1))
+	if workers < 1 {
+		workers = 1
+	}
+	opts := core.AnytimeOptions{Eps: eps, Delta: delta, Seed: approxSeed(snap.Epoch, q, k)}
+	res, err := snap.View.QueryAnytime(q, k, opts, workers)
+	if err != nil {
+		return nil, err
+	}
+	guaranteed, maybe := res.Guaranteed, res.Maybe
+	if guaranteed == nil {
+		guaranteed = []graph.NodeID{}
+	}
+	if maybe == nil {
+		maybe = []graph.NodeID{}
+	}
+	s.approxComputed.Add(1)
+	s.approxRounds.Add(int64(res.Stats.Rounds))
+	s.approxMCWalks.Add(res.Stats.MCWalks)
+	return json.Marshal(ApproxQueryResponse{
+		Query:       q,
+		K:           k,
+		Mode:        ModeApprox,
+		Eps:         eps,
+		Delta:       delta,
+		EpsAchieved: res.Stats.EpsAchieved,
+		Converged:   res.Stats.Converged,
+		Rounds:      res.Stats.Rounds,
+		PMPNIters:   res.Stats.PMPNIters,
+		Epoch:       snap.Epoch,
+		Count:       len(guaranteed),
+		Results:     guaranteed,
+		Maybe:       maybe,
+	})
+}
+
+// approxSeed derives the deterministic Monte Carlo seed for one
+// (epoch, q, k) triple.
+func approxSeed(epoch uint64, q graph.NodeID, k int) int64 {
+	return int64(epoch)<<40 ^ int64(q)<<8 ^ int64(k)
+}
+
 // StatsResponse is the JSON body of /v1/stats.
 type StatsResponse struct {
 	Epoch         uint64  `json:"epoch"`
@@ -469,6 +568,13 @@ type StatsResponse struct {
 	// (zero when batching is disabled).
 	SpMMGroups         int64 `json:"spmm_groups"`
 	SpMMBatchedQueries int64 `json:"spmm_batched_queries"`
+
+	// Anytime tier: mode=approx computations actually run (cache hits and
+	// coalesced waiters excluded), the screen rounds they took, and the
+	// Monte Carlo walks their δ-budgeted refinement stage spent.
+	ApproxComputed int64 `json:"approx_computed"`
+	ApproxRounds   int64 `json:"approx_rounds"`
+	ApproxMCWalks  int64 `json:"approx_mc_walks"`
 
 	// Shard-slice identity (set when the daemon serves one shard of a
 	// partitioned index; absent on a full index).
@@ -540,6 +646,10 @@ func (s *Server) Stats() StatsResponse {
 
 		SpMMGroups:         s.spmmGroups.Load(),
 		SpMMBatchedQueries: s.spmmBatched.Load(),
+
+		ApproxComputed: s.approxComputed.Load(),
+		ApproxRounds:   s.approxRounds.Load(),
+		ApproxMCWalks:  s.approxMCWalks.Load(),
 
 		EnqueuedWatermark:   enq,
 		AppliedWatermark:    app,

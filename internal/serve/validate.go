@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"strconv"
 
 	"repro/internal/evolve"
 	"repro/internal/graph"
@@ -38,6 +39,58 @@ func ValidateQueryParams(q, k, n, maxK int) *ParamError {
 		}
 	}
 	return nil
+}
+
+// ModeApprox is the mode parameter value selecting the anytime approximate
+// tier, and the CacheKey.Mode value its cached responses are filed under.
+const ModeApprox = "approx"
+
+// DefaultApproxEps is the undecided-fraction budget when mode=approx is
+// requested without an explicit eps.
+const DefaultApproxEps = 0.1
+
+// ParseApproxParams validates the mode/eps/delta request parameters shared
+// by the HTTP handlers and cmd/rtkquery. mode "" or "exact" selects the
+// exact tier (eps/delta must then be absent); mode "approx" selects the
+// anytime tier with eps defaulting to DefaultApproxEps in [0,1) and delta
+// defaulting to 0 in [0,0.5]. Parameters are passed as raw strings so the
+// empty string can mean "unset".
+func ParseApproxParams(mode, epsStr, deltaStr string) (approx bool, eps, delta float64, perr *ParamError) {
+	bad := func(format string, args ...any) (bool, float64, float64, *ParamError) {
+		return false, 0, 0, &ParamError{Status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+	}
+	switch mode {
+	case "", "exact":
+		if epsStr != "" || deltaStr != "" {
+			return bad("eps/delta are only valid with mode=approx")
+		}
+		return false, 0, 0, nil
+	case ModeApprox:
+	default:
+		return bad("unknown mode %q (want exact or approx)", mode)
+	}
+	eps = DefaultApproxEps
+	if epsStr != "" {
+		v, err := strconv.ParseFloat(epsStr, 64)
+		if err != nil {
+			return bad("malformed eps=%q: %v", epsStr, err)
+		}
+		eps = v
+	}
+	if math.IsNaN(eps) || eps < 0 || eps >= 1 {
+		return bad("eps=%g outside [0,1)", eps)
+	}
+	if deltaStr != "" {
+		v, err := strconv.ParseFloat(deltaStr, 64)
+		if err != nil {
+			return bad("malformed delta=%q: %v", deltaStr, err)
+		}
+		delta = v
+	}
+	if math.IsNaN(delta) || delta < 0 || delta > 0.5 {
+		return bad("delta=%g outside [0,0.5]", delta)
+	}
+	return true, eps, delta, nil
 }
 
 // ValidateEdits checks an edit batch and its staleness threshold before any

@@ -79,8 +79,11 @@ type QueryStats struct {
 	// pass never had to look at.
 	PrunedByBound    int
 	ConfirmedByBound int
-	// Survivors is the number of candidates left to the exact decide pass.
+	// Survivors is the number of candidates left to the exact decide pass
+	// (for QueryAnytime: the size of the returned maybe set).
 	Survivors int
+	// EpsAchieved is QueryAnytime's final undecided fraction (0 for Query).
+	EpsAchieved float64
 	// Results is the answer-set size.
 	Results int
 	// PerShard carries the final decide pass's per-shard engine stats
