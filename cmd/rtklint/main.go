@@ -1,0 +1,67 @@
+// Command rtklint is the repo's own multichecker: it machine-checks the
+// determinism, locking and durability invariants the reproduction's
+// correctness rests on, using project-specific analyzers no general
+// linter ships. Run it as
+//
+//	go run ./cmd/rtklint ./...
+//
+// from the module root; it exits nonzero if any invariant is violated.
+// CI runs it on every push. See README.md ("Static analysis &
+// invariants") for what each analyzer enforces and why, and
+// //rtklint:ignore for the (reason-required) suppression syntax.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/rtklint"
+)
+
+func main() {
+	var (
+		only = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+		list = flag.Bool("list", false, "list the analyzers and exit")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: rtklint [-only a,b] [-list] [packages]\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	suite := rtklint.Suite()
+	if *list {
+		for _, s := range suite {
+			fmt.Printf("%-12s %s\n", s.Analyzer.Name, s.Analyzer.Doc)
+		}
+		return
+	}
+	suite = analysis.Only(suite, *only)
+	if len(suite) == 0 {
+		fmt.Fprintf(os.Stderr, "rtklint: -only %q matches no analyzer\n", *only)
+		os.Exit(2)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rtklint: %v\n", err)
+		os.Exit(2)
+	}
+	findings, err := rtklint.Run(wd, suite, patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rtklint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}

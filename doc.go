@@ -27,6 +27,14 @@
 // wrapper over this engine), and how to run the paper experiments and
 // benchmarks.
 //
+// The repository's cross-cutting invariants — bit-identical determinism in
+// the kernels, `guarded by` lock discipline, fsync-before-acknowledge
+// durability, and explicit seed provenance — are machine-checked by
+// cmd/rtklint, a project-specific static-analysis suite built on
+// internal/analysis (see README.md, "Static analysis & invariants"). CI
+// fails on any violation; narrow exceptions carry //rtklint:ignore
+// directives with written reasons.
+//
 // The root package carries the repository-level benchmarks (bench_test.go):
 // one benchmark per table/figure of the paper plus ablations of the design
 // choices (BCA propagation strategy, hub selection scheme, rounding).

@@ -1,0 +1,166 @@
+// Package analysistest runs an analyzer over fixture packages and checks
+// its findings against expectations written in the fixtures themselves —
+// the same contract as golang.org/x/tools/go/analysis/analysistest,
+// rebuilt on the project's stdlib-only framework.
+//
+// A fixture line states its expected findings with a trailing comment:
+//
+//	f.Sync() // want `unchecked error`
+//
+// Each quoted string (double-quoted or backquoted) is a regular expression
+// that must match one distinct diagnostic reported on that line; lines
+// without a want comment must produce no diagnostics. Fixtures live under
+// testdata/src/<name>/ and may import only packages resolvable by the go
+// tool (the standard library).
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// wantPayload extracts the expectation payload from a comment's text, or
+// "" for non-want comments. Both comment forms work; the block form
+// `/* want "re" */` exists for lines whose trailing line comment is itself
+// under test (an rtklint:ignore directive runs to end of line, so a want
+// after it would become part of the directive).
+func wantPayload(text string) string {
+	switch {
+	case strings.HasPrefix(text, "//"):
+		text = text[2:]
+	case strings.HasPrefix(text, "/*"):
+		text = strings.TrimSuffix(strings.TrimPrefix(text, "/*"), "*/")
+	}
+	text = strings.TrimSpace(text)
+	if rest, ok := strings.CutPrefix(text, "want "); ok {
+		return strings.TrimSpace(rest)
+	}
+	return ""
+}
+
+// expectation is one want-regexp on one fixture line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	met  bool
+}
+
+// Run loads each fixture package testdata/src/<pkg>, applies the analyzer
+// (suppression directives included, exactly as the rtklint driver does),
+// and reports any mismatch between expected and actual findings.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, name := range pkgs {
+		dir := filepath.Join(testdata, "src", name)
+		pkg, err := analysis.LoadDir(dir)
+		if err != nil {
+			t.Errorf("loading fixture %s: %v", name, err)
+			continue
+		}
+		diags, err := analysis.Run(a, pkg)
+		if err != nil {
+			t.Errorf("running %s on fixture %s: %v", a.Name, name, err)
+			continue
+		}
+		checkExpectations(t, name, pkg.Fset, collectWants(t, pkg), diags)
+	}
+}
+
+// collectWants parses every want comment in the fixture.
+func collectWants(t *testing.T, pkg *analysis.Pkg) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				payload := wantPayload(c.Text)
+				if payload == "" {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				patterns, err := parseWants(payload)
+				if err != nil {
+					t.Errorf("%s:%d: bad want comment: %v", pos.Filename, pos.Line, err)
+					continue
+				}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						t.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, p, err)
+						continue
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// parseWants splits a want payload into its quoted regexp strings.
+func parseWants(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var quote byte
+		switch s[0] {
+		case '"', '`':
+			quote = s[0]
+		default:
+			return nil, fmt.Errorf("expected quoted regexp at %q", s)
+		}
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated regexp in %q", s)
+		}
+		raw := s[:end+2]
+		var pat string
+		if quote == '`' {
+			pat = raw[1 : len(raw)-1]
+		} else {
+			var err error
+			pat, err = strconv.Unquote(raw)
+			if err != nil {
+				return nil, fmt.Errorf("bad quoted regexp %s: %v", raw, err)
+			}
+		}
+		out = append(out, pat)
+		s = strings.TrimSpace(s[end+2:])
+	}
+	return out, nil
+}
+
+// checkExpectations matches findings against wants one-to-one.
+func checkExpectations(t *testing.T, fixture string, fset *token.FileSet, wants []*expectation, diags []analysis.Diagnostic) {
+	t.Helper()
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if w.met || w.file != pos.Filename || w.line != pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("fixture %s: unexpected diagnostic at %s:%d: %s", fixture, pos.Filename, pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("fixture %s: no diagnostic at %s:%d matching %q", fixture, w.file, w.line, w.re)
+		}
+	}
+}

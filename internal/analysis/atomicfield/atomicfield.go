@@ -1,0 +1,168 @@
+// Package atomicfield enforces the all-or-nothing rule of sync/atomic: a
+// struct field accessed through atomic operations anywhere must be
+// accessed through them everywhere. A single plain read racing an
+// atomic.AddInt64 is undefined behavior the race detector only catches if
+// a test happens to interleave it; this check catches it at lint time.
+//
+// Pass one collects every field whose address is taken as the first
+// argument of a sync/atomic function (AddInt64(&s.n, 1), LoadUint64(&s.w),
+// ...). Pass two flags every other appearance of those fields — plain
+// reads, writes, or address-taking for non-atomic purposes. Fields of a
+// value freshly built from a composite literal in the same function are
+// exempt (no other goroutine can observe them yet), which keeps
+// constructors idiomatic.
+//
+// The typed wrappers (atomic.Int64 and friends) make this mistake
+// unrepresentable and are the preferred fix; this analyzer exists for the
+// old-style fields the wrappers have not reached.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc:  "a field accessed via sync/atomic must never be accessed plainly elsewhere",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	atomicFields, atomicSites := collectAtomicFields(pass)
+	if len(atomicFields) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fresh := freshObjects(pass, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				s := pass.Info.Selections[sel]
+				if s == nil {
+					return true
+				}
+				v, ok := s.Obj().(*types.Var)
+				if !ok || !atomicFields[v] || atomicSites[sel] {
+					return true
+				}
+				if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+					if obj := pass.Info.Uses[id]; obj != nil && fresh[obj] {
+						return true
+					}
+				}
+				pass.Reportf(sel.Sel.Pos(), "field %s is accessed with sync/atomic elsewhere but plainly here — mixed atomic/plain access is a data race; use the atomic API (or an atomic.%s-style typed field) for every access",
+					v.Name(), suggestWrapper(v.Type()))
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// collectAtomicFields finds fields used as &x.f in the first argument of a
+// sync/atomic call, returning both the field set and the exact selector
+// nodes appearing in atomic position (so they are not self-flagged).
+func collectAtomicFields(pass *analysis.Pass) (map[*types.Var]bool, map[*ast.SelectorExpr]bool) {
+	fields := map[*types.Var]bool{}
+	sites := map[*ast.SelectorExpr]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			fn := analysis.CalleeFunc(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			if fn.Type().(*types.Signature).Recv() != nil {
+				return true // typed-wrapper methods are safe by construction
+			}
+			un, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || un.Op != token.AND {
+				return true
+			}
+			sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			s := pass.Info.Selections[sel]
+			if s == nil {
+				return true
+			}
+			if v, ok := s.Obj().(*types.Var); ok && v.IsField() {
+				fields[v] = true
+				sites[sel] = true
+			}
+			return true
+		})
+	}
+	return fields, sites
+}
+
+// freshObjects returns local objects bound to composite literals — values
+// not yet shared with other goroutines, where plain access is fine.
+func freshObjects(pass *analysis.Pass, body *ast.BlockStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		st, ok := n.(*ast.AssignStmt)
+		if !ok || st.Tok != token.DEFINE || len(st.Lhs) != len(st.Rhs) {
+			return true
+		}
+		for i := range st.Lhs {
+			id, ok := st.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			r := ast.Unparen(st.Rhs[i])
+			if un, ok := r.(*ast.UnaryExpr); ok && un.Op == token.AND {
+				r = ast.Unparen(un.X)
+			}
+			if _, ok := r.(*ast.CompositeLit); !ok {
+				continue
+			}
+			if obj := pass.Info.Defs[id]; obj != nil {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// suggestWrapper names the typed atomic wrapper matching the field's type,
+// for the diagnostic's fix suggestion.
+func suggestWrapper(t types.Type) string {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return "Value"
+	}
+	switch b.Kind() {
+	case types.Int32:
+		return "Int32"
+	case types.Int64, types.Int:
+		return "Int64"
+	case types.Uint32:
+		return "Uint32"
+	case types.Uint64, types.Uint, types.Uintptr:
+		return "Uint64"
+	case types.Bool:
+		return "Bool"
+	}
+	if strings.Contains(b.String(), "unsafe") {
+		return "Pointer"
+	}
+	return "Value"
+}

@@ -1,0 +1,63 @@
+// Package atomics is the atomicfield fixture: the mixed atomic/plain
+// access pattern the analyzer must flag, next to the disciplined shapes it
+// must leave alone.
+package atomics
+
+import "sync/atomic"
+
+type Stats struct {
+	hits int64
+	// misses is only ever accessed plainly — never atomic, never flagged.
+	misses int64
+}
+
+func (s *Stats) Hit() {
+	atomic.AddInt64(&s.hits, 1)
+}
+
+func (s *Stats) Hits() int64 {
+	return atomic.LoadInt64(&s.hits)
+}
+
+func (s *Stats) Reset() {
+	atomic.StoreInt64(&s.hits, 0)
+}
+
+func (s *Stats) Bad() int64 {
+	return s.hits // want `mixed atomic/plain access`
+}
+
+func (s *Stats) BadWrite() {
+	s.hits = 0 // want `mixed atomic/plain access`
+}
+
+func (s *Stats) Miss() {
+	s.misses++
+}
+
+func (s *Stats) Misses() int64 {
+	return s.misses
+}
+
+// NewStats touches hits plainly, legally: the value is fresh from a
+// composite literal and unshared.
+func NewStats(seed int64) *Stats {
+	s := &Stats{}
+	s.hits = seed
+	return s
+}
+
+// Typed uses the typed wrappers, which make mixed access unrepresentable —
+// nothing here is flagged.
+type Typed struct {
+	n atomic.Int64
+}
+
+func (t *Typed) Inc() { t.n.Add(1) }
+
+func (t *Typed) Get() int64 { return t.n.Load() }
+
+func (s *Stats) suppressed() int64 {
+	//rtklint:ignore atomicfield fixture: under the owner's lock, writers quiesced
+	return s.hits
+}

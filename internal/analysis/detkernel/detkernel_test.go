@@ -1,0 +1,12 @@
+package detkernel_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/detkernel"
+)
+
+func TestDetkernel(t *testing.T) {
+	analysistest.Run(t, "testdata", detkernel.Analyzer, "kernel")
+}

@@ -1,0 +1,221 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Pkg is one loaded, parsed and type-checked package ready for analysis.
+type Pkg struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader consumes.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+	GoFiles    []string
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -deps -json -export` in dir over the given patterns
+// and decodes the JSON stream. -export makes the go tool compile every
+// listed package (build-cache backed), so each entry carries an export-data
+// file the gc importer can read — that is what lets the loader type-check
+// one package from source while importing all its dependencies without any
+// third-party machinery.
+func goList(dir string, patterns []string) ([]listedPkg, error) {
+	args := append([]string{"list", "-deps", "-json", "-export", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if derr := dec.Decode(&p); derr == io.EOF {
+			break
+		} else if derr != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", derr)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter returns a gc-export-data importer over the listed
+// packages. Import paths missing from the table fail, which surfaces a
+// loader bug immediately instead of silently type-checking against nothing.
+func exportImporter(fset *token.FileSet, pkgs []listedPkg) types.Importer {
+	exports := make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// Load lists, parses and type-checks the packages matching the patterns,
+// resolved relative to dir (typically the module root, patterns like
+// "./..."). Dependencies are imported from compiler export data; only the
+// matched packages themselves are parsed from source. Test files are not
+// loaded — the analyzers audit shipped code, and fixtures exercise test
+// idioms explicitly where needed.
+func Load(dir string, patterns ...string) ([]*Pkg, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, listed)
+	var out []*Pkg
+	for _, lp := range listed {
+		if lp.DepOnly || lp.Standard {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("package %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		var names []string
+		for _, f := range lp.GoFiles {
+			names = append(names, filepath.Join(lp.Dir, f))
+		}
+		pkg, err := checkFiles(fset, imp, lp.ImportPath, names)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Dir = lp.Dir
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
+	return out, nil
+}
+
+// LoadDir parses and type-checks every .go file in one directory as a
+// single package outside any module — the analysistest fixture loader.
+// Fixture imports must be resolvable by `go list` from dir's context
+// (standard library in practice).
+func LoadDir(dir string) (*Pkg, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: no .go files in %s", dir)
+	}
+	files, err := parseFiles(fset, names)
+	if err != nil {
+		return nil, err
+	}
+	// Resolve the fixture's imports through the go tool so stdlib export
+	// data is available, exactly as in a full Load.
+	seen := map[string]bool{}
+	var imports []string
+	for _, f := range files {
+		for _, spec := range f.Imports {
+			p := strings.Trim(spec.Path.Value, `"`)
+			if !seen[p] {
+				seen[p] = true
+				imports = append(imports, p)
+			}
+		}
+	}
+	var listed []listedPkg
+	if len(imports) > 0 {
+		sort.Strings(imports)
+		listed, err = goList(dir, imports)
+		if err != nil {
+			return nil, err
+		}
+	}
+	imp := exportImporter(fset, listed)
+	pkg, err := check(fset, imp, files[0].Name.Name, files)
+	if err != nil {
+		return nil, err
+	}
+	pkg.Dir = dir
+	return pkg, nil
+}
+
+func parseFiles(fset *token.FileSet, names []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+func checkFiles(fset *token.FileSet, imp types.Importer, path string, names []string) (*Pkg, error) {
+	files, err := parseFiles(fset, names)
+	if err != nil {
+		return nil, err
+	}
+	return check(fset, imp, path, files)
+}
+
+func check(fset *token.FileSet, imp types.Importer, path string, files []*ast.File) (*Pkg, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	return &Pkg{
+		ImportPath: path,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}

@@ -1,0 +1,375 @@
+// Package lockguard enforces `// guarded by <mu>` field annotations: a
+// struct field annotated as guarded may only be accessed in functions
+// that demonstrably hold the named mutex. The check is intra-procedural
+// and deliberately conservative — it asks "does this function acquire the
+// guard anywhere?" rather than proving the lock is held at the exact
+// access — which is cheap, has no false negatives for the straight-line
+// locking this codebase uses, and turns silent lock-discipline erosion
+// into a build failure.
+//
+// Annotation syntax: a field whose doc or line comment contains
+// "guarded by <name>" (case-insensitive "guarded"), where <name> is a
+// sibling field of type sync.Mutex, sync.RWMutex, a pointer to one, or an
+// array/slice of them (lock striping). Example:
+//
+//	mu    sync.Mutex
+//	queue []*editBatch // guarded by mu
+//
+// An access is accepted when any of these hold in the enclosing function
+// (function literals inherit their enclosing function's evidence):
+//
+//   - the function locks the same base's guard directly
+//     (s.mu.Lock / s.stripes[i].RLock), through a local alias
+//     (l := &s.stripes[i]; l.Lock()), or by calling a locker method on the
+//     base — a method of the struct that itself acquires the guard on its
+//     receiver (lockAll-style helpers, computed as a fixpoint);
+//   - the base object was freshly constructed from a composite literal in
+//     this function and so cannot yet be shared.
+//
+// Everything else is a finding. Contracts the analyzer cannot see (a
+// method documented "caller must hold mu") are suppressed at the access
+// with //rtklint:ignore lockguard <reason>, which keeps every exception
+// written down next to the code it excuses.
+package lockguard
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockguard",
+	Doc:  "fields annotated `guarded by <mu>` may only be accessed with the named mutex held",
+	Run:  run,
+}
+
+var guardRe = regexp.MustCompile(`(?i)guarded by ([A-Za-z_][A-Za-z0-9_]*)`)
+
+// guardInfo ties one guarded field to its guard field within a struct.
+type guardInfo struct {
+	field *types.Var // the guarded field
+	guard *types.Var // the mutex (or mutex-array) field protecting it
+}
+
+func run(pass *analysis.Pass) error {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return nil
+	}
+	lockers := collectLockers(pass, guards)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd, guards, lockers)
+		}
+	}
+	return nil
+}
+
+// collectGuards parses the annotations in every struct declaration,
+// reporting malformed ones, and returns guarded-field → guard mappings.
+func collectGuards(pass *analysis.Pass) map[*types.Var]guardInfo {
+	out := map[*types.Var]guardInfo{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			// First index the struct's fields by name so guard names
+			// resolve to their *types.Var.
+			byName := map[string]*types.Var{}
+			for _, field := range st.Fields.List {
+				for _, name := range field.Names {
+					if v, ok := pass.Info.Defs[name].(*types.Var); ok {
+						byName[name.Name] = v
+					}
+				}
+			}
+			for _, field := range st.Fields.List {
+				guardName := annotation(field)
+				if guardName == "" {
+					continue
+				}
+				guard, ok := byName[guardName]
+				if !ok {
+					pass.Reportf(field.Pos(), "guarded-by annotation names %q, which is not a field of this struct", guardName)
+					continue
+				}
+				if !isMutexType(guard.Type()) {
+					pass.Reportf(field.Pos(), "guarded-by annotation names %q, which is not a sync.Mutex/RWMutex (or array/slice of them)", guardName)
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pass.Info.Defs[name].(*types.Var); ok {
+						out[v] = guardInfo{field: v, guard: guard}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// annotation extracts the guard name from a field's comments, or "".
+func annotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// isMutexType accepts sync.Mutex, sync.RWMutex, pointers to them, and
+// arrays/slices of them (lock striping).
+func isMutexType(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Array:
+		return isMutexType(u.Elem())
+	case *types.Slice:
+		return isMutexType(u.Elem())
+	case *types.Pointer:
+		return isMutexType(u.Elem())
+	}
+	return analysis.IsNamedType(t, "sync", "Mutex") || analysis.IsNamedType(t, "sync", "RWMutex")
+}
+
+// collectLockers computes, as a fixpoint, which methods acquire which
+// guards on their own receiver — directly or by calling another locker
+// method on the receiver. These are the lockAll-style helpers.
+func collectLockers(pass *analysis.Pass, guards map[*types.Var]guardInfo) map[*types.Func]map[*types.Var]bool {
+	guardVars := map[*types.Var]bool{}
+	for _, gi := range guards {
+		guardVars[gi.guard] = true
+	}
+	lockers := map[*types.Func]map[*types.Var]bool{}
+	type method struct {
+		fn   *types.Func
+		decl *ast.FuncDecl
+		recv string
+	}
+	var methods []method
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+				continue
+			}
+			fn, _ := pass.Info.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			methods = append(methods, method{fn: fn, decl: fd, recv: fd.Recv.List[0].Names[0].Name})
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, m := range methods {
+			acq := acquisitions(pass, m.decl.Body, guardVars, lockers)
+			for key := range acq {
+				if key.base != m.recv {
+					continue
+				}
+				if lockers[m.fn] == nil {
+					lockers[m.fn] = map[*types.Var]bool{}
+				}
+				if !lockers[m.fn][key.guard] {
+					lockers[m.fn][key.guard] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return lockers
+}
+
+// acqKey is one piece of locking evidence: the rendered base expression
+// and the guard it acquires.
+type acqKey struct {
+	base  string
+	guard *types.Var
+}
+
+// acquisitions scans a function body (function literals included — they
+// inherit the enclosing evidence by construction of the flat walk) for
+// guard acquisitions.
+func acquisitions(pass *analysis.Pass, body *ast.BlockStmt, guardVars map[*types.Var]bool, lockers map[*types.Func]map[*types.Var]bool) map[acqKey]bool {
+	out := map[acqKey]bool{}
+	// aliases maps a local variable object to the (base, guard) whose
+	// address it holds: s := &idx.stripes[i].
+	aliases := map[types.Object]acqKey{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if st.Tok != token.DEFINE || len(st.Lhs) != 1 || len(st.Rhs) != 1 {
+				return true
+			}
+			id, ok := st.Lhs[0].(*ast.Ident)
+			if !ok {
+				return true
+			}
+			un, ok := ast.Unparen(st.Rhs[0]).(*ast.UnaryExpr)
+			if !ok || un.Op != token.AND {
+				return true
+			}
+			if base, guard, ok := guardSelector(pass, un.X, guardVars); ok {
+				if obj := pass.Info.Defs[id]; obj != nil {
+					aliases[obj] = acqKey{base: base, guard: guard}
+				}
+			}
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(st.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Lock", "RLock":
+				recv := ast.Unparen(sel.X)
+				if base, guard, ok := guardSelector(pass, recv, guardVars); ok {
+					out[acqKey{base: base, guard: guard}] = true
+					return true
+				}
+				if id, ok := recv.(*ast.Ident); ok {
+					if key, ok := aliases[pass.Info.Uses[id]]; ok {
+						out[key] = true
+					}
+				}
+			default:
+				// A call to a locker method counts as acquiring its
+				// guards on the call's base.
+				fn, _ := pass.Info.Uses[sel.Sel].(*types.Func)
+				if held := lockers[fn]; len(held) > 0 {
+					base := types.ExprString(ast.Unparen(sel.X))
+					for g := range held {
+						out[acqKey{base: base, guard: g}] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// guardSelector decomposes base.guard or base.guard[i] (with arbitrary
+// parenthesization) into its rendered base and the guard field var.
+func guardSelector(pass *analysis.Pass, e ast.Expr, guardVars map[*types.Var]bool) (string, *types.Var, bool) {
+	e = ast.Unparen(e)
+	if ix, ok := e.(*ast.IndexExpr); ok {
+		e = ast.Unparen(ix.X)
+	}
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return "", nil, false
+	}
+	s := pass.Info.Selections[sel]
+	if s == nil {
+		return "", nil, false
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok || !guardVars[v] {
+		return "", nil, false
+	}
+	return types.ExprString(ast.Unparen(sel.X)), v, true
+}
+
+// checkFunc verifies every guarded-field access in one function.
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, guards map[*types.Var]guardInfo, lockers map[*types.Func]map[*types.Var]bool) {
+	guardVars := map[*types.Var]bool{}
+	for _, gi := range guards {
+		guardVars[gi.guard] = true
+	}
+	acq := acquisitions(pass, fd.Body, guardVars, lockers)
+	fresh := freshObjects(pass, fd.Body)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s := pass.Info.Selections[sel]
+		if s == nil {
+			return true
+		}
+		v, ok := s.Obj().(*types.Var)
+		if !ok {
+			return true
+		}
+		gi, guarded := guards[v]
+		if !guarded {
+			return true
+		}
+		base := ast.Unparen(sel.X)
+		if id, ok := base.(*ast.Ident); ok {
+			if obj := pass.Info.Uses[id]; obj != nil && fresh[obj] {
+				return true
+			}
+		}
+		if acq[acqKey{base: types.ExprString(base), guard: gi.guard}] {
+			return true
+		}
+		pass.Reportf(sel.Sel.Pos(), "%s is guarded by %s, but %s neither locks %s.%s nor constructed %s here; hold the lock or suppress with an //rtklint:ignore lockguard <reason> stating the contract",
+			v.Name(), gi.guard.Name(), funcLabel(fd), types.ExprString(base), gi.guard.Name(), types.ExprString(base))
+		return true
+	})
+}
+
+// freshObjects returns local objects bound to composite literals in this
+// function — values that cannot be shared with another goroutine yet.
+func freshObjects(pass *analysis.Pass, body *ast.BlockStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	bind := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			return
+		}
+		r := ast.Unparen(rhs)
+		if un, ok := r.(*ast.UnaryExpr); ok && un.Op == token.AND {
+			r = ast.Unparen(un.X)
+		}
+		if _, ok := r.(*ast.CompositeLit); !ok {
+			return
+		}
+		if obj := pass.Info.Defs[id]; obj != nil {
+			out[obj] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if st.Tok != token.DEFINE || len(st.Lhs) != len(st.Rhs) {
+				return true
+			}
+			for i := range st.Lhs {
+				bind(st.Lhs[i], st.Rhs[i])
+			}
+		case *ast.ValueSpec:
+			if len(st.Names) != len(st.Values) {
+				return true
+			}
+			for i := range st.Names {
+				bind(st.Names[i], st.Values[i])
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func funcLabel(fd *ast.FuncDecl) string {
+	if fd.Recv != nil {
+		return "method " + fd.Name.Name
+	}
+	return "function " + fd.Name.Name
+}

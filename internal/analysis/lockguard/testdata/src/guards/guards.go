@@ -1,0 +1,104 @@
+// Package guards is the lockguard fixture: annotated fields with every
+// locking idiom the analyzer must accept — direct acquisition, stripe
+// aliasing, locker-method helpers, fresh construction — and the bare
+// accesses it must flag.
+package guards
+
+import "sync"
+
+type Counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+func (c *Counter) Bad() int {
+	return c.n // want `n is guarded by mu`
+}
+
+// NewCounter touches the field without the lock, legally: the value is
+// fresh from a composite literal and cannot be shared yet.
+func NewCounter() *Counter {
+	c := &Counter{}
+	c.n = 1
+	return c
+}
+
+// peek documents a caller-holds-the-lock contract the analyzer cannot see.
+func (c *Counter) peek() int {
+	//rtklint:ignore lockguard fixture: caller holds c.mu
+	return c.n
+}
+
+// Striped mirrors lbindex.Index: an array of stripe locks guarding slices.
+type Striped struct {
+	stripes [4]sync.RWMutex
+	vals    []int // guarded by stripes
+}
+
+// Get uses the stripe-alias idiom: take the address of one stripe, lock
+// through the alias.
+func (s *Striped) Get(i int) int {
+	m := &s.stripes[i%4]
+	m.RLock()
+	defer m.RUnlock()
+	return s.vals[i]
+}
+
+// lockAll is a locker method: it acquires the guard on its receiver, so a
+// call to it counts as evidence in the caller.
+func (s *Striped) lockAll() {
+	for i := range s.stripes {
+		s.stripes[i].Lock()
+	}
+}
+
+func (s *Striped) unlockAll() {
+	for i := range s.stripes {
+		s.stripes[i].Unlock()
+	}
+}
+
+func (s *Striped) Sum() int {
+	s.lockAll()
+	defer s.unlockAll()
+	t := 0
+	for _, v := range s.vals {
+		t += v
+	}
+	return t
+}
+
+// Grow locks directly on an indexed stripe; function literals inherit the
+// enclosing function's evidence.
+func (s *Striped) Grow(i, v int) {
+	s.stripes[i%4].Lock()
+	defer s.stripes[i%4].Unlock()
+	set := func() { s.vals[i] = v }
+	set()
+}
+
+func (s *Striped) BadLen() int {
+	return len(s.vals) // want `vals is guarded by stripes`
+}
+
+// BadAnnotations exercise the malformed-annotation findings. The wants are
+// block comments because the line comment itself is the annotation under
+// test.
+type BadAnnotations struct {
+	mu    sync.Mutex
+	a     int /* want `not a field of this struct` */ // guarded by missing
+	b     int /* want `not a sync.Mutex/RWMutex` */ // guarded by a
+	clean int // guarded by mu
+}
+
+func (x *BadAnnotations) Use() int {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.a + x.b + x.clean
+}

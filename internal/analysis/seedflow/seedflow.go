@@ -1,0 +1,106 @@
+// Package seedflow enforces the repo-wide seed-provenance contract: every
+// random source is constructed from an explicit caller-provided seed, and
+// ambient entropy (the global math/rand source, time-of-day, process ids,
+// crypto/rand) never flows into one. The reproduction's experiments are
+// rerun-to-verify — `-seed 42` must produce the same walks, the same
+// sampled landmarks, the same bytes on disk, on every machine, forever.
+// One time.Now().UnixNano() seed buried in a helper silently converts
+// "reproducible experiment" into "anecdote".
+//
+// detkernel enforces a stricter no-ambient-rand rule inside the numeric
+// kernels; seedflow is the perimeter check for everything else. The
+// dataset generator (internal/gen) is exempted by the driver — it owns the
+// flag that turns a user-supplied seed into sources — and test files are
+// never loaded by the analysis loader.
+package seedflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "seedflow",
+	Doc:  "random sources must be seeded from explicit caller-provided values, never ambient entropy",
+	Run:  run,
+}
+
+// globalRandFuncs are the math/rand package-level draws backed by the
+// process-global source — using one means the caller's seed is ignored.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true,
+	"NormFloat64": true, "Perm": true, "Shuffle": true, "Seed": true,
+	"Read": true,
+}
+
+// sourceCtors are the rand constructors whose seed arguments must be
+// explicit values, not ambient entropy.
+var sourceCtors = map[string]bool{
+	"NewSource": true, "New": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.CalleeFunc(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if !isRandPkg(fn.Pkg().Path()) || fn.Type().(*types.Signature).Recv() != nil {
+				return true
+			}
+			switch {
+			case globalRandFuncs[fn.Name()]:
+				pass.Reportf(call.Pos(), "%s.%s uses the process-global rand source — thread an explicit seed (or a *rand.Rand built from one) from the caller instead",
+					fn.Pkg().Path(), fn.Name())
+			case sourceCtors[fn.Name()]:
+				if src := ambientEntropy(pass, call); src != "" {
+					pass.Reportf(call.Pos(), "rand source seeded from %s — seeds must be explicit caller-provided values so runs are reproducible", src)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isRandPkg(path string) bool {
+	return path == "math/rand" || path == "math/rand/v2"
+}
+
+// ambientEntropy names the first ambient-entropy call in the expression
+// tree (time.Now, os.Getpid, crypto/rand reads), or "".
+func ambientEntropy(pass *analysis.Pass, root ast.Node) string {
+	found := ""
+	ast.Inspect(root, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := analysis.CalleeFunc(pass.Info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		switch {
+		case fn.Pkg().Path() == "time" && fn.Name() == "Now":
+			found = "time.Now"
+		case fn.Pkg().Path() == "os" && (fn.Name() == "Getpid" || fn.Name() == "Getppid"):
+			found = "os." + fn.Name()
+		case fn.Pkg().Path() == "crypto/rand":
+			found = "crypto/rand." + fn.Name()
+		}
+		return true
+	})
+	return found
+}

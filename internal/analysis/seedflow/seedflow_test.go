@@ -1,0 +1,12 @@
+package seedflow_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/seedflow"
+)
+
+func TestSeedflow(t *testing.T) {
+	analysistest.Run(t, "testdata", seedflow.Analyzer, "seeds")
+}

@@ -1,0 +1,41 @@
+// Package seeds is the seedflow fixture: ambient-entropy patterns the
+// analyzer must flag anywhere in the repo, next to the explicit-seed
+// plumbing it must accept.
+package seeds
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func draw() int {
+	return rand.Intn(6) // want `process-global rand source`
+}
+
+func reseed() {
+	rand.Seed(time.Now().UnixNano()) // want `process-global rand source`
+}
+
+func timeSeeded() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `seeded from time.Now` `seeded from time.Now`
+}
+
+func pidSeeded() *rand.Rand {
+	return rand.New(rand.NewSource(int64(os.Getpid()))) // want `seeded from os.Getpid` `seeded from os.Getpid`
+}
+
+// fromSeed is the blessed pattern: the seed is a caller-provided value,
+// so a rerun with the same flag reproduces the run bit for bit.
+func fromSeed(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func fromConst() *rand.Rand {
+	return rand.New(rand.NewSource(42))
+}
+
+func suppressed() int {
+	//rtklint:ignore seedflow fixture: jitter for a retry backoff, never observable in results
+	return rand.Intn(100)
+}

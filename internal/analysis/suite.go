@@ -1,0 +1,57 @@
+package analysis
+
+import "strings"
+
+// Scoped is one analyzer plus the package scope it applies to. Scoping
+// lives here, next to the framework, so cmd/rtklint and the self-check
+// test enforce identical rules.
+type Scoped struct {
+	Analyzer *Analyzer
+	// Match reports whether the analyzer applies to the import path. A nil
+	// Match means "every package".
+	Match func(importPath string) bool
+}
+
+// Applies reports whether the scoped analyzer covers the package.
+func (s Scoped) Applies(importPath string) bool {
+	return s.Match == nil || s.Match(importPath)
+}
+
+// Only restricts a suite to the named analyzers (comma-separated); an
+// empty name list returns the suite unchanged.
+func Only(suite []Scoped, names string) []Scoped {
+	if names == "" {
+		return suite
+	}
+	want := map[string]bool{}
+	for _, n := range strings.Split(names, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			want[n] = true
+		}
+	}
+	var out []Scoped
+	for _, s := range suite {
+		if want[s.Analyzer.Name] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// OneOf builds a Match over an explicit import-path set.
+func OneOf(paths ...string) func(string) bool {
+	set := map[string]bool{}
+	for _, p := range paths {
+		set[p] = true
+	}
+	return func(importPath string) bool { return set[importPath] }
+}
+
+// AllBut builds a Match excluding an explicit import-path set.
+func AllBut(paths ...string) func(string) bool {
+	set := map[string]bool{}
+	for _, p := range paths {
+		set[p] = true
+	}
+	return func(importPath string) bool { return !set[importPath] }
+}

@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// IgnoreDirective is the suppression comment rtklint honors:
+//
+//	//rtklint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// placed trailing on the flagged line, or standalone on the line directly
+// above it. Each form covers exactly one line — a trailing directive does
+// not leak onto the next line. The reason is mandatory — a suppression is
+// a reviewed exception to a machine-checked invariant, and the exception's
+// justification must travel with the code. A directive missing its
+// analyzer list or its reason is itself reported.
+const IgnoreDirective = "rtklint:ignore"
+
+// directive is one parsed //rtklint:ignore comment.
+type directive struct {
+	pos        token.Pos
+	analyzers  map[string]bool
+	standalone bool   // alone on its line (covers the next line), vs trailing code (covers its own)
+	malformed  string // non-empty description when the directive is unusable
+}
+
+// parseDirectives collects every rtklint:ignore directive in the files,
+// keyed by "filename:line" of the comment.
+func parseDirectives(fset *token.FileSet, files []*ast.File) map[string]directive {
+	out := map[string]directive{}
+	for _, f := range files {
+		// Earliest code (non-comment node) start per line, to tell trailing
+		// directives from standalone ones.
+		codeStart := map[int]token.Pos{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				return false
+			}
+			line := fset.Position(n.Pos()).Line
+			if p, ok := codeStart[line]; !ok || n.Pos() < p {
+				codeStart[line] = n.Pos()
+			}
+			return true
+		})
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, IgnoreDirective) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, IgnoreDirective))
+				d := directive{pos: c.Pos(), analyzers: map[string]bool{}}
+				fields := strings.Fields(rest)
+				switch {
+				case len(fields) == 0:
+					d.malformed = "names no analyzer"
+				case len(fields) == 1:
+					d.malformed = "has no reason — a suppression must say why the invariant does not apply"
+				default:
+					for _, a := range strings.Split(fields[0], ",") {
+						if a != "" {
+							d.analyzers[a] = true
+						}
+					}
+				}
+				p := fset.Position(c.Pos())
+				start, hasCode := codeStart[p.Line]
+				d.standalone = !hasCode || start > c.Pos()
+				out[posKey(p.Filename, p.Line)] = d
+			}
+		}
+	}
+	return out
+}
+
+func posKey(file string, line int) string {
+	var b strings.Builder
+	b.WriteString(file)
+	b.WriteByte(':')
+	// Lines fit in a few digits; avoid fmt for the hot path.
+	var digits [12]byte
+	i := len(digits)
+	if line == 0 {
+		i--
+		digits[i] = '0'
+	}
+	for line > 0 {
+		i--
+		digits[i] = byte('0' + line%10)
+		line /= 10
+	}
+	b.Write(digits[i:])
+	return b.String()
+}
+
+// filterSuppressed drops diagnostics covered by a matching ignore
+// directive on their line or the line above, and reports malformed
+// directives as diagnostics in their own right.
+func filterSuppressed(fset *token.FileSet, files []*ast.File, analyzer string, diags []Diagnostic) (kept, malformed []Diagnostic) {
+	dirs := parseDirectives(fset, files)
+	if len(dirs) == 0 {
+		return diags, nil
+	}
+	covers := func(d directive) bool {
+		return d.malformed == "" && d.analyzers[analyzer]
+	}
+	for _, diag := range diags {
+		p := fset.Position(diag.Pos)
+		if d, ok := dirs[posKey(p.Filename, p.Line)]; ok && covers(d) && !d.standalone {
+			continue
+		}
+		if d, ok := dirs[posKey(p.Filename, p.Line-1)]; ok && covers(d) && d.standalone {
+			continue
+		}
+		kept = append(kept, diag)
+	}
+	for _, d := range dirs {
+		if d.malformed != "" {
+			malformed = append(malformed, Diagnostic{
+				Pos:      d.pos,
+				Message:  "malformed " + IgnoreDirective + " directive: " + d.malformed,
+				Analyzer: analyzer,
+			})
+		}
+	}
+	return kept, malformed
+}

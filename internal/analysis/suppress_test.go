@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+const suppressSrc = `package p
+
+func a() {
+	//rtklint:ignore alpha covered by the caller's lock
+	_ = 1 // finding on this line: suppressed for alpha only
+	_ = 2 //rtklint:ignore alpha,beta same-line, two analyzers
+	_ = 3
+	_ = 4 //rtklint:ignore beta
+	_ = 5 //rtklint:ignore
+}
+`
+
+// lineDiag fabricates a diagnostic on the given 1-based line.
+func lineDiag(f *token.File, line int, analyzer string) Diagnostic {
+	return Diagnostic{Pos: f.LineStart(line), Message: "finding", Analyzer: analyzer}
+}
+
+func parseSuppressSrc(t *testing.T) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", suppressSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, f
+}
+
+func TestSuppressionCoversLineAndLineBelow(t *testing.T) {
+	fset, f := parseSuppressSrc(t)
+	tf := fset.File(f.Pos())
+	diags := []Diagnostic{
+		lineDiag(tf, 5, "alpha"), // standalone directive on line 4 covers line 5
+		lineDiag(tf, 6, "alpha"), // trailing directive covers its own line
+		lineDiag(tf, 6, "beta"),  // same directive names both
+		lineDiag(tf, 7, "alpha"), // line 6's TRAILING directive must not leak here
+	}
+	kept, _ := filterSuppressed(fset, []*ast.File{f}, "alpha", diags[:2])
+	if len(kept) != 0 {
+		t.Fatalf("alpha diagnostics on covered lines kept: %v", kept)
+	}
+	kept, _ = filterSuppressed(fset, []*ast.File{f}, "beta", diags[2:3])
+	if len(kept) != 0 {
+		t.Fatalf("beta diagnostic on covered line kept: %v", kept)
+	}
+	kept, _ = filterSuppressed(fset, []*ast.File{f}, "alpha", diags[3:])
+	if len(kept) != 1 {
+		t.Fatalf("trailing directive leaked onto the next line: kept %v", kept)
+	}
+}
+
+func TestSuppressionIsPerAnalyzer(t *testing.T) {
+	fset, f := parseSuppressSrc(t)
+	tf := fset.File(f.Pos())
+	// The line-4 directive names alpha only; a beta finding on line 5 stays.
+	kept, _ := filterSuppressed(fset, []*ast.File{f}, "beta", []Diagnostic{lineDiag(tf, 5, "beta")})
+	if len(kept) != 1 {
+		t.Fatalf("beta finding suppressed by an alpha-only directive: kept %v", kept)
+	}
+}
+
+func TestMalformedDirectivesReported(t *testing.T) {
+	fset, f := parseSuppressSrc(t)
+	// Line 8's directive has no reason; line 9's names no analyzer. Both
+	// must surface as diagnostics, and neither suppresses anything.
+	tf := fset.File(f.Pos())
+	kept, malformed := filterSuppressed(fset, []*ast.File{f}, "beta", []Diagnostic{lineDiag(tf, 8, "beta")})
+	if len(kept) != 1 {
+		t.Fatalf("reasonless directive still suppressed its line: kept %v", kept)
+	}
+	if len(malformed) != 2 {
+		t.Fatalf("got %d malformed-directive reports, want 2: %v", len(malformed), malformed)
+	}
+	var noReason, noAnalyzer bool
+	for _, d := range malformed {
+		if strings.Contains(d.Message, "no reason") {
+			noReason = true
+		}
+		if strings.Contains(d.Message, "names no analyzer") {
+			noAnalyzer = true
+		}
+	}
+	if !noReason || !noAnalyzer {
+		t.Fatalf("malformed reports missing a case: %v", malformed)
+	}
+}

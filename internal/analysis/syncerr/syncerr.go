@@ -1,0 +1,144 @@
+// Package syncerr checks the durability packages' error discipline: in
+// code whose acknowledgements promise persistence (the write-ahead journal
+// and the serving layer's checkpoint path), an ignored error from Sync,
+// Close, Write or os.Rename is a silent hole in the fsync-before-202
+// contract — the write "succeeded" in the program and vanished on disk.
+//
+// The analyzer flags any statement that discards the error result of:
+//
+//   - (*os.File).Sync / Close / Write / WriteString / Truncate
+//   - os.Rename
+//   - an error-returning Sync / Close / Append / TruncateBelow method on
+//     any non-standard-library type (the journal and its kin)
+//
+// whether called as a bare expression statement, a go statement, or a
+// defer. Explicitly discarding with `_ = f.Close()` is allowed — it is
+// visible in review and greppable — as is a //rtklint:ignore suppression
+// with a reason.
+package syncerr
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "syncerr",
+	Doc:  "durability packages must check every Sync/Close/Write/Rename error",
+	Run:  run,
+}
+
+// fileMethods are the *os.File methods whose errors must be checked.
+var fileMethods = map[string]bool{
+	"Sync":        true,
+	"Close":       true,
+	"Write":       true,
+	"WriteString": true,
+	"Truncate":    true,
+}
+
+// durableMethods are checked on ANY non-stdlib receiver: these names are
+// the durability surface of the journal (wal.Log) and any future kin.
+var durableMethods = map[string]bool{
+	"Sync":          true,
+	"Close":         true,
+	"Append":        true,
+	"TruncateBelow": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = st.X.(*ast.CallExpr)
+			case *ast.GoStmt:
+				call = st.Call
+			case *ast.DeferStmt:
+				call = st.Call
+			}
+			if call == nil {
+				return true
+			}
+			if why := discardedDurableError(pass, call); why != "" {
+				pass.Reportf(call.Pos(), "%s", why)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// discardedDurableError describes the violation when the call's error
+// result is durability-relevant, or returns "".
+func discardedDurableError(pass *analysis.Pass, call *ast.CallExpr) string {
+	fn := analysis.CalleeFunc(pass.Info, call)
+	if fn == nil || !returnsError(fn) {
+		return ""
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() == nil {
+		if fn.Pkg() != nil && fn.Pkg().Path() == "os" && fn.Name() == "Rename" {
+			return "unchecked error from os.Rename — a failed rename must fail the commit, not vanish"
+		}
+		return ""
+	}
+	recv := sig.Recv().Type()
+	if analysis.IsNamedType(recv, "os", "File") {
+		if fileMethods[fn.Name()] {
+			return "unchecked error from (*os.File)." + fn.Name() +
+				" — in durability-critical code every sync/close/write error must be checked or explicitly discarded with _ ="
+		}
+		return ""
+	}
+	if durableMethods[fn.Name()] && moduleLocalReceiver(recv, pass.Pkg) {
+		return "unchecked error from (" + types.TypeString(recv, types.RelativeTo(pass.Pkg)) + ")." + fn.Name() +
+			" — durability-surface errors must be checked or explicitly discarded with _ ="
+	}
+	return ""
+}
+
+// returnsError reports whether the function's last result is error.
+func returnsError(fn *types.Func) bool {
+	res := fn.Type().(*types.Signature).Results()
+	if res.Len() == 0 {
+		return false
+	}
+	last := res.At(res.Len() - 1).Type()
+	return types.Identical(last, types.Universe.Lookup("error").Type())
+}
+
+// moduleLocalReceiver reports whether the receiver's named type is
+// declared in this module (same first import-path element as the analyzed
+// package), which is what separates the journal's durability surface from
+// stdlib types like net.Conn whose Close is not a persistence promise.
+func moduleLocalReceiver(t types.Type, analyzed *types.Package) bool {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := n.Obj().Pkg()
+	if pkg == nil {
+		return false
+	}
+	return firstPathElem(pkg.Path()) == firstPathElem(analyzed.Path())
+}
+
+func firstPathElem(path string) string {
+	for i := 0; i < len(path); i++ {
+		if path[i] == '/' {
+			return path[:i]
+		}
+	}
+	return path
+}

@@ -1,0 +1,61 @@
+// Package durability is the syncerr fixture: a miniature journal whose
+// error discipline the analyzer must police exactly as it polices
+// internal/wal and internal/serve.
+package durability
+
+import (
+	"os"
+	"strings"
+)
+
+// Journal stands in for wal.Log: a module-local type with a durability
+// surface (error-returning Close/Append/Sync/TruncateBelow).
+type Journal struct{}
+
+func (j *Journal) Close() error              { return nil }
+func (j *Journal) Append(wm uint64) error    { return nil }
+func (j *Journal) Sync() error               { return nil }
+func (j *Journal) TruncateBelow(uint64) error { return nil }
+func (j *Journal) Batches() int              { return 0 }
+
+func bad(f *os.File, j *Journal) {
+	f.Sync()             // want `unchecked error from \(\*os.File\).Sync`
+	f.Close()            // want `unchecked error from \(\*os.File\).Close`
+	f.Write([]byte("x")) // want `unchecked error from \(\*os.File\).Write`
+	f.WriteString("x")   // want `unchecked error from \(\*os.File\).WriteString`
+	f.Truncate(0)        // want `unchecked error from \(\*os.File\).Truncate`
+	os.Rename("a", "b")  // want `unchecked error from os.Rename`
+	defer f.Close()      // want `unchecked error from \(\*os.File\).Close`
+	go f.Close()         // want `unchecked error from \(\*os.File\).Close`
+	j.Close()            // want `unchecked error from \(\*Journal\).Close`
+	j.Append(7)          // want `unchecked error from \(\*Journal\).Append`
+	j.TruncateBelow(7)   // want `unchecked error from \(\*Journal\).TruncateBelow`
+}
+
+func good(f *os.File, j *Journal) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	_ = f.Close() // explicit discard is visible in review — allowed
+	if err := os.Rename("a", "b"); err != nil {
+		return err
+	}
+	j.Batches() // no error result — nothing to check
+	// WriteString on a non-file, non-module type is not a durability
+	// surface (the method-name match is receiver-typed, not name-only).
+	var b strings.Builder
+	b.WriteString("ok")
+	return j.Close()
+}
+
+func suppressed(f *os.File) {
+	//rtklint:ignore syncerr fixture: read-side close, nothing to lose
+	f.Close()
+	f.Sync() //rtklint:ignore syncerr fixture: same-line suppression
+}
+
+// A directive without a reason is itself a finding; the expectation is a
+// block comment because the directive comment runs to end of line.
+func malformed(f *os.File) {
+	_ = f /* want `malformed rtklint:ignore directive: has no reason` */ //rtklint:ignore syncerr
+}

@@ -137,14 +137,16 @@ type Index struct {
 	// hubMu guards the hubs pointer (swapped by SetHubMatrix); the Matrix
 	// itself is immutable once built.
 	hubMu sync.RWMutex
-	hubs  *hub.Matrix
+	hubs  *hub.Matrix // guarded by hubMu
 	// stripes[s] guards phat[u] and states[u] for every node u with
 	// stripeOf(u) == s (contiguous node ranges of ≈ n/lockStripes).
 	stripes [lockStripes]sync.RWMutex
 	// phat[u] is p̂^t_u(1:K): the K largest lower-bound proximities from
 	// u, descending. For hub nodes these are exact top-K values.
+	// Guarded by stripes.
 	phat [][]float64
 	// states[u] is the resumable BCA state of non-hub u; nil for hubs.
+	// Guarded by stripes.
 	states []*bca.State
 	// refinements counts committed post-build refinement steps (a
 	// diagnostic for the Fig. 7 experiment).

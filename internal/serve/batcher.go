@@ -33,7 +33,7 @@ type spmmBatcher struct {
 	window time.Duration
 
 	mu     sync.Mutex
-	groups map[*Snapshot]*spmmGroup // open (not yet fired) group per snapshot
+	groups map[*Snapshot]*spmmGroup // guarded by mu; open (not yet fired) group per snapshot
 }
 
 // spmmGroup is one forming batch, pinned to the snapshot all its members

@@ -92,16 +92,16 @@ func entryCost(val []byte) int64 { return int64(len(val)) + cacheEntryOverhead }
 type Cache struct {
 	mu       sync.Mutex
 	maxBytes int64
-	bytes    int64      // sum of entryCost over cached entries
-	ll       *list.List // front = most recently used
-	items    map[CacheKey]*list.Element
-	flights  map[CacheKey]*flight
+	bytes    int64                      // guarded by mu; sum of entryCost over cached entries
+	ll       *list.List                 // guarded by mu; front = most recently used
+	items    map[CacheKey]*list.Element // guarded by mu
+	flights  map[CacheKey]*flight       // guarded by mu
 	// liveEpoch (valid when haveLive) is the newest epoch DropOtherEpochs
 	// kept. A compute that straggles past a publish must not re-insert an
 	// entry for a dropped epoch: the key could never be looked up again,
-	// so it would only waste budget.
+	// so it would only waste budget. Guarded by mu.
 	liveEpoch uint64
-	haveLive  bool
+	haveLive  bool // guarded by mu
 }
 
 // NewCache creates a cache bounded to maxBytes of accounted payload.

@@ -2,9 +2,11 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"syscall"
 
 	"repro/internal/graph"
 	"repro/internal/lbindex"
@@ -109,7 +111,8 @@ func NewDurable(g *graph.Graph, idx *lbindex.Index, cfg Config, dcfg DurabilityC
 	}
 	s, err := newServer(g, idx, cfg)
 	if err != nil {
-		log.Close()
+		// Nothing has been appended; the journal's content is unchanged.
+		_ = log.Close()
 		return nil, nil, err
 	}
 	s.journal = log
@@ -219,7 +222,14 @@ func (s *Server) checkpoint() error {
 	}); err != nil {
 		return fmt.Errorf("writing checkpoint manifest: %w", err)
 	}
-	syncDir(s.ckptDir)
+	// The manifest rename is only a commit once the directory entry is on
+	// disk. Truncating the journal before that point could lose every
+	// replayable record while the "committed" checkpoint is still free to
+	// vanish on power loss — so a failed directory sync fails the
+	// checkpoint, keeping the journal intact for retry.
+	if err := syncDir(s.ckptDir); err != nil {
+		return fmt.Errorf("syncing checkpoint dir: %w", err)
+	}
 
 	if err := s.journal.TruncateBelow(wm); err != nil {
 		return fmt.Errorf("truncating journal at %d: %w", wm, err)
@@ -264,6 +274,7 @@ func loadCheckpoint(dir string) (*graph.Graph, *lbindex.Index, bool, error) {
 	if err != nil {
 		return nil, nil, false, err
 	}
+	//rtklint:ignore syncerr read-only fd — close errors cannot lose data that was never written
 	defer gf.Close()
 	builder, err := graph.ReadEdgeList(gf)
 	if err != nil {
@@ -295,12 +306,12 @@ func writeFileSynced(path string, fill func(*os.File) error) error {
 		return err
 	}
 	if err := fill(f); err != nil {
-		f.Close()
+		_ = f.Close()
 		os.Remove(tmp)
 		return err
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		_ = f.Close()
 		os.Remove(tmp)
 		return err
 	}
@@ -315,12 +326,26 @@ func writeFileSynced(path string, fill func(*os.File) error) error {
 	return nil
 }
 
-// syncDir fsyncs a directory, persisting renames within it. Best effort.
-func syncDir(dir string) {
-	d, err := os.Open(dir)
+// openDir opens a directory for fsync. A variable so tests can inject a
+// handle whose Sync fails and assert the checkpoint does not commit.
+var openDir = os.Open
+
+// syncDir fsyncs a directory, persisting renames within it, and reports
+// failure — the checkpoint's commit point is the manifest rename, and a
+// rename that is not in the directory's on-disk entry is not a commit.
+// Filesystems that refuse directory fsync outright (EINVAL) are tolerated:
+// there the rename is as durable as that filesystem makes anything.
+func syncDir(dir string) error {
+	d, err := openDir(dir)
 	if err != nil {
-		return
+		return err
 	}
-	d.Sync()
-	d.Close()
+	err = d.Sync()
+	if err != nil && errors.Is(err, syscall.EINVAL) {
+		err = nil
+	}
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

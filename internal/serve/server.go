@@ -105,9 +105,9 @@ type Server struct {
 	// the affected origins and hubs on an index clone, publishes the new
 	// epoch, and compacts the overlay once its delta crosses the
 	// threshold. Queries never wait on any of this.
-	mu     sync.Mutex // guards queue and closed
-	queue  []*editBatch
-	closed bool
+	mu     sync.Mutex
+	queue  []*editBatch  // guarded by mu
+	closed bool          // guarded by mu
 	wake   chan struct{} // cap-1 doorbell for the maintenance goroutine
 	stop   chan struct{}
 	done   chan struct{}
@@ -289,7 +289,14 @@ func (s *Server) Close() {
 	s.mu.Unlock()
 	<-s.done
 	if s.journal != nil {
-		s.journal.Close()
+		// Close has no error return (it must be safe in defers), so a
+		// failed final sync surfaces through the maintenance counters
+		// like any other durability fault.
+		if err := s.journal.Close(); err != nil {
+			s.maintErrors.Add(1)
+			msg := fmt.Sprintf("journal close failed: %v", err)
+			s.lastMaintError.Store(&msg)
+		}
 	}
 }
 

@@ -1,0 +1,105 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// failingDir returns an already-closed directory handle, so Sync (and
+// Close) on it fail — the injectable fault for the openDir hook.
+func failingDir(t *testing.T) func(string) (*os.File, error) {
+	t.Helper()
+	return func(dir string) (*os.File, error) {
+		d, err := os.Open(dir)
+		if err != nil {
+			return nil, err
+		}
+		if err := d.Close(); err != nil {
+			return nil, err
+		}
+		return d, nil
+	}
+}
+
+// TestWALTruncateBelowPropagatesDirSyncFailure is the regression test for
+// the silent `d.Sync()` in syncDir: a directory fsync failure after the
+// truncation rename must surface to the caller (the checkpoint aborts and
+// retries) instead of being swallowed — and must still leave the log
+// appendable, because the rename itself succeeded and the old fd points at
+// an unlinked inode.
+func TestWALTruncateBelowPropagatesDirSyncFailure(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "edits.wal")
+	l, _, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for _, r := range testRecords() { // watermarks 1, 2, 5
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	prev := openDir
+	openDir = failingDir(t)
+	err = l.TruncateBelow(2)
+	openDir = prev
+
+	if err == nil {
+		t.Fatal("TruncateBelow swallowed the directory-sync failure")
+	}
+	if !strings.Contains(err.Error(), "not durable") {
+		t.Fatalf("TruncateBelow error %q does not name the durability failure", err)
+	}
+
+	// The in-memory swap must have completed despite the error: the log
+	// still accepts appends, and they land in the renamed (truncated) file.
+	if l.Batches() != 1 {
+		t.Fatalf("after failed-sync truncation: %d batches, want 1", l.Batches())
+	}
+	if err := l.Append(Record{Watermark: 9, Edits: []graph.EdgeEdit{{From: 1, To: 2}}}); err != nil {
+		t.Fatalf("append after failed-sync truncation: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, rec, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	got := make([]uint64, 0, len(rec.Records))
+	for _, r := range rec.Records {
+		got = append(got, r.Watermark)
+	}
+	if len(got) != 2 || got[0] != 5 || got[1] != 9 {
+		t.Fatalf("recovered watermarks %v, want [5 9]", got)
+	}
+}
+
+// TestWALTruncateBelowDirSyncSuccessUnaffected pins the happy path through
+// the now-error-returning syncDir.
+func TestWALTruncateBelowDirSyncSuccessUnaffected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "edits.wal")
+	l, _, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for _, r := range testRecords() {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.TruncateBelow(2); err != nil {
+		t.Fatalf("TruncateBelow with healthy directory: %v", err)
+	}
+	if l.Batches() != 1 {
+		t.Fatalf("after truncation: %d batches, want 1", l.Batches())
+	}
+}

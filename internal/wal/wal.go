@@ -28,6 +28,7 @@ package wal
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -35,6 +36,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"syscall"
 
 	"repro/internal/graph"
 )
@@ -211,13 +213,13 @@ type Options struct {
 // use; Append and TruncateBelow serialize on an internal mutex.
 type Log struct {
 	mu      sync.Mutex
-	path    string
-	f       *os.File
-	size    int64
-	batches int
-	lastWM  uint64
-	noSync  bool
-	buf     []byte
+	path    string   // immutable after Open
+	f       *os.File // guarded by mu
+	size    int64    // guarded by mu
+	batches int      // guarded by mu
+	lastWM  uint64   // guarded by mu
+	noSync  bool     // immutable after Open
+	buf     []byte   // guarded by mu
 }
 
 // Recovery reports what Open found in an existing journal.
@@ -244,7 +246,7 @@ func Open(path string, opts Options) (*Log, *Recovery, error) {
 	l := &Log{path: path, f: f, noSync: opts.NoSync}
 	st, err := f.Stat()
 	if err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, nil, err
 	}
 	rec := &Recovery{}
@@ -252,11 +254,11 @@ func Open(path string, opts Options) (*Log, *Recovery, error) {
 		// Fresh journal: write and persist the header now, so a crash
 		// before the first append still leaves a well-formed file.
 		if _, err := f.Write([]byte(Magic)); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, nil, err
 		}
 		if err := l.sync(); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, nil, err
 		}
 		l.size = headerSize
@@ -264,28 +266,28 @@ func Open(path string, opts Options) (*Log, *Recovery, error) {
 	}
 	data, err := io.ReadAll(f)
 	if err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, nil, err
 	}
 	recs, valid, tailErr, err := Scan(data)
 	if err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, nil, fmt.Errorf("wal: %s: %w", path, err)
 	}
 	if valid < int64(len(data)) {
 		if err := f.Truncate(valid); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, nil, err
 		}
 		if err := l.sync(); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, nil, err
 		}
 		rec.DroppedBytes = int64(len(data)) - valid
 		rec.TailError = tailErr
 	}
 	if _, err := f.Seek(valid, io.SeekStart); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, nil, err
 	}
 	l.size = valid
@@ -302,6 +304,7 @@ func (l *Log) sync() error {
 	if l.noSync {
 		return nil
 	}
+	//rtklint:ignore lockguard caller holds l.mu — sync is an internal helper of Open/Append/Close
 	return l.f.Sync()
 }
 
@@ -385,12 +388,12 @@ func (l *Log) TruncateBelow(wm uint64) error {
 		lastWM = r.Watermark
 	}
 	if _, err := tf.Write(buf); err != nil {
-		tf.Close()
+		_ = tf.Close()
 		os.Remove(tmp)
 		return err
 	}
 	if err := tf.Sync(); err != nil {
-		tf.Close()
+		_ = tf.Close()
 		os.Remove(tmp)
 		return err
 	}
@@ -402,7 +405,11 @@ func (l *Log) TruncateBelow(wm uint64) error {
 		os.Remove(tmp)
 		return err
 	}
-	syncDir(l.path)
+	// The rename is only durable once the directory entry is persisted.
+	// Even if that fails the in-memory swap below must still happen — the
+	// old fd points at the unlinked inode, and appending there would lose
+	// acknowledged data — so finish the swap first and report after.
+	dirErr := syncDir(l.path)
 	// The old fd still points at the unlinked inode; swap to the new file
 	// positioned at its end.
 	nf, err := os.OpenFile(l.path, os.O_RDWR, 0o644)
@@ -410,10 +417,12 @@ func (l *Log) TruncateBelow(wm uint64) error {
 		return err
 	}
 	if _, err := nf.Seek(0, io.SeekEnd); err != nil {
-		nf.Close()
+		_ = nf.Close()
 		return err
 	}
-	l.f.Close()
+	// Close error on the unlinked old file is unactionable: every record
+	// that matters is already synced in the new file.
+	_ = l.f.Close()
 	l.f = nf
 	l.size = int64(len(buf))
 	l.batches = kept
@@ -422,6 +431,9 @@ func (l *Log) TruncateBelow(wm uint64) error {
 	}
 	// lastWM is sticky when nothing survived: appends must still ascend
 	// past everything ever journaled, truncated or not.
+	if dirErr != nil {
+		return fmt.Errorf("wal: truncation rename not durable: %w", dirErr)
+	}
 	return nil
 }
 
@@ -440,14 +452,27 @@ func (l *Log) Close() error {
 	return err
 }
 
-// syncDir fsyncs the directory containing path, persisting a rename. Best
-// effort: some filesystems refuse directory fsync, and the rename itself
-// is already atomic.
-func syncDir(path string) {
-	d, err := os.Open(filepath.Dir(path))
+// openDir opens a directory for fsync. A variable so tests can inject a
+// handle whose Sync fails and assert the error propagates.
+var openDir = os.Open
+
+// syncDir fsyncs the directory containing path, persisting a rename, and
+// reports failure to the caller — a rename that is not in the directory's
+// on-disk entry can vanish on power loss, which is exactly the data loss
+// the journal exists to prevent. Filesystems that refuse directory fsync
+// outright (EINVAL) are tolerated: there the rename is as durable as that
+// filesystem makes anything.
+func syncDir(path string) error {
+	d, err := openDir(filepath.Dir(path))
 	if err != nil {
-		return
+		return err
 	}
-	d.Sync()
-	d.Close()
+	err = d.Sync()
+	if err != nil && errors.Is(err, syscall.EINVAL) {
+		err = nil
+	}
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
