@@ -196,8 +196,8 @@ func main() {
 	fmt.Printf("%v\n", answer)
 	fmt.Printf("stats: candidates=%d hits=%d refine_steps=%d exact_fallbacks=%d committed=%d\n",
 		stats.Candidates, stats.Hits, stats.RefineSteps, stats.ExactFallbacks, stats.Committed)
-	fmt.Printf("time: total=%v pmpn=%v (%d PMPN iterations)\n",
-		stats.Elapsed.Round(time.Microsecond), stats.PMPNElapsed.Round(time.Microsecond), stats.PMPNIters)
+	fmt.Printf("time: total=%v%s (%d PMPN iterations)\n",
+		stats.Elapsed.Round(time.Microsecond), formatPhases(stats.Phases()), stats.PMPNIters)
 
 	if *save {
 		if err := idx.SaveFile(*indexPath); err != nil {
@@ -205,6 +205,18 @@ func main() {
 		}
 		fmt.Printf("saved refined index (%d refinement commits total)\n", idx.Refinements())
 	}
+}
+
+// formatPhases renders a QueryStats phase map as " pmpn=… decide=…" in a
+// fixed phase order, so repeated runs diff cleanly.
+func formatPhases(phases map[string]time.Duration) string {
+	var b strings.Builder
+	for _, name := range []string{"pmpn", "decide", "fallback", "mc"} {
+		if d, ok := phases[name]; ok {
+			fmt.Fprintf(&b, " %s=%v", name, d.Round(time.Microsecond))
+		}
+	}
+	return b.String()
 }
 
 // querySharded loads the shard-slice files and answers the query through

@@ -29,8 +29,17 @@
 //
 //	GET  /v1/reverse-topk?q=<node>&k=<k>
 //	GET  /v1/stats
+//	GET  /metrics                        Prometheus text exposition
+//	GET  /debug/slowlog?threshold=250ms  slow-query ring, newest first
 //	GET  /healthz
 //	POST /v1/edits        {"edits":[{"from":1,"to":2},{"from":3,"to":4,"remove":true}],"theta":0}
+//
+// Observability: the daemon emits one structured (JSON or logfmt-style
+// text) log line per request, carrying the X-RTK-Request-ID correlation
+// header that the fan-out coordinator stamps on every proxied shard call —
+// grep one ID across daemons to follow a query through the topology. Pass
+// -debug-addr to expose net/http/pprof on a separate (private) listener.
+// See the README's "Observability" section.
 //
 // Edits are asynchronous by default: the POST returns 202 with a journal
 // watermark and a single maintenance goroutine applies batches to the graph
@@ -62,9 +71,12 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -75,6 +87,46 @@ import (
 	"repro/internal/lbindex"
 	"repro/internal/serve"
 )
+
+// buildLogger constructs the structured request logger, writing to stderr
+// alongside the daemon's operational log.
+func buildLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	case "off":
+		return nil, nil
+	}
+	return nil, fmt.Errorf("-log must be text, json or off (got %q)", format)
+}
+
+// startDebugServer exposes net/http/pprof on its own listener so profiling
+// never shares a port with the public query API. The default mux is
+// deliberately not used: the pprof handlers are mounted explicitly on a
+// private mux bound to the (ideally loopback) debug address.
+func startDebugServer(addr string) {
+	if addr == "" {
+		return
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatalf("debug listener: %v", err)
+	}
+	log.Printf("pprof on http://%s/debug/pprof/", ln.Addr())
+	go func() {
+		if err := http.Serve(ln, mux); err != nil {
+			log.Printf("debug server stopped: %v", err)
+		}
+	}()
+}
 
 func main() {
 	log.SetFlags(0)
@@ -100,8 +152,18 @@ func main() {
 		ckptBytes   = flag.Int64("checkpoint-bytes", 0, "checkpoint once the journal exceeds this many bytes (0 = 64 MiB, negative disables the size trigger)")
 		ckptBatches = flag.Int("checkpoint-batches", 0, "checkpoint once the journal holds this many batches (0 = 1024, negative disables the count trigger)")
 		noSync      = flag.Bool("journal-no-sync", false, "skip the per-append fsync (benchmark escape hatch: a machine crash may lose recent acknowledgements)")
+
+		logFormat     = flag.String("log", "text", "structured request log format: text|json|off")
+		debugAddr     = flag.String("debug-addr", "", "private listen address for net/http/pprof (empty disables; never expose publicly)")
+		slowCapacity  = flag.Int("slowlog-capacity", 0, "slow-query ring capacity (0 = 256, negative disables)")
+		slowThreshold = flag.Duration("slowlog-threshold", 0, "record queries at least this slow (0 = 250ms, negative records all)")
 	)
 	flag.Parse()
+	logger, err := buildLogger(*logFormat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	startDebugServer(*debugAddr)
 	if *shards != "" {
 		// Coordinator mode holds no graph, index or cache; any serving
 		// flag alongside -shards is a mixed-up command line, not a request
@@ -109,7 +171,7 @@ func main() {
 		if *graphPath != "" || *indexPath != "" {
 			log.Fatal("-shards runs a pure coordinator: -graph/-index belong on the shard daemons")
 		}
-		runCoordinator(strings.Split(*shards, ","), *addr, *drain)
+		runCoordinator(strings.Split(*shards, ","), *addr, *drain, logger)
 		return
 	}
 	if *graphPath == "" {
@@ -178,12 +240,15 @@ func main() {
 	}
 
 	cfg := serve.Config{
-		CacheBytes:   *cacheBytes,
-		MaxInflight:  *maxInflight,
-		WorkerBudget: *workers,
-		CompactAfter: *compactAfter,
-		SpMMBatch:    *spmmBatch,
-		SpMMWindow:   *spmmWindow,
+		CacheBytes:       *cacheBytes,
+		MaxInflight:      *maxInflight,
+		WorkerBudget:     *workers,
+		CompactAfter:     *compactAfter,
+		SpMMBatch:        *spmmBatch,
+		SpMMWindow:       *spmmWindow,
+		Logger:           logger,
+		SlowLogCapacity:  *slowCapacity,
+		SlowLogThreshold: *slowThreshold,
 	}
 	var srv *serve.Server
 	if *journalPath != "" {
@@ -246,8 +311,8 @@ func main() {
 // graph or index — every query scatters to the shard daemons and the
 // disjoint answers merge into the exact global answer. See the README's
 // "Sharded serving" section for the topology.
-func runCoordinator(shardURLs []string, addr string, drain time.Duration) {
-	fan, err := serve.NewFanout(serve.FanoutConfig{Shards: shardURLs})
+func runCoordinator(shardURLs []string, addr string, drain time.Duration, logger *slog.Logger) {
+	fan, err := serve.NewFanout(serve.FanoutConfig{Shards: shardURLs, Logger: logger})
 	if err != nil {
 		log.Fatal(err)
 	}

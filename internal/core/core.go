@@ -92,6 +92,27 @@ type QueryStats struct {
 	// Under QueryBatch the resolution is shared across the whole batch
 	// and each pending query is charged the full shared wall time.
 	FallbackElapsed time.Duration
+	// DecideElapsed is the part of Elapsed spent in the candidate
+	// decision sweep (Algorithm 4's screen + bound refinement),
+	// excluding the deferred-fallback resolution counted separately in
+	// FallbackElapsed.
+	DecideElapsed time.Duration
+}
+
+// Phases breaks the query wall clock into named phases for tracing; only
+// phases that actually ran appear. Keys: "pmpn", "decide", "fallback".
+func (s *QueryStats) Phases() map[string]time.Duration {
+	p := make(map[string]time.Duration, 3)
+	if s.PMPNElapsed > 0 {
+		p["pmpn"] = s.PMPNElapsed
+	}
+	if s.DecideElapsed > 0 {
+		p["decide"] = s.DecideElapsed
+	}
+	if s.FallbackElapsed > 0 {
+		p["fallback"] = s.FallbackElapsed
+	}
+	return p
 }
 
 // Engine evaluates reverse top-k queries against a graph and its index.
@@ -237,7 +258,9 @@ func (e *Engine) Query(q graph.NodeID, k int) ([]graph.NodeID, QueryStats, error
 	// index, the owned subset on a shard slice (see lbindex.ShardSlice).
 	// Decisions are independent across nodes (decide(u) touches only u's
 	// own index entry), so the set shards cleanly across workers.
+	decideStart := time.Now()
 	results, err := e.decideSet(pq, k, e.idx.OwnedNodes(), &stats)
+	stats.DecideElapsed = time.Since(decideStart) - stats.FallbackElapsed
 	if err != nil {
 		return nil, stats, err
 	}
@@ -264,6 +287,7 @@ func (e *Engine) DecideList(pq []float64, k int, nodes []graph.NodeID) ([]graph.
 	}
 	start := time.Now()
 	results, err := e.decideSet(pq, k, nodes, &stats)
+	stats.DecideElapsed = time.Since(start) - stats.FallbackElapsed
 	if err != nil {
 		return nil, stats, err
 	}

@@ -1,0 +1,37 @@
+package core
+
+import "testing"
+
+// TestQueryPhaseTiming checks the phase breakdown the observability layer
+// exports: the named phase durations must be populated and must not exceed
+// the total wall clock.
+func TestQueryPhaseTiming(t *testing.T) {
+	g := randomGraph(3, 200, true)
+	idx := buildIndex(t, g, 10, 6)
+	e, err := NewEngine(g, idx, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stats, err := e.Query(5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.PMPNElapsed <= 0 {
+		t.Fatal("PMPNElapsed not recorded")
+	}
+	if stats.DecideElapsed < 0 {
+		t.Fatalf("DecideElapsed = %v, negative", stats.DecideElapsed)
+	}
+	if sum := stats.PMPNElapsed + stats.DecideElapsed + stats.FallbackElapsed; sum > stats.Elapsed*2 {
+		t.Fatalf("phases sum to %v, over twice total %v", sum, stats.Elapsed)
+	}
+	p := stats.Phases()
+	if _, ok := p["pmpn"]; !ok {
+		t.Fatalf("Phases() = %v, missing pmpn", p)
+	}
+	for name, d := range p {
+		if d <= 0 {
+			t.Fatalf("phase %q reported non-positive duration %v", name, d)
+		}
+	}
+}

@@ -123,6 +123,15 @@ func RunServeSmoke(cfg ServeConfig, progress io.Writer) ([]ServeRow, error) {
 	if err := drive("post-refresh"); err != nil {
 		return nil, err
 	}
+	// The smoke is also the exposition gate: the daemon that just served
+	// real traffic must scrape cleanly with every required metric family.
+	fams, err := ValidateExposition(base)
+	if err != nil {
+		return nil, err
+	}
+	if progress != nil {
+		fmt.Fprintf(progress, "serve: /metrics exposition valid (%d families)\n", fams)
+	}
 	return rows, nil
 }
 

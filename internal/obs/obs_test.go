@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndVec(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("jobs_total", "jobs")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	v := r.NewCounterVec("queries_total", "queries", "mode")
+	v.With("exact").Add(3)
+	v.With("approx").Inc()
+	if got := v.With("exact").Value(); got != 3 {
+		t.Fatalf("exact = %d, want 3", got)
+	}
+	if got := v.Total(); got != 4 {
+		t.Fatalf("total = %d, want 4", got)
+	}
+	// With returns the same counter for the same labels.
+	if v.With("exact") != v.With("exact") {
+		t.Fatal("With not stable for identical label values")
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.NewGauge("depth", "queue depth")
+	g.Set(3.5)
+	if got := g.Value(); got != 3.5 {
+		t.Fatalf("gauge = %g, want 3.5", got)
+	}
+	g.Set(-1)
+	if got := g.Value(); got != -1 {
+		t.Fatalf("gauge = %g, want -1", got)
+	}
+}
+
+func TestHistogramBucketsAndQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("lat", "latency", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	cum, count, sum := h.Snapshot()
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	if math.Abs(sum-106) > 1e-12 {
+		t.Fatalf("sum = %g, want 106", sum)
+	}
+	// le=1 holds {0.5, 1}; le=2 adds 1.5; le=4 adds 3; +Inf adds 100.
+	want := []uint64{2, 3, 4, 5}
+	for i, w := range want {
+		if cum[i] != w {
+			t.Fatalf("cumulative[%d] = %d, want %d (full: %v)", i, cum[i], w, cum)
+		}
+	}
+	// Median rank 2.5 lands in the le=2 bucket (cumulative 2→3).
+	if q := h.Quantile(0.5); q < 1 || q > 2 {
+		t.Fatalf("p50 = %g, want within (1,2]", q)
+	}
+	// p99 lands in the +Inf bucket → highest finite bound.
+	if q := h.Quantile(0.99); q != 4 {
+		t.Fatalf("p99 = %g, want 4 (top finite bound)", q)
+	}
+}
+
+func TestHistogramEmptyQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("empty", "no observations", nil)
+	if q := h.Quantile(0.5); q != 0 {
+		t.Fatalf("empty histogram p50 = %g, want 0", q)
+	}
+}
+
+// TestHistogramConcurrency hammers one histogram from many goroutines; run
+// under -race it checks the lock-free hot path, and the final snapshot
+// must account for every observation exactly.
+func TestHistogramConcurrency(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("conc", "concurrent", []float64{0.25, 0.5, 0.75})
+	v := r.NewCounterVec("conc_total", "concurrent counters", "worker")
+	const workers, per = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lab := string(rune('a' + w))
+			for i := 0; i < per; i++ {
+				h.Observe(float64(i%100) / 100)
+				v.With(lab).Inc()
+			}
+		}(w)
+	}
+	wg.Wait()
+	_, count, sum := h.Snapshot()
+	if count != workers*per {
+		t.Fatalf("count = %d, want %d", count, workers*per)
+	}
+	// Each worker contributes sum_{i<per} (i mod 100)/100 = (per/100)*49.5.
+	wantSum := float64(workers) * float64(per/100) * 49.5
+	if math.Abs(sum-wantSum) > 1e-6*wantSum {
+		t.Fatalf("sum = %g, want %g", sum, wantSum)
+	}
+	if got := v.Total(); got != workers*per {
+		t.Fatalf("vec total = %d, want %d", got, workers*per)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("dup", "first")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.NewGauge("dup", "second")
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid metric name did not panic")
+		}
+	}()
+	r.NewCounter("bad name", "spaces are not allowed")
+}
+
+func TestRequestIDsUniqueAndWellFormed(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 10000; i++ {
+		id := NewRequestID()
+		if len(id) != 16 {
+			t.Fatalf("id %q: want 16 hex chars", id)
+		}
+		for _, c := range id {
+			if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+				t.Fatalf("id %q: non-hex char %q", id, c)
+			}
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %q after %d draws", id, i)
+		}
+		seen[id] = true
+	}
+}

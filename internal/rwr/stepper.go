@@ -65,6 +65,13 @@ type ToStepper struct {
 	tail      float64
 	residual  float64
 	converged bool
+
+	// RoundHook, when set, observes every completed iteration: it is
+	// called with the iteration count so far, the current L1 residual and
+	// the tail error bound. Purely observational — it must not mutate the
+	// stepper — and it runs on the Step caller's goroutine, so a cheap
+	// hook adds no synchronization to the iteration itself.
+	RoundHook func(iter int, residual, tail float64)
 }
 
 // NewToStepper prepares a stepped PMPN run for query node q. workers bounds
@@ -121,6 +128,9 @@ func (s *ToStepper) Step(iters int) (bool, error) {
 		s.iterateOnce()
 		s.iters++
 		s.tail *= 1 - s.p.Alpha
+		if s.RoundHook != nil {
+			s.RoundHook(s.iters, s.residual, s.tail)
+		}
 		if s.residual < s.p.Eps {
 			s.converged = true
 			return true, nil

@@ -1,0 +1,55 @@
+package rwr
+
+import "testing"
+
+// TestStepperRoundHook verifies the per-iteration observation hook: it
+// must fire once per iteration with strictly ascending counts and a
+// non-increasing tail bound, end exactly at Iterations(), and leave the
+// computed vector untouched.
+func TestStepperRoundHook(t *testing.T) {
+	g := stepperGraph(t, "web", 300)
+	p := DefaultParams()
+	want, err := ProximityToParallel(g, 3, p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewToStepper(g, 3, p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var iters []int
+	lastTail := 2.0
+	s.RoundHook = func(iter int, residual, tail float64) {
+		iters = append(iters, iter)
+		if tail > lastTail {
+			t.Fatalf("iter %d: tail %g grew from %g", iter, tail, lastTail)
+		}
+		lastTail = tail
+		if residual < 0 {
+			t.Fatalf("iter %d: negative residual %g", iter, residual)
+		}
+	}
+	for done := false; !done; {
+		done, err = s.Step(7)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(iters) != s.Iterations() {
+		t.Fatalf("hook fired %d times, stepper ran %d iterations", len(iters), s.Iterations())
+	}
+	for i, it := range iters {
+		if it != i+1 {
+			t.Fatalf("hook observation %d reported iter %d, want %d", i, it, i+1)
+		}
+	}
+	got := s.Result()
+	if got.Iterations != want.Iterations {
+		t.Fatalf("hooked run took %d iterations, plain run %d", got.Iterations, want.Iterations)
+	}
+	for u := range want.Vector {
+		if got.Vector[u] != want.Vector[u] {
+			t.Fatalf("hook changed the iterate at %d: %g != %g", u, got.Vector[u], want.Vector[u])
+		}
+	}
+}

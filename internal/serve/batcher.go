@@ -44,14 +44,17 @@ type spmmGroup struct {
 	timer   *time.Timer
 }
 
-// spmmEntry is one request's membership in a group; done closes when body
-// and err are final.
+// spmmEntry is one request's membership in a group; done closes when body,
+// err and stats are final.
 type spmmEntry struct {
 	q    graph.NodeID
 	k    int
 	done chan struct{}
 	body []byte
 	err  error
+	// stats is this query's own phase record from the group computation,
+	// written by the deliver callback before done closes.
+	stats core.QueryStats
 }
 
 func newSpmmBatcher(width int, window time.Duration) *spmmBatcher {
@@ -100,12 +103,24 @@ func (s *Server) runGroup(g *spmmGroup) {
 	entries := g.entries
 	if len(entries) == 1 {
 		e := entries[0]
-		e.body, e.err = s.computeScalar(g.snap, e.q, e.k)
+		var tr queryTrace
+		e.body, e.err = s.computeScalar(g.snap, e.q, e.k, &tr)
+		e.stats.PMPNIters = tr.pmpnIters
+		for name, d := range tr.phases {
+			switch name {
+			case "pmpn":
+				e.stats.PMPNElapsed = d
+			case "decide":
+				e.stats.DecideElapsed = d
+			case "fallback":
+				e.stats.FallbackElapsed = d
+			}
+		}
 		close(e.done)
 		return
 	}
-	s.spmmGroups.Add(1)
-	s.spmmBatched.Add(int64(len(entries)))
+	s.m.spmmGroups.Inc()
+	s.m.spmmBatched.Add(uint64(len(entries)))
 	qs := make([]graph.NodeID, len(entries))
 	ks := make([]int, len(entries))
 	for i, e := range entries {
@@ -125,11 +140,12 @@ func (s *Server) runGroup(g *spmmGroup) {
 	if workers > s.budget {
 		workers = s.budget
 	}
-	err := g.snap.View.QueryMulti(qs, ks, workers, func(i int, answer []graph.NodeID, _ core.QueryStats, qerr error) {
+	err := g.snap.View.QueryMulti(qs, ks, workers, func(i int, answer []graph.NodeID, qstats core.QueryStats, qerr error) {
 		e := entries[i]
 		if gate := s.testDeliverGate; gate != nil {
 			gate(e.q)
 		}
+		e.stats = qstats
 		if qerr != nil {
 			e.err = qerr
 			close(e.done)
@@ -138,7 +154,7 @@ func (s *Server) runGroup(g *spmmGroup) {
 		if answer == nil {
 			answer = []graph.NodeID{}
 		}
-		s.computed.Add(1)
+		s.m.computed.With("exact").Inc()
 		e.body, e.err = json.Marshal(QueryResponse{
 			Query:   e.q,
 			K:       e.k,

@@ -45,10 +45,10 @@ func TestBatchedQueriesMatchOracle(t *testing.T) {
 		}
 		wg.Wait()
 	}
-	if got := s.spmmBatched.Load(); got == 0 {
+	if got := s.m.spmmBatched.Value(); got == 0 {
 		t.Error("no queries went through the SpMM tier despite concurrent bursts")
 	}
-	if groups := s.spmmGroups.Load(); groups == 0 {
+	if groups := s.m.spmmGroups.Value(); groups == 0 {
 		t.Error("no SpMM groups fired")
 	}
 }
@@ -168,7 +168,7 @@ func TestSpMMBatchDisabled(t *testing.T) {
 		}()
 	}
 	wg.Wait()
-	if s.spmmGroups.Load() != 0 || s.spmmBatched.Load() != 0 {
+	if s.m.spmmGroups.Value() != 0 || s.m.spmmBatched.Value() != 0 {
 		t.Error("SpMM counters moved with batching disabled")
 	}
 }

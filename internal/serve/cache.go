@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/graph"
 )
@@ -102,6 +103,14 @@ type Cache struct {
 	// so it would only waste budget. Guarded by mu.
 	liveEpoch uint64
 	haveLive  bool // guarded by mu
+
+	// Eviction accounting, by cause: entries evicted to stay under the
+	// byte budget, entries dropped on an epoch swap, and completed values
+	// refused because they exceed the whole budget (or their epoch was
+	// already stale at insert). Read by the metrics layer.
+	evictedCapacity atomic.Int64
+	droppedEpoch    atomic.Int64
+	skippedOversize atomic.Int64
 }
 
 // NewCache creates a cache bounded to maxBytes of accounted payload.
@@ -182,7 +191,12 @@ func (c *Cache) GetOrCompute(k CacheKey, compute func() ([]byte, error)) ([]byte
 				c.ll.Remove(oldest)
 				delete(c.items, e.key)
 				c.bytes -= entryCost(e.val)
+				c.evictedCapacity.Add(1)
 			}
+		} else if completed && f.err == nil {
+			// A completed value the cache refused: too big for the whole
+			// budget, or computed for an epoch that was dropped mid-flight.
+			c.skippedOversize.Add(1)
 		} else if !completed {
 			// compute panicked: release waiters with an error instead of
 			// leaving them blocked forever (the panic itself propagates).
@@ -220,5 +234,6 @@ func (c *Cache) DropOtherEpochs(keep uint64) int {
 		}
 		el = next
 	}
+	c.droppedEpoch.Add(int64(dropped))
 	return dropped
 }

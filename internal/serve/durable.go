@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"syscall"
+	"time"
 
 	"repro/internal/graph"
 	"repro/internal/lbindex"
@@ -105,15 +106,22 @@ func NewDurable(g *graph.Graph, idx *lbindex.Index, cfg Config, dcfg DurabilityC
 	base := idx.Watermark()
 	info.CheckpointWatermark = base
 
-	log, rec, err := wal.Open(dcfg.JournalPath, wal.Options{NoSync: dcfg.NoSync})
-	if err != nil {
-		return nil, nil, fmt.Errorf("serve: opening journal: %w", err)
-	}
+	// The server (and its metric registry) is built first so the journal's
+	// append hook can observe into it; the maintenance goroutine has not
+	// started, so a journal-open failure leaks nothing.
 	s, err := newServer(g, idx, cfg)
 	if err != nil {
-		// Nothing has been appended; the journal's content is unchanged.
-		_ = log.Close()
 		return nil, nil, err
+	}
+	log, rec, err := wal.Open(dcfg.JournalPath, wal.Options{
+		NoSync: dcfg.NoSync,
+		OnAppend: func(bytes int, elapsed time.Duration) {
+			s.m.walBytes.Add(uint64(bytes))
+			s.m.walDur.Observe(elapsed.Seconds())
+		},
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("serve: opening journal: %w", err)
 	}
 	s.journal = log
 	s.ckptDir = dcfg.CheckpointDir
@@ -170,11 +178,14 @@ func (s *Server) maybeCheckpoint() {
 	if !sizeHit && !countHit {
 		return
 	}
+	start := time.Now()
 	if err := s.checkpoint(); err != nil {
-		s.maintErrors.Add(1)
+		s.m.maintErrors.Inc()
 		msg := fmt.Sprintf("checkpoint failed: %v", err)
 		s.lastMaintError.Store(&msg)
+		return
 	}
+	s.m.ckptDur.Observe(time.Since(start).Seconds())
 }
 
 // checkpoint writes the current (graph, index) pair to the checkpoint
@@ -238,8 +249,9 @@ func (s *Server) checkpoint() error {
 		os.Remove(filepath.Join(s.ckptDir, prev.Graph))
 		os.Remove(filepath.Join(s.ckptDir, prev.Index))
 	}
-	s.checkpoints.Add(1)
+	s.m.checkpoints.Inc()
 	s.lastCkptWM.Store(wm)
+	s.lastCkptNS.Store(time.Now().UnixNano())
 	return nil
 }
 

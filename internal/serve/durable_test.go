@@ -514,7 +514,7 @@ func TestEditsResponseHeadersAndWriteAccounting(t *testing.T) {
 	if s.Stats().ResponseWriteDrops != 0 {
 		t.Fatal("write drops counted without any failure")
 	}
-	s.writeJSON(&failingWriter{}, http.StatusAccepted, []byte(`{}`))
+	s.writeJSON(&failingWriter{}, "edits", http.StatusAccepted, []byte(`{}`))
 	if got := s.Stats().ResponseWriteDrops; got != 1 {
 		t.Fatalf("write drops %d after a failed write, want 1", got)
 	}

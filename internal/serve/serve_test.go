@@ -412,7 +412,7 @@ func TestServeAdmissionControl(t *testing.T) {
 	if code := <-first; code != http.StatusOK {
 		t.Fatalf("gated request finished with %d, want 200", code)
 	}
-	if got := s.rejected.Load(); got != 1 {
+	if got := s.Stats().Rejected; got != 1 {
 		t.Errorf("rejected counter %d, want 1", got)
 	}
 
@@ -476,7 +476,7 @@ func TestServeSingleFlight(t *testing.T) {
 	close(gateRelease)
 	wg.Wait()
 
-	if got := s.computed.Load(); got != 1 {
+	if got := s.Stats().Computed; got != 1 {
 		t.Fatalf("%d identical concurrent queries ran the engine %d times, want 1", clients, got)
 	}
 	misses := 0

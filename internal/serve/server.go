@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/evolve"
 	"repro/internal/graph"
 	"repro/internal/lbindex"
+	"repro/internal/obs"
 	"repro/internal/wal"
 )
 
@@ -52,6 +54,17 @@ type Config struct {
 	// groups immediately (batching only captures truly simultaneous
 	// arrivals).
 	SpMMWindow time.Duration
+	// Logger, when set, receives one structured line per query request
+	// (request id, mode, cache status, latency, phase counters). Nil
+	// disables request logging; metrics and the slow log still record.
+	Logger *slog.Logger
+	// SlowLogCapacity bounds the slow-query ring. 0 selects
+	// DefaultSlowLogCapacity; negative disables slow-query capture.
+	SlowLogCapacity int
+	// SlowLogThreshold is the duration at which a query enters the slow
+	// log. 0 selects DefaultSlowLogThreshold; negative records every
+	// query.
+	SlowLogThreshold time.Duration
 }
 
 // DefaultCacheBytes is the result-cache byte budget when Config.CacheBytes
@@ -124,43 +137,29 @@ type Server struct {
 	// write-ahead journal every accepted batch is fsync'd to before its
 	// watermark is acknowledged, and the checkpoint policy that bounds how
 	// much of it a recovery must replay.
-	journal      *wal.Log
-	ckptDir      string
-	ckptBytes    int64
-	ckptBatches  int
-	checkpoints  atomic.Int64
-	lastCkptWM   atomic.Uint64
-	replayed     int
-	replayDrop   int64
-	writeDropped atomic.Int64
+	journal     *wal.Log
+	ckptDir     string
+	ckptBytes   int64
+	ckptBatches int
+	lastCkptWM  atomic.Uint64
+	lastCkptNS  atomic.Int64
+	replayed    int
+	replayDrop  int64
 
-	served     atomic.Int64
-	computed   atomic.Int64
-	cacheHits  atomic.Int64
-	coalesced  atomic.Int64
-	rejected   atomic.Int64
-	errored    atomic.Int64
-	epochSwaps atomic.Int64
+	// Observability: every monotone counter lives on the registry (the
+	// /metrics source; /v1/stats reads the same instruments), the slow
+	// log captures outlier queries, and logger emits one structured line
+	// per request when configured.
+	reg    *obs.Registry
+	m      *metrics
+	slow   *obs.SlowLog
+	logger *slog.Logger
 
-	// spmmGroups counts SpMM groups fired at width ≥ 2; spmmBatched counts
-	// the queries they served.
-	spmmGroups  atomic.Int64
-	spmmBatched atomic.Int64
-
-	// Anytime tier counters: computations actually run (cache misses),
-	// their screen rounds, and their Monte Carlo walk total.
-	approxComputed atomic.Int64
-	approxRounds   atomic.Int64
-	approxMCWalks  atomic.Int64
-
-	maintErrors    atomic.Int64
 	lastRejectedWM atomic.Uint64
-	compactions    atomic.Int64
 	lastMaintNS    atomic.Int64
 	lastAffOrigins atomic.Int64
 	lastAffHubs    atomic.Int64
 	lastMaintError atomic.Pointer[string]
-	nodesGrown     atomic.Int64
 
 	// testComputeGate, when set by tests, runs inside every admitted
 	// computation — used to hold computations open deterministically.
@@ -252,6 +251,15 @@ func newServer(g *graph.Graph, idx *lbindex.Index, cfg Config) (*Server, error) 
 	if cfg.SpMMWindow < 0 {
 		cfg.SpMMWindow = 0
 	}
+	slowCap := cfg.SlowLogCapacity
+	if slowCap == 0 {
+		slowCap = DefaultSlowLogCapacity
+	}
+	slowThresh := cfg.SlowLogThreshold
+	if slowThresh == 0 {
+		slowThresh = DefaultSlowLogThreshold
+	}
+	reg := obs.NewRegistry()
 	s := &Server{
 		store:        store,
 		cache:        NewCache(cfg.CacheBytes),
@@ -262,11 +270,16 @@ func newServer(g *graph.Graph, idx *lbindex.Index, cfg Config) (*Server, error) 
 		done:         make(chan struct{}),
 		compactAfter: cfg.CompactAfter,
 		start:        time.Now(),
+		reg:          reg,
+		m:            newMetrics(reg),
+		slow:         obs.NewSlowLog(slowCap, slowThresh),
+		logger:       cfg.Logger,
 	}
 	if cfg.SpMMBatch > 1 {
 		s.batcher = newSpmmBatcher(cfg.SpMMBatch, cfg.SpMMWindow)
 	}
 	store.AttachCache(s.cache)
+	s.registerGauges(reg)
 	s.overlay.Store(graph.NewOverlay(g))
 	// Index watermarks start where the loaded image left off; a freshly
 	// built index is watermark 0. Enqueues continue from there.
@@ -293,7 +306,7 @@ func (s *Server) Close() {
 		// failed final sync surfaces through the maintenance counters
 		// like any other durability fault.
 		if err := s.journal.Close(); err != nil {
-			s.maintErrors.Add(1)
+			s.m.maintErrors.Inc()
 			msg := fmt.Sprintf("journal close failed: %v", err)
 			s.lastMaintError.Store(&msg)
 		}
@@ -326,12 +339,16 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 //	GET  /v1/reverse-topk?q=<node>&k=<k>  — answer a query exactly
 //	     (&mode=approx&eps=<ε>&delta=<δ>   — anytime approximate tier)
 //	GET  /v1/stats                        — serving + maintenance counters
+//	GET  /metrics                         — Prometheus text exposition
+//	GET  /debug/slowlog                   — slow-query ring (?threshold= filters)
 //	GET  /healthz                         — liveness (503 when draining)
 //	POST /v1/edits                        — enqueue graph edits (202 + watermark; "wait":true blocks)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/reverse-topk", s.handleQuery)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.Handle("GET /metrics", s.reg.Handler())
+	mux.Handle("GET /debug/slowlog", s.slow.Handler())
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("POST /v1/edits", s.handleEdits)
 	return mux
@@ -377,27 +394,33 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	begin := time.Now()
+	id := ensureRequestID(w, r)
 	params := r.URL.Query()
 	qStr, kStr := params.Get("q"), params.Get("k")
 	if qStr == "" || kStr == "" {
-		writeError(w, http.StatusBadRequest, "q and k query parameters are required")
+		s.httpError(w, "query", http.StatusBadRequest, "q and k query parameters are required")
 		return
 	}
 	q, err := strconv.Atoi(qStr)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "malformed q=%q: %v", qStr, err)
+		s.httpError(w, "query", http.StatusBadRequest, "malformed q=%q: %v", qStr, err)
 		return
 	}
 	k, err := strconv.Atoi(kStr)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "malformed k=%q: %v", kStr, err)
+		s.httpError(w, "query", http.StatusBadRequest, "malformed k=%q: %v", kStr, err)
 		return
 	}
 
 	approx, eps, delta, perr := ParseApproxParams(params.Get("mode"), params.Get("eps"), params.Get("delta"))
 	if perr != nil {
-		writeError(w, perr.Status, "%s", perr.Error())
+		s.httpError(w, "query", perr.Status, "%s", perr.Error())
 		return
+	}
+	mode := "exact"
+	if approx {
+		mode = ModeApprox
 	}
 
 	// One snapshot per request: every read below — validation bounds, the
@@ -406,7 +429,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// same helper cmd/rtkquery uses, so CLI and HTTP reject identically.
 	snap := s.store.Current()
 	if perr := ValidateQueryParams(q, k, snap.View.N(), snap.View.MaxK()); perr != nil {
-		writeError(w, perr.Status, "%s", perr.Error())
+		s.httpError(w, "query", perr.Status, "%s", perr.Error())
 		return
 	}
 
@@ -414,34 +437,49 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if approx {
 		key.Mode, key.Eps, key.Delta = ModeApprox, eps, delta
 	}
+	// The trace is written only by the computation THIS request runs (a
+	// hit or coalesced wait leaves it empty — that work was traced by the
+	// request that computed it), so no synchronization is needed.
+	tr := &queryTrace{}
 	body, status, err := s.cache.GetOrCompute(key, func() ([]byte, error) {
 		if approx {
-			return s.computeApprox(snap, graph.NodeID(q), k, eps, delta)
+			return s.computeApprox(snap, graph.NodeID(q), k, eps, delta, tr)
 		}
-		return s.compute(snap, graph.NodeID(q), k)
+		return s.compute(snap, graph.NodeID(q), k, tr)
 	})
 	if err != nil {
 		if errors.Is(err, errSaturated) {
-			s.rejected.Add(1)
+			s.m.rejected.Inc()
 			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusServiceUnavailable, "server saturated: %d computations in flight", s.maxInflight)
+			s.httpError(w, "query", http.StatusServiceUnavailable, "server saturated: %d computations in flight", s.maxInflight)
 			return
 		}
-		s.errored.Add(1)
-		writeError(w, http.StatusInternalServerError, "query failed: %v", err)
+		s.m.failures.Inc()
+		s.httpError(w, "query", http.StatusInternalServerError, "query failed: %v", err)
+		s.observeQuery(id, mode, q, k, snap.Epoch, status, http.StatusInternalServerError, time.Since(begin), tr)
 		return
 	}
-	switch status {
-	case StatusHit:
-		s.cacheHits.Add(1)
-	case StatusCoalesced:
-		s.coalesced.Add(1)
-	}
-	s.served.Add(1)
+	s.m.cacheRes.With(cacheLabel(status)).Inc()
+	s.m.served.With(mode).Inc()
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Cache", status.String())
 	w.Header().Set("X-Epoch", strconv.FormatUint(snap.Epoch, 10))
-	w.Write(body)
+	s.writeBody(w, "query", body)
+	s.observeQuery(id, mode, q, k, snap.Epoch, status, http.StatusOK, time.Since(begin), tr)
+}
+
+// cacheLabel maps a cache status onto its metric label.
+func cacheLabel(st CacheStatus) string {
+	switch st {
+	case StatusHit:
+		return "hit"
+	case StatusCoalesced:
+		return "coalesced"
+	case StatusBypass:
+		return "bypass"
+	default:
+		return "miss"
+	}
 }
 
 // compute runs one admitted computation against a pinned snapshot and
@@ -451,7 +489,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // query joins its snapshot's group and blocks until ITS result delivers:
 // the admission slot is per query and frees as soon as this query is
 // answered, even while the rest of the group is still computing.
-func (s *Server) compute(snap *Snapshot, q graph.NodeID, k int) ([]byte, error) {
+func (s *Server) compute(snap *Snapshot, q graph.NodeID, k int, tr *queryTrace) ([]byte, error) {
 	active := s.active.Add(1)
 	defer s.active.Add(-1)
 	if active > s.maxInflight {
@@ -463,28 +501,38 @@ func (s *Server) compute(snap *Snapshot, q graph.NodeID, k int) ([]byte, error) 
 	if s.batcher != nil {
 		e := s.joinGroup(snap, q, k)
 		<-e.done
+		// The deliver callback filled e.stats before closing done, so the
+		// channel receive orders this read after that write.
+		tr.computed = true
+		tr.pmpnIters = e.stats.PMPNIters
+		tr.setPhases(e.stats.Phases())
 		return e.body, e.err
 	}
-	return s.computeScalar(snap, q, k)
+	return s.computeScalar(snap, q, k, tr)
 }
 
 // computeScalar is the unbatched computation: one engine query with this
 // computation's dealt share of the worker budget, mirroring
 // core.QueryBatch — a lone query gets the whole budget, a busy server runs
 // sequential engines.
-func (s *Server) computeScalar(snap *Snapshot, q graph.NodeID, k int) ([]byte, error) {
+func (s *Server) computeScalar(snap *Snapshot, q graph.NodeID, k int, tr *queryTrace) ([]byte, error) {
 	workers := s.budget / int(max(s.active.Load(), 1))
 	if workers < 1 {
 		workers = 1
 	}
-	results, _, err := snap.View.Query(q, k, workers)
+	results, stats, err := snap.View.Query(q, k, workers)
 	if err != nil {
 		return nil, err
 	}
 	if results == nil {
 		results = []graph.NodeID{}
 	}
-	s.computed.Add(1)
+	s.m.computed.With("exact").Inc()
+	if tr != nil {
+		tr.computed = true
+		tr.pmpnIters = stats.PMPNIters
+		tr.setPhases(stats.Phases())
+	}
 	return json.Marshal(QueryResponse{
 		Query:   q,
 		K:       k,
@@ -500,7 +548,7 @@ func (s *Server) computeScalar(snap *Snapshot, q graph.NodeID, k int) ([]byte, e
 // round loop interleaves screens with iteration blocks, which the SpMM slab
 // cannot host. The Monte Carlo seed is a pure function of (epoch, q, k), so
 // recomputing a dropped cache entry reproduces the evicted body bytes.
-func (s *Server) computeApprox(snap *Snapshot, q graph.NodeID, k int, eps, delta float64) ([]byte, error) {
+func (s *Server) computeApprox(snap *Snapshot, q graph.NodeID, k int, eps, delta float64, tr *queryTrace) ([]byte, error) {
 	active := s.active.Add(1)
 	defer s.active.Add(-1)
 	if active > s.maxInflight {
@@ -525,9 +573,22 @@ func (s *Server) computeApprox(snap *Snapshot, q graph.NodeID, k int, eps, delta
 	if maybe == nil {
 		maybe = []graph.NodeID{}
 	}
-	s.approxComputed.Add(1)
-	s.approxRounds.Add(int64(res.Stats.Rounds))
-	s.approxMCWalks.Add(res.Stats.MCWalks)
+	s.m.computed.With(ModeApprox).Inc()
+	s.m.approxRounds.Add(uint64(res.Stats.Rounds))
+	s.m.approxMCWalks.Add(uint64(res.Stats.MCWalks))
+	if tr != nil {
+		tr.computed = true
+		tr.pmpnIters = res.Stats.PMPNIters
+		tr.rounds = res.Stats.Rounds
+		phases := map[string]time.Duration{}
+		if res.Stats.PMPNElapsed > 0 {
+			phases["pmpn"] = res.Stats.PMPNElapsed
+		}
+		if res.Stats.MCElapsed > 0 {
+			phases["mc"] = res.Stats.MCElapsed
+		}
+		tr.setPhases(phases)
+	}
 	return json.Marshal(ApproxQueryResponse{
 		Query:       q,
 		K:           k,
@@ -636,13 +697,13 @@ func (s *Server) Stats() StatsResponse {
 		Epoch:         snap.Epoch,
 		Nodes:         snap.View.N(),
 		MaxK:          snap.View.MaxK(),
-		Served:        s.served.Load(),
-		Computed:      s.computed.Load(),
-		CacheHits:     s.cacheHits.Load(),
-		Coalesced:     s.coalesced.Load(),
-		Rejected:      s.rejected.Load(),
-		Errors:        s.errored.Load(),
-		EpochSwaps:    s.epochSwaps.Load(),
+		Served:        int64(s.m.served.Total()),
+		Computed:      int64(s.m.computed.With("exact").Value()),
+		CacheHits:     int64(s.m.cacheRes.With("hit").Value()),
+		Coalesced:     int64(s.m.cacheRes.With("coalesced").Value()),
+		Rejected:      int64(s.m.rejected.Value()),
+		Errors:        int64(s.m.failures.Value()),
+		EpochSwaps:    int64(s.m.epochSwaps.Value()),
 		CacheLen:      s.cache.Len(),
 		CacheBytes:    s.cache.Bytes(),
 		CacheCapBytes: s.cache.Cap(),
@@ -651,12 +712,12 @@ func (s *Server) Stats() StatsResponse {
 		Draining:      s.draining.Load(),
 		UptimeSeconds: time.Since(s.start).Seconds(),
 
-		SpMMGroups:         s.spmmGroups.Load(),
-		SpMMBatchedQueries: s.spmmBatched.Load(),
+		SpMMGroups:         int64(s.m.spmmGroups.Value()),
+		SpMMBatchedQueries: int64(s.m.spmmBatched.Value()),
 
-		ApproxComputed: s.approxComputed.Load(),
-		ApproxRounds:   s.approxRounds.Load(),
-		ApproxMCWalks:  s.approxMCWalks.Load(),
+		ApproxComputed: int64(s.m.computed.With(ModeApprox).Value()),
+		ApproxRounds:   int64(s.m.approxRounds.Value()),
+		ApproxMCWalks:  int64(s.m.approxMCWalks.Value()),
 
 		EnqueuedWatermark:   enq,
 		AppliedWatermark:    app,
@@ -664,23 +725,23 @@ func (s *Server) Stats() StatsResponse {
 		OverlayPatchedNodes: ov.PatchedNodes(),
 		OverlayDeltaEdges:   ov.DeltaEdges(),
 		OverlayGeneration:   ov.Generation(),
-		Compactions:         s.compactions.Load(),
-		MaintErrors:         s.maintErrors.Load(),
+		Compactions:         int64(s.m.compactions.Value()),
+		MaintErrors:         int64(s.m.maintErrors.Value()),
 		LastRejectedWM:      s.lastRejectedWM.Load(),
 		LastMaintMS:         s.lastMaintNS.Load() / 1e6,
 		LastAffectedOrigins: s.lastAffOrigins.Load(),
 		LastAffectedHubs:    s.lastAffHubs.Load(),
-		NodesGrown:          s.nodesGrown.Load(),
+		NodesGrown:          int64(s.m.nodesGrown.Value()),
 	}
 	if msg := s.lastMaintError.Load(); msg != nil {
 		resp.LastMaintError = *msg
 	}
-	resp.ResponseWriteDrops = s.writeDropped.Load()
+	resp.ResponseWriteDrops = int64(s.m.writeDrops.Total())
 	if s.journal != nil {
 		resp.Durable = true
 		resp.JournalBytes = s.journal.Size()
 		resp.JournalBatches = s.journal.Batches()
-		resp.Checkpoints = s.checkpoints.Load()
+		resp.Checkpoints = int64(s.m.checkpoints.Value())
 		resp.LastCheckpointWatermark = s.lastCkptWM.Load()
 		resp.ReplayedBatches = s.replayed
 		resp.RecoveryDroppedBytes = s.replayDrop
@@ -698,7 +759,7 @@ func (s *Server) Stats() StatsResponse {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	body, _ := json.Marshal(s.Stats())
-	w.Write(body)
+	s.writeBody(w, "stats", body)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -752,9 +813,10 @@ type EditsResponse struct {
 const maxEditsBody = 8 << 20
 
 func (s *Server) handleEdits(w http.ResponseWriter, r *http.Request) {
+	id := ensureRequestID(w, r)
 	var req EditsRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxEditsBody)).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "malformed edits body: %v", err)
+		s.httpError(w, "edits", http.StatusBadRequest, "malformed edits body: %v", err)
 		return
 	}
 	edits := make([]evolve.Edit, len(req.Edits))
@@ -767,12 +829,15 @@ func (s *Server) handleEdits(w http.ResponseWriter, r *http.Request) {
 		if !errors.Is(err, errBadEdits) {
 			status = http.StatusServiceUnavailable
 		}
-		writeError(w, status, "%v", err)
+		s.httpError(w, "edits", status, "%v", err)
 		return
+	}
+	if s.logger != nil {
+		s.logger.Info("edits", "request_id", id, "watermark", pending.Watermark, "edits", len(edits), "wait", req.Wait)
 	}
 	if !req.Wait {
 		body, _ := json.Marshal(EditsResponse{Watermark: pending.Watermark})
-		s.writeJSON(w, http.StatusAccepted, body)
+		s.writeJSON(w, "edits", http.StatusAccepted, body)
 		return
 	}
 	stats, epoch, err := pending.Wait()
@@ -784,7 +849,7 @@ func (s *Server) handleEdits(w http.ResponseWriter, r *http.Request) {
 		if !errors.Is(err, errBadEdits) {
 			status = http.StatusInternalServerError
 		}
-		writeError(w, status, "%v", err)
+		s.httpError(w, "edits", status, "%v", err)
 		return
 	}
 	body, _ := json.Marshal(EditsResponse{
@@ -794,18 +859,18 @@ func (s *Server) handleEdits(w http.ResponseWriter, r *http.Request) {
 		HubsRebuilt: stats.HubsRebuilt,
 		ElapsedMS:   stats.Elapsed.Milliseconds(),
 	})
-	s.writeJSON(w, http.StatusOK, body)
+	s.writeJSON(w, "edits", http.StatusOK, body)
 }
 
 // writeJSON commits status and body with the JSON content type. A failed
 // body write cannot be retracted (the status line is already on the wire),
 // but it is counted — a silently dropped 202 body would hide the watermark
 // the client needs to track its batch.
-func (s *Server) writeJSON(w http.ResponseWriter, status int, body []byte) {
+func (s *Server) writeJSON(w http.ResponseWriter, handler string, status int, body []byte) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	if _, err := w.Write(body); err != nil {
-		s.writeDropped.Add(1)
+		s.m.writeDrops.With(handler).Inc()
 	}
 }
 
@@ -914,11 +979,13 @@ func (s *Server) runBatch(b *editBatch) {
 	start := time.Now()
 	fail := func(err error) {
 		b.err = err
-		s.maintErrors.Add(1)
+		s.m.maintErrors.Inc()
 		s.lastRejectedWM.Store(b.watermark)
 		msg := err.Error()
 		s.lastMaintError.Store(&msg)
-		s.lastMaintNS.Store(int64(time.Since(start)))
+		elapsed := time.Since(start)
+		s.lastMaintNS.Store(int64(elapsed))
+		s.m.maintDur.Observe(elapsed.Seconds())
 	}
 	if gate := s.testMaintGate; gate != nil {
 		gate()
@@ -988,7 +1055,7 @@ func (s *Server) runBatch(b *editBatch) {
 	var nextIdx *lbindex.Index
 	if next.N() > idx.N() {
 		nextIdx = idx.CloneGrown(next.N())
-		s.nodesGrown.Add(int64(next.N() - idx.N()))
+		s.m.nodesGrown.Add(uint64(next.N() - idx.N()))
 	} else {
 		nextIdx = idx.Clone()
 	}
@@ -1028,13 +1095,15 @@ func (s *Server) runBatch(b *editBatch) {
 	// Publish already dropped every other epoch from the cache — eager
 	// invalidation is the store's job, so it holds for ALL publishers.
 	s.overlay.Store(next)
-	s.epochSwaps.Add(1)
+	s.m.epochSwaps.Inc()
 
 	b.stats = stats
 	b.epoch = published.Epoch
 	s.lastAffOrigins.Store(int64(len(origins)))
 	s.lastAffHubs.Store(int64(len(hubs)))
-	s.lastMaintNS.Store(int64(time.Since(start)))
+	elapsed := time.Since(start)
+	s.lastMaintNS.Store(int64(elapsed))
+	s.m.maintDur.Observe(elapsed.Seconds())
 }
 
 // maybeCompact folds the overlay back into a fresh CSR once its delta
@@ -1051,18 +1120,18 @@ func (s *Server) maybeCompact() {
 	}
 	g2, err := ov.Compact()
 	if err != nil {
-		s.maintErrors.Add(1)
+		s.m.maintErrors.Inc()
 		msg := fmt.Sprintf("compaction failed: %v", err)
 		s.lastMaintError.Store(&msg)
 		return
 	}
 	snap := s.store.Current()
 	if _, err := s.store.Replace(g2, snap.View.Index()); err != nil {
-		s.maintErrors.Add(1)
+		s.m.maintErrors.Inc()
 		msg := fmt.Sprintf("compaction republish failed: %v", err)
 		s.lastMaintError.Store(&msg)
 		return
 	}
 	s.overlay.Store(graph.NewOverlay(g2))
-	s.compactions.Add(1)
+	s.m.compactions.Inc()
 }

@@ -56,6 +56,7 @@ func (c *Coordinator) QueryAnytime(q graph.NodeID, k int, eps float64) (guarante
 	if err != nil {
 		return nil, nil, stats, err
 	}
+	stepper.RoundHook = c.RoundObserver
 
 	oneMinus := 1 - c.params.Alpha
 	roundLen := c.roundIters

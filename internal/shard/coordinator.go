@@ -107,6 +107,13 @@ type Coordinator struct {
 
 	workers    int
 	roundIters int
+
+	// RoundObserver, when set, watches the shared PMPN iteration of every
+	// query this coordinator runs: it is wired to rwr.ToStepper.RoundHook
+	// and receives (iteration, L1 residual, tail error bound) after each
+	// power iteration. Observational only; it runs on the query
+	// goroutine, so set it before serving and keep it cheap.
+	RoundObserver func(iter int, residual, tail float64)
 }
 
 // NewInProc builds a coordinator over one shard slice per shard, in shard
@@ -253,6 +260,7 @@ func (c *Coordinator) Query(q graph.NodeID, k int) ([]graph.NodeID, QueryStats, 
 	if err != nil {
 		return nil, stats, err
 	}
+	stepper.RoundHook = c.RoundObserver
 
 	// Scatter-gather rounds: advance the shared PMPN, broadcast the
 	// iterate + error band, gather each shard's round report. The first

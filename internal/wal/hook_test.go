@@ -1,0 +1,49 @@
+package wal
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestOnAppendHook checks the append observation callback: one call per
+// successful append, byte counts that sum to the journal growth, and no
+// call for a rejected append.
+func TestOnAppendHook(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "edits.wal")
+	var calls int
+	var bytes int64
+	l, _, err := Open(path, Options{OnAppend: func(n int, elapsed time.Duration) {
+		calls++
+		bytes += int64(n)
+		if n <= 0 {
+			t.Errorf("append reported %d bytes", n)
+		}
+		if elapsed < 0 {
+			t.Errorf("append reported negative elapsed %v", elapsed)
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	recs := testRecords()
+	for _, r := range recs {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if calls != len(recs) {
+		t.Fatalf("hook fired %d times, want %d", calls, len(recs))
+	}
+	if want := l.Size() - headerSize; bytes != want {
+		t.Fatalf("hook counted %d bytes, journal grew %d", bytes, want)
+	}
+	// A watermark violation is rejected before the write; no observation.
+	if err := l.Append(Record{Watermark: 1}); err == nil {
+		t.Fatal("stale watermark accepted")
+	}
+	if calls != len(recs) {
+		t.Fatalf("hook fired on a rejected append (%d calls)", calls)
+	}
+}

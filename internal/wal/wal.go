@@ -37,6 +37,7 @@ import (
 	"path/filepath"
 	"sync"
 	"syscall"
+	"time"
 
 	"repro/internal/graph"
 )
@@ -207,6 +208,12 @@ type Options struct {
 	// recovery benchmark uses it to price the fsync; production serving
 	// should not.
 	NoSync bool
+	// OnAppend, when set, observes every successful Append with the
+	// framed record size and the wall clock of the write+fsync. It is
+	// called while the log's mutex is held (so observations are ordered
+	// exactly like the appends) and must therefore be cheap and must not
+	// call back into the Log.
+	OnAppend func(bytes int, elapsed time.Duration)
 }
 
 // Log is an open journal file positioned for appends. Safe for concurrent
@@ -220,6 +227,8 @@ type Log struct {
 	lastWM  uint64   // guarded by mu
 	noSync  bool     // immutable after Open
 	buf     []byte   // guarded by mu
+
+	onAppend func(bytes int, elapsed time.Duration) // immutable after Open
 }
 
 // Recovery reports what Open found in an existing journal.
@@ -243,7 +252,7 @@ func Open(path string, opts Options) (*Log, *Recovery, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	l := &Log{path: path, f: f, noSync: opts.NoSync}
+	l := &Log{path: path, f: f, noSync: opts.NoSync, onAppend: opts.OnAppend}
 	st, err := f.Stat()
 	if err != nil {
 		_ = f.Close()
@@ -320,6 +329,7 @@ func (l *Log) Append(r Record) error {
 	if r.Watermark <= l.lastWM {
 		return fmt.Errorf("wal: watermark %d not above last journaled %d", r.Watermark, l.lastWM)
 	}
+	start := time.Now()
 	l.buf = AppendRecord(l.buf[:0], r)
 	if _, err := l.f.Write(l.buf); err != nil {
 		// A short write leaves a torn tail; the next Open truncates it.
@@ -331,6 +341,9 @@ func (l *Log) Append(r Record) error {
 	l.size += int64(len(l.buf))
 	l.batches++
 	l.lastWM = r.Watermark
+	if l.onAppend != nil {
+		l.onAppend(len(l.buf), time.Since(start))
+	}
 	return nil
 }
 
